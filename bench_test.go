@@ -1,0 +1,458 @@
+package triosim
+
+// The benchmark harness regenerates every table/figure of the paper's
+// evaluation (BenchmarkFig6..BenchmarkFig16 — quick workload lists so a
+// full -bench=. run stays tractable; `go run ./cmd/experiments` produces
+// the complete versions) and adds the ablation benches DESIGN.md calls out:
+// graph-build vs execution cost, max-min fair sharing vs an uncontended
+// network, DDP bucket-size sensitivity, and trace-time passthrough vs Li's
+// Model. Micro-benches cover the substrates (event engine, flow network,
+// collectives, trace collection, model fitting).
+
+import (
+	"fmt"
+	"testing"
+
+	"triosim/internal/collective"
+	"triosim/internal/experiments"
+	"triosim/internal/extrapolator"
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+	"triosim/internal/network"
+	"triosim/internal/perfmodel"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/timeline"
+)
+
+// ---- Figure regeneration benches (one per paper table/figure) ----
+
+func benchFigure(b *testing.B, run func() (*experiments.Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable1BaselineComparison(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Table1(true)
+	})
+}
+
+func BenchmarkFig6SingleGPU(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig6(true)
+	})
+}
+
+func BenchmarkFig7StandardDP(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig7(true)
+	})
+}
+
+func BenchmarkFig8DDP(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig8(true)
+	})
+}
+
+func BenchmarkFig9TP(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig9(true)
+	})
+}
+
+func BenchmarkFig10PP(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig10(true)
+	})
+}
+
+func BenchmarkFig11NewGPU(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig11(true)
+	})
+}
+
+func BenchmarkFig12ParallelismComparison(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig12(true)
+	})
+}
+
+func BenchmarkFig13CommRatio(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig13(true)
+	})
+}
+
+func BenchmarkFig14SimulatorSpeed(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig14(true)
+	})
+}
+
+func BenchmarkFig15WaferPhotonic(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig15(true)
+	})
+}
+
+func BenchmarkFig16Hop(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig16(true)
+	})
+}
+
+// ---- Simulator-speed benches (the Fig 14 metric, per parallelism) ----
+
+func benchSimulate(b *testing.B, cfg Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalTime <= 0 {
+			b.Fatal("no time")
+		}
+	}
+}
+
+func BenchmarkSimulateDDPResNet50(b *testing.B) {
+	benchSimulate(b, Config{Model: "resnet50", Platform: P2(),
+		Parallelism: DDP, TraceBatch: 128})
+}
+
+func BenchmarkSimulateTPGPT2(b *testing.B) {
+	benchSimulate(b, Config{Model: "gpt2", Platform: P2(),
+		Parallelism: TP, TraceBatch: 128})
+}
+
+func BenchmarkSimulatePPDenseNet(b *testing.B) {
+	benchSimulate(b, Config{Model: "densenet121", Platform: P2(),
+		Parallelism: PP, TraceBatch: 128, MicroBatches: 4})
+}
+
+func BenchmarkSimulateLlama8xH100(b *testing.B) {
+	benchSimulate(b, Config{Model: "llama32-1b", Platform: P3(),
+		Parallelism: DDP, TraceBatch: 16})
+}
+
+// ---- Ablation benches (DESIGN.md) ----
+
+// Graph-build vs execution cost: the task-graph form's overhead relative to
+// on-the-fly extrapolation is the build step; measure both halves.
+func BenchmarkAblationGraphBuild(b *testing.B) {
+	tr, err := hwsim.CollectTrace("resnet50", 128, &gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := perfmodel.Fit(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := network.Switch(network.Config{
+		NumGPUs: 4, LinkBandwidth: 235e9, HostBandwidth: 20e9,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := extrapolator.DataParallel(extrapolator.Config{
+			Trace: tr, Topo: topo, NumGPUs: 4, Timer: pm,
+		}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Graph.Len() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkAblationGraphExecute(b *testing.B) {
+	tr, err := hwsim.CollectTrace("resnet50", 128, &gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := perfmodel.Fit(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := network.Switch(network.Config{
+		NumGPUs: 4, LinkBandwidth: 235e9, HostBandwidth: 20e9,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		res, err := extrapolator.DataParallel(extrapolator.Config{
+			Trace: tr, Topo: topo, NumGPUs: 4, Timer: pm,
+		}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.NewSerialEngine()
+		net := network.NewFlowNetwork(eng, topo)
+		x := task.NewExecutor(eng, net, res.Graph, timeline.New())
+		b.StartTimer()
+		if _, err := x.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Max-min fair sharing vs uncontended ideal network: the cost and the
+// simulated-time effect of bandwidth-sharing fidelity.
+func BenchmarkAblationFairShare(b *testing.B) {
+	for _, mode := range []string{"maxmin", "ideal"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewSerialEngine()
+				topo := network.Ring(network.Config{
+					NumGPUs: 8, LinkBandwidth: 100e9, HostBandwidth: 20e9,
+				})
+				var net network.Network
+				if mode == "maxmin" {
+					net = network.NewFlowNetwork(eng, topo)
+				} else {
+					net = network.NewIdealNetwork(eng, 100e9, 0)
+				}
+				g := task.NewGraph()
+				collective.RingAllReduce(g, topo.GPUs(), 1e9, nil,
+					collective.Options{})
+				x := task.NewExecutor(eng, net, g, timeline.New())
+				if _, err := x.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// DDP bucket-size sensitivity: predicted iteration time across bucket sizes.
+func BenchmarkAblationBucketSize(b *testing.B) {
+	for _, mb := range []int{1, 5, 25, 100} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			cfg := Config{Model: "vgg16", Platform: P2(), Parallelism: DDP,
+				TraceBatch: 128, BucketBytes: float64(mb << 20)}
+			var last VTime
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.PerIteration
+			}
+			b.ReportMetric(last.Seconds()*1e3, "simulated-ms/iter")
+		})
+	}
+}
+
+// Trace-time passthrough vs Li's Model regression for unmodified replays.
+func BenchmarkAblationOpTimeSource(b *testing.B) {
+	tr, err := hwsim.CollectTrace("resnet50", 128, &gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := perfmodel.Fit(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("passthrough", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total sim.VTime
+			for j := range tr.Ops {
+				op := &tr.Ops[j]
+				total += pm.OpTime(op.Name, op.FLOPs, 0, op.Time, false)
+			}
+			if total <= 0 {
+				b.Fatal("no time")
+			}
+		}
+	})
+	b.Run("regression", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total sim.VTime
+			for j := range tr.Ops {
+				op := &tr.Ops[j]
+				bytes := float64(op.BytesIn(tr.Tensors) +
+					op.BytesOut(tr.Tensors))
+				total += pm.OpTime(op.Name, op.FLOPs, bytes, op.Time, true)
+			}
+			if total <= 0 {
+				b.Fatal("no time")
+			}
+		}
+	})
+}
+
+// Compute-model ablation: Li's regression vs NeuSight-style roofline vs the
+// hybrid, scored against the hardware emulator on transformer tensor
+// parallelism (the underutilized regime §8.2 flags).
+func BenchmarkAblationComputeModel(b *testing.B) {
+	for _, cm := range []string{"li", "roofline", "hybrid"} {
+		b.Run(cm, func(b *testing.B) {
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				cmp, err := Validate(Config{Model: "gpt2", Platform: P2(),
+					Parallelism: TP, TraceBatch: 128, ComputeModel: cm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErr = cmp.Error
+			}
+			b.ReportMetric(lastErr*100, "err-pct")
+		})
+	}
+}
+
+// Ring vs tree AllReduce across message sizes: the NCCL algorithm-selection
+// crossover (latency-bound small messages favor tree, bandwidth-bound large
+// ones favor ring).
+func BenchmarkAblationRingVsTree(b *testing.B) {
+	for _, algo := range []string{"ring", "tree"} {
+		for _, bytes := range []float64{64e3, 16e6, 1e9} {
+			b.Run(fmt.Sprintf("%s/%.0fKB", algo, bytes/1e3),
+				func(b *testing.B) {
+					var last sim.VTime
+					for i := 0; i < b.N; i++ {
+						eng := sim.NewSerialEngine()
+						topo := network.Switch(network.Config{
+							NumGPUs: 16, LinkBandwidth: 100e9,
+							HostBandwidth: 20e9,
+						})
+						net := network.NewFlowNetwork(eng, topo)
+						g := task.NewGraph()
+						opt := collective.Options{StepDelay: 20 * sim.USec}
+						if algo == "tree" {
+							collective.TreeAllReduce(g, topo.GPUs(), bytes,
+								nil, opt)
+						} else {
+							collective.RingAllReduce(g, topo.GPUs(), bytes,
+								nil, opt)
+						}
+						x := task.NewExecutor(eng, net, g, timeline.New())
+						ms, err := x.Run()
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = ms
+					}
+					b.ReportMetric(last.Microseconds(), "simulated-us")
+				})
+		}
+	}
+}
+
+// ---- Substrate micro-benches ----
+
+func BenchmarkEventEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewSerialEngine()
+		for j := 0; j < 10000; j++ {
+			eng.Schedule(sim.NewFuncEvent(sim.VTime(j), func(sim.VTime) error {
+				return nil
+			}))
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowNetworkContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewSerialEngine()
+		topo := network.Mesh(4, 4, network.Config{
+			LinkBandwidth: 100e9, HostBandwidth: 20e9,
+		})
+		net := network.NewFlowNetwork(eng, topo)
+		gpus := topo.GPUs()
+		done := 0
+		for j := 0; j < 64; j++ {
+			src := gpus[j%len(gpus)]
+			dst := gpus[(j*7+3)%len(gpus)]
+			if src == dst {
+				dst = gpus[(j*7+4)%len(gpus)]
+			}
+			net.Send(src, dst, 1e8, func(sim.VTime) { done++ })
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if done != 64 {
+			b.Fatal("lost flows")
+		}
+	}
+}
+
+func BenchmarkRingAllReduce64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewSerialEngine()
+		topo := network.Ring(network.Config{
+			NumGPUs: 64, LinkBandwidth: 100e9, HostBandwidth: 20e9,
+		})
+		net := network.NewFlowNetwork(eng, topo)
+		g := task.NewGraph()
+		collective.RingAllReduce(g, topo.GPUs(), 1e9, nil,
+			collective.Options{})
+		x := task.NewExecutor(eng, net, g, timeline.New())
+		if _, err := x.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceCollect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := hwsim.CollectTrace("resnet50", 128, &gpu.A100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Ops) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkModelFit(b *testing.B) {
+	tr, err := hwsim.CollectTrace("resnet152", 128, &gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := perfmodel.Fit(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhotonicNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewSerialEngine()
+		net := network.NewPhotonicNetwork(eng, 60.5e9, 20*sim.MSec, 8)
+		done := 0
+		for j := 0; j < 100; j++ {
+			src := network.NodeID(j % 16)
+			dst := network.NodeID((j + 1) % 16)
+			net.Send(src, dst, 1e8, func(sim.VTime) { done++ })
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if done != 100 {
+			b.Fatal("lost transfers")
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// figure prints the rows the paper reports (predicted vs hardware times and
+// errors, ratios, speedups), produced entirely inside the simulator stack.
+//
+// Usage:
+//
+//	experiments [-quick] [-only fig8,fig10] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"triosim/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trim workload lists for a fast run")
+	only := flag.String("only", "", "comma-separated figure ids (e.g. fig8)")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	failed := false
+	for _, r := range experiments.All(*quick) {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fig, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			fig.Markdown(os.Stdout)
+		} else {
+			fig.Print(os.Stdout)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

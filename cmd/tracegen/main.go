@@ -1,0 +1,43 @@
+// Command tracegen is the tracer-substitute CLI: it builds the operator and
+// tensor tables for a model-zoo workload, stamps measured times with the
+// reference hardware emulator for the chosen GPU, and writes the single-GPU
+// trace TrioSim consumes.
+//
+// Example:
+//
+//	tracegen -model resnet50 -batch 128 -gpu A100 -o resnet50_a100_b128.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"triosim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		model = flag.String("model", "resnet50", "model zoo workload name")
+		batch = flag.Int("batch", 128, "mini-batch size")
+		gpu   = flag.String("gpu", "A100", "GPU to trace on: A40, A100, H100")
+		out   = flag.String("o", "trace.json", "output path")
+	)
+	flag.Parse()
+
+	tr, err := triosim.CollectTrace(*model, *batch, *gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d ops, %d tensors, iteration time %v\n",
+		*out, len(tr.Ops), tr.Tensors.Len(), tr.TotalTime())
+	fmt.Printf("weights %.1f MB, gradients %.1f MB, input %.1f MB/iter\n",
+		float64(tr.WeightBytes())/1e6, float64(tr.GradientBytes())/1e6,
+		float64(tr.InputBytes())/1e6)
+}

@@ -1,0 +1,45 @@
+// Command traceinfo profiles a trace: per-operator-type time/FLOPs/bytes
+// breakdown, phase split, and parameter volumes — what to look at before
+// (or instead of) simulating.
+//
+// Usage:
+//
+//	traceinfo trace.json
+//	traceinfo -model resnet50 -batch 128 -gpu A100   # profile a zoo trace
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"triosim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceinfo: ")
+
+	var (
+		model = flag.String("model", "", "profile a model-zoo trace instead of a file")
+		batch = flag.Int("batch", 128, "batch size for -model")
+		gpu   = flag.String("gpu", "A100", "GPU for -model")
+	)
+	flag.Parse()
+
+	var tr *triosim.Trace
+	var err error
+	switch {
+	case *model != "":
+		tr, err = triosim.CollectTrace(*model, *batch, *gpu)
+	case flag.NArg() == 1:
+		tr, err = triosim.ReadTrace(flag.Arg(0))
+	default:
+		log.Fatal("need a trace file argument or -model")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := tr.ComputeStats()
+	stats.Print(os.Stdout)
+}

@@ -1,0 +1,185 @@
+// Command triosim runs one simulation from the command line: pick a
+// workload (or a trace file), a platform, and a parallelism strategy; get
+// the predicted execution time and the communication/computation breakdown.
+//
+// Examples:
+//
+//	triosim -model resnet50 -platform P2 -parallelism ddp
+//	triosim -model gpt2 -platform P1 -parallelism tp -validate
+//	triosim -trace mytrace.json -platform P3 -parallelism pp -chunks 4
+//	triosim -model vgg16 -platform P2 -parallelism ddp -timeline out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"triosim"
+	"triosim/internal/config"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("triosim: ")
+
+	var (
+		configPath   = flag.String("config", "", "JSON run spec (see internal/config)")
+		model        = flag.String("model", "", "model zoo workload name")
+		listModels   = flag.Bool("list-models", false, "print workloads and exit")
+		tracePath    = flag.String("trace", "", "single-GPU trace JSON (instead of -model)")
+		platform     = flag.String("platform", "P2", "platform: P1, P2, or P3")
+		parallelism  = flag.String("parallelism", "ddp", "single, dp, ddp, tp, or pp")
+		traceBatch   = flag.Int("trace-batch", 128, "batch size to collect the trace at")
+		traceGPU     = flag.String("trace-gpu", "", "GPU to trace on (A40/A100/H100; default platform GPU)")
+		globalBatch  = flag.Int("global-batch", 0, "simulated total batch (default: trace batch)")
+		numGPUs      = flag.Int("gpus", 0, "GPUs to use (default: platform size)")
+		chunks       = flag.Int("chunks", 1, "GPipe micro-batches for pp")
+		iterations   = flag.Int("iterations", 1, "training iterations to simulate")
+		validate     = flag.Bool("validate", false, "also run the hardware emulator and report error")
+		memCheck     = flag.Bool("memory", false, "estimate per-GPU peak memory and capacity fit")
+		timelineOut  = flag.String("timeline", "", "write a Chrome-trace timeline JSON here")
+		timelineHTML = flag.String("timeline-html", "", "write a self-contained HTML timeline viewer here")
+	)
+	flag.Parse()
+
+	if *listModels {
+		for _, m := range triosim.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	if *configPath != "" {
+		spec, err := config.Load(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err := spec.ToCore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML)
+		return
+	}
+
+	plat, err := triosim.PlatformByName(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := triosim.Config{
+		Model:        *model,
+		Platform:     plat,
+		Parallelism:  triosim.Parallelism(*parallelism),
+		TraceBatch:   *traceBatch,
+		TraceGPU:     *traceGPU,
+		GlobalBatch:  *globalBatch,
+		NumGPUs:      *numGPUs,
+		MicroBatches: *chunks,
+		Iterations:   *iterations,
+	}
+	if *tracePath != "" {
+		tr, err := triosim.ReadTrace(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Trace = tr
+		if cfg.Model == "" {
+			cfg.Model = tr.Model
+		}
+	}
+	if cfg.Model == "" && cfg.Trace == nil {
+		log.Fatal("need -model or -trace (see -list-models)")
+	}
+
+	runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML)
+}
+
+// runAndReport executes one simulation and prints the result block.
+func runAndReport(cfg triosim.Config, validate, memCheck bool,
+	timelineOut, timelineHTML string) {
+	plat := cfg.Platform
+	res, err := triosim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload:        %s on %s (%d×%s, %s)\n",
+		cfg.Model, plat.Name, orDefault(cfg.NumGPUs, plat.NumGPUs),
+		plat.GPU.Name, cfg.Parallelism)
+	fmt.Printf("per-iteration:   %v\n", res.PerIteration)
+	fmt.Printf("total (%d iter): %v\n", orDefault(cfg.Iterations, 1),
+		res.TotalTime)
+	fmt.Printf("compute time:    %v\n", res.ComputeTime)
+	fmt.Printf("comm time:       %v (%.1f%% of total)\n", res.CommTime,
+		100*float64(res.CommTime)/float64(res.TotalTime))
+	fmt.Printf("host staging:    %v\n", res.HostLoadTime)
+	fmt.Printf("simulator:       %d tasks, %d events, %v wall clock\n",
+		res.Tasks, res.Events, res.WallClock)
+
+	if validate {
+		if cfg.Trace != nil {
+			log.Fatal("-validate needs a zoo model (the emulator re-runs it natively)")
+		}
+		cmp, err := triosim.Validate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hardware (emulated): %v\n", cmp.Actual)
+		fmt.Printf("prediction error:    %.2f%%\n", cmp.Error*100)
+	}
+
+	if memCheck {
+		rep, err := triosim.MemoryFootprint(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, f := range rep.PerGPU {
+			fmt.Printf("gpu%d memory:     %.1f GB (w %.1f + g %.1f + opt %.1f + act %.1f + in %.1f)\n",
+				i, gb(f.Total()), gb(f.Weights), gb(f.Gradients),
+				gb(f.OptimizerState), gb(f.Activations), gb(f.Input))
+		}
+		verdict := "fits"
+		if !rep.Fits {
+			verdict = "OUT OF MEMORY"
+		}
+		fmt.Printf("capacity check:  %s (worst GPU at %.0f%% of %.0f GB)\n",
+			verdict, rep.WorstUtilization*100, gb(plat.GPU.MemCapacity))
+	}
+
+	if timelineOut != "" {
+		f, err := os.Create(timelineOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := res.Timeline.ExportChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline:        %s (chrome://tracing format)\n",
+			timelineOut)
+	}
+
+	if timelineHTML != "" {
+		f, err := os.Create(timelineHTML)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		title := fmt.Sprintf("%s · %s · %s", cfg.Model, plat.Name,
+			cfg.Parallelism)
+		if err := res.Timeline.ExportHTML(f, title); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline html:   %s\n", timelineHTML)
+	}
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,52 @@
+// Advisor runs the paper's intended workflow (§8.3): given a model, a
+// platform, and a total batch, evaluate every parallelism strategy —
+// including GPipe chunkings and hybrid DP×PP / DP×TP splits — check which
+// fit in GPU memory, and rank them. Milliseconds of simulation replace
+// hours of cluster time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"triosim"
+)
+
+func main() {
+	model := "llama32-1b"
+	if len(os.Args) > 1 {
+		model = os.Args[1]
+	}
+	platform := triosim.P3() // 8×H100
+
+	cands, err := triosim.Advise(triosim.Config{
+		Model:       model,
+		Platform:    platform,
+		TraceBatch:  16,
+		GlobalBatch: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Deployment advisor: %s on %s (%d×%s), total batch 128\n\n",
+		model, platform.Name, platform.NumGPUs, platform.GPU.Name)
+	fmt.Printf("%-8s %-8s %12s %12s %10s %10s\n",
+		"strategy", "chunks", "iter time", "comm share", "mem util", "fits")
+	for _, c := range cands {
+		chunks := "-"
+		if c.MicroBatches > 0 {
+			chunks = fmt.Sprintf("%d", c.MicroBatches)
+		}
+		fits := "yes"
+		if !c.Feasible {
+			fits = "OOM"
+		}
+		fmt.Printf("%-8s %-8s %12v %11.1f%% %9.0f%% %10s\n",
+			c.Parallelism, chunks, c.PerIteration,
+			c.CommShare*100, c.WorstMemUtil*100, fits)
+	}
+	fmt.Println("\nThe winner is the fastest strategy that actually fits;",
+		"OOM rows would crash on real hardware.")
+}

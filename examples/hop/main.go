@@ -1,0 +1,77 @@
+// Hop reproduces the paper's second case study (§7.2): the Hop
+// heterogeneity-aware decentralized training protocol on 8 A100 GPUs
+// training VGG-11, measuring how much one backup worker helps when each
+// worker's communication links are randomly slowed by 1–10×.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triosim"
+	"triosim/internal/hop"
+	"triosim/internal/network"
+)
+
+func main() {
+	// Local step time and update volume come from a real (emulated) VGG-11
+	// trace — the public tracer pipeline.
+	tr, err := triosim.CollectTrace("vgg11", 128, "A100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hop case study: VGG-11 on 8×A100 (local step %v, update %.0f MB)\n\n",
+		tr.TotalTime(), float64(tr.GradientBytes())/1e6)
+
+	netCfg := network.Config{
+		NumGPUs:       8,
+		LinkBandwidth: 235e9,
+		LinkLatency:   1.2e-6,
+		HostBandwidth: 20e9,
+	}
+	graphs := []struct {
+		name  string
+		build func(network.Config) *network.Topology
+	}{
+		{"ring+chords", network.RingWithChords},
+		{"double-ring", network.DoubleRing},
+	}
+
+	fmt.Printf("%-10s %-14s %12s %12s %10s\n",
+		"scenario", "graph", "no backup", "1 backup", "speedup")
+	for seed := int64(1); seed <= 8; seed++ {
+		slow := hop.RandomSlowdowns(8, seed)
+		for _, g := range graphs {
+			cfg := hop.Config{
+				Topo:         g.build(netCfg),
+				Workers:      8,
+				ComputeTime:  tr.TotalTime(),
+				UpdateBytes:  float64(tr.GradientBytes()),
+				MaxStaleness: 2,
+				Iterations:   10,
+				Slowdowns:    slow,
+			}
+			base := cfg
+			base.Backup = 0
+			r0, err := hop.Run(base)
+			if err != nil {
+				log.Fatal(err)
+			}
+			with := cfg
+			with.Backup = 1
+			with.Topo = g.build(netCfg)
+			r1, err := hop.Run(with)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10d %-14s %11.1fms %11.1fms %9.2fx\n",
+				seed, g.name,
+				r0.TotalTime.Seconds()*1e3, r1.TotalTime.Seconds()*1e3,
+				float64(r0.TotalTime)/float64(r1.TotalTime))
+		}
+	}
+	fmt.Println("\nBackup workers let each node skip its slowest neighbor's",
+		"update per iteration, so the")
+	fmt.Println("benefit varies with which links the random heterogeneity",
+		"happens to cripple (Fig 16).")
+}

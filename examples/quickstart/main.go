@@ -1,0 +1,41 @@
+// Quickstart: predict ResNet-50 DDP training time on a 4×A100 NVLink
+// platform from a single-GPU trace, then check the prediction against the
+// reference hardware emulator — the paper's core workflow in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triosim"
+)
+
+func main() {
+	cfg := triosim.Config{
+		Model:       "resnet50",
+		Platform:    triosim.P2(), // 4×A100, NVLink
+		Parallelism: triosim.DDP,
+		TraceBatch:  128, // the single-GPU trace TrioSim extrapolates from
+	}
+
+	res, err := triosim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("TrioSim prediction for ResNet-50, DDP on P2 (4×A100):")
+	fmt.Printf("  per-iteration time: %v\n", res.PerIteration)
+	fmt.Printf("  compute time:       %v\n", res.ComputeTime)
+	fmt.Printf("  communication time: %v (%.1f%% of total)\n",
+		res.CommTime, 100*float64(res.CommTime)/float64(res.TotalTime))
+	fmt.Printf("  simulated in:       %v wall clock (%d events)\n",
+		res.WallClock, res.Events)
+
+	cmp, err := triosim.Validate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAgainst the reference hardware emulator:\n")
+	fmt.Printf("  hardware:   %v\n", cmp.Actual)
+	fmt.Printf("  predicted:  %v\n", cmp.Predicted)
+	fmt.Printf("  error:      %.2f%%\n", cmp.Error*100)
+}

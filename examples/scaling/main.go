@@ -1,0 +1,63 @@
+// Scaling sweeps DDP training of GPT-2 from 4 to 64 GPUs on a realistic
+// two-tier cluster fabric (NVSwitch inside each 4-GPU node, thin NICs into
+// a cluster switch) and reports weak-scaling efficiency — the "exploring
+// scaling configurations" use the paper positions TrioSim for (§8.3), on a
+// topology only a simulator with an explicit network model can express.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"triosim"
+	"triosim/internal/network"
+)
+
+func main() {
+	const model = "gpt2"
+	const gpusPerNode = 4
+	const perGPUBatch = 32
+
+	fmt.Printf("Weak scaling: %s, DDP, %d samples/GPU, 4-GPU nodes,\n",
+		model, perGPUBatch)
+	fmt.Println("NVSwitch 235 GB/s inside nodes, 25 GB/s NICs between them")
+	fmt.Println()
+	fmt.Printf("%6s %8s %14s %14s %12s\n",
+		"GPUs", "nodes", "iter time", "comm share", "efficiency")
+
+	var baseline triosim.VTime
+	for _, gpus := range []int{4, 8, 16, 32, 64} {
+		nodes := gpus / gpusPerNode
+		topo := network.MultiNode(nodes, gpusPerNode, network.Config{
+			LinkBandwidth: 235e9,
+			LinkLatency:   1.2e-6,
+			HostBandwidth: 20e9,
+			HostLatency:   5e-6,
+		}, 25e9)
+		platform := triosim.P2()
+		platform.NumGPUs = gpus
+		res, err := triosim.Simulate(triosim.Config{
+			Model:       model,
+			Platform:    platform,
+			Topology:    topo,
+			Parallelism: triosim.DDP,
+			TraceBatch:  128,
+			GlobalBatch: perGPUBatch * gpus,
+			NumGPUs:     gpus,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.PerIteration
+		}
+		eff := float64(baseline) / float64(res.PerIteration)
+		fmt.Printf("%6d %8d %14v %13.1f%% %11.0f%%\n",
+			gpus, nodes, res.PerIteration,
+			100*float64(res.CommTime)/float64(res.TotalTime), eff*100)
+	}
+	fmt.Println("\nPer-GPU work is constant, so ideal weak scaling keeps the",
+		"iteration time flat (100%);")
+	fmt.Println("the thin inter-node NICs erode efficiency as the",
+		"gradient AllReduce crosses more nodes.")
+}

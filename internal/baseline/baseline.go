@@ -1,0 +1,161 @@
+// Package baseline implements an AstraSim/DistSim-class *analytical*
+// multi-GPU performance model: closed-form formulas with a symmetric-network
+// assumption, no event simulation, no bandwidth sharing. The paper's Table 1
+// positions TrioSim against exactly this family — analytical models are fast
+// and accurate on symmetric fabrics but cannot express asymmetric networks
+// (e.g., one degraded link), which TrioSim handles natively. The Table 1
+// experiment (internal/experiments) quantifies that gap by comparing both
+// predictors against the reference hardware emulator on symmetric and
+// asymmetric configurations.
+package baseline
+
+import (
+	"fmt"
+
+	"triosim/internal/sim"
+	"triosim/internal/trace"
+)
+
+// Parallelism mirrors the core strategies the analytical model covers.
+type Parallelism string
+
+// Strategies.
+const (
+	DP  Parallelism = "dp"
+	DDP Parallelism = "ddp"
+	TP  Parallelism = "tp"
+	PP  Parallelism = "pp"
+)
+
+// Config parameterizes one analytical prediction.
+type Config struct {
+	Trace   *trace.Trace
+	NumGPUs int
+	// LinkBandwidth is the single uniform bandwidth the analytical model
+	// assumes for every link (bytes/s). Asymmetry cannot be expressed —
+	// that is the point.
+	LinkBandwidth float64
+	Parallelism   Parallelism
+	// GlobalBatch defaults to the trace batch.
+	GlobalBatch int
+	// MicroBatches applies to PP (minimum 1).
+	MicroBatches int
+}
+
+// phaseTimes sums the traced op times per phase, linearly rescaled to the
+// per-device batch (the vTrain-style proportionality assumption).
+func phaseTimes(tr *trace.Trace, batchScale float64) (fwd, bwd, opt sim.VTime) {
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		switch op.Phase {
+		case trace.Forward:
+			fwd += sim.VTime(float64(op.Time) * batchScale)
+		case trace.Backward:
+			bwd += sim.VTime(float64(op.Time) * batchScale)
+		case trace.Optimizer:
+			opt += op.Time
+		}
+	}
+	return fwd, bwd, opt
+}
+
+// ringAllReduceTime is the textbook 2(N−1)/N·B/W formula.
+func ringAllReduceTime(bytes float64, n int, bw float64) sim.VTime {
+	if n <= 1 {
+		return 0
+	}
+	return sim.VTime(2 * float64(n-1) / float64(n) * bytes / bw)
+}
+
+// ringAllGatherTime is (N−1)/N·B/W.
+func ringAllGatherTime(bytes float64, n int, bw float64) sim.VTime {
+	if n <= 1 {
+		return 0
+	}
+	return sim.VTime(float64(n-1) / float64(n) * bytes / bw)
+}
+
+// Predict returns the analytical per-iteration time.
+func Predict(cfg Config) (sim.VTime, error) {
+	if cfg.Trace == nil {
+		return 0, fmt.Errorf("baseline: nil trace")
+	}
+	if cfg.NumGPUs < 1 {
+		return 0, fmt.Errorf("baseline: %d GPUs", cfg.NumGPUs)
+	}
+	if cfg.LinkBandwidth <= 0 && cfg.NumGPUs > 1 {
+		return 0, fmt.Errorf("baseline: no link bandwidth")
+	}
+	tr := cfg.Trace
+	batch := cfg.GlobalBatch
+	if batch == 0 {
+		batch = tr.BatchSize
+	}
+	m := cfg.MicroBatches
+	if m < 1 {
+		m = 1
+	}
+	n := cfg.NumGPUs
+	grad := float64(tr.GradientBytes())
+
+	switch cfg.Parallelism {
+	case DP:
+		scale := float64(batch) / float64(n) / float64(tr.BatchSize)
+		fwd, bwd, opt := phaseTimes(tr, scale)
+		return fwd + bwd + ringAllReduceTime(grad, n, cfg.LinkBandwidth) +
+			opt, nil
+	case DDP:
+		scale := float64(batch) / float64(n) / float64(tr.BatchSize)
+		fwd, bwd, opt := phaseTimes(tr, scale)
+		// Perfectly overlapped bucketed AllReduce.
+		comm := ringAllReduceTime(grad, n, cfg.LinkBandwidth)
+		overlap := bwd
+		if comm > overlap {
+			overlap = comm
+		}
+		return fwd + overlap + opt, nil
+	case TP:
+		scale := float64(batch) / float64(tr.BatchSize)
+		// Parallelizable work splits N ways; the rest replicates.
+		var fwdPar, fwdRep, bwdPar, bwdRep, opt sim.VTime
+		var gatherBytes float64
+		lastLayer := -1
+		for i := range tr.Ops {
+			op := &tr.Ops[i]
+			t := sim.VTime(float64(op.Time) * scale)
+			switch op.Phase {
+			case trace.Forward:
+				if op.Parallelizable {
+					fwdPar += t
+					if op.Layer != lastLayer {
+						lastLayer = op.Layer
+					}
+					// Per-layer gather of this op's output.
+					gatherBytes += float64(op.BytesOut(tr.Tensors)) * scale
+				} else {
+					fwdRep += t
+				}
+			case trace.Backward:
+				if op.Parallelizable {
+					bwdPar += t
+					gatherBytes += float64(op.BytesOut(tr.Tensors)) * scale
+				} else {
+					bwdRep += t
+				}
+			case trace.Optimizer:
+				opt += op.Time / sim.VTime(n)
+			}
+		}
+		comm := ringAllGatherTime(gatherBytes, n, cfg.LinkBandwidth)
+		return (fwdPar+bwdPar)/sim.VTime(n) + fwdRep + bwdRep + comm +
+			opt, nil
+	case PP:
+		scale := float64(batch) / float64(tr.BatchSize)
+		fwd, bwd, opt := phaseTimes(tr, scale)
+		// GPipe bubble formula: (M + S − 1)/(M·S) of the total work.
+		work := float64(fwd + bwd)
+		t := work * float64(m+n-1) / float64(m*n)
+		return sim.VTime(t) + opt, nil
+	}
+	return 0, fmt.Errorf("baseline: unknown parallelism %q", cfg.Parallelism)
+}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+	"triosim/internal/sim"
+)
+
+func TestPredictDPComponents(t *testing.T) {
+	tr, err := hwsim.CollectTrace("resnet18", 64, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Predict(Config{Trace: tr, NumGPUs: 4, LinkBandwidth: 235e9,
+		Parallelism: DP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: between 1/4 of the trace time and the full trace time plus
+	// communication.
+	lo := tr.TotalTime() / 5
+	hi := tr.TotalTime() + 100*sim.MSec
+	if got < lo || got > hi {
+		t.Fatalf("DP prediction %v outside [%v, %v]", got, lo, hi)
+	}
+}
+
+func TestDDPNotSlowerThanDP(t *testing.T) {
+	tr, err := hwsim.CollectTrace("vgg11", 64, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _ := Predict(Config{Trace: tr, NumGPUs: 4, LinkBandwidth: 50e9,
+		Parallelism: DP})
+	ddp, _ := Predict(Config{Trace: tr, NumGPUs: 4, LinkBandwidth: 50e9,
+		Parallelism: DDP})
+	if ddp > dp {
+		t.Fatalf("analytical DDP %v slower than DP %v", ddp, dp)
+	}
+}
+
+func TestPPBubbleShrinksWithChunks(t *testing.T) {
+	tr, err := hwsim.CollectTrace("vgg16", 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := Predict(Config{Trace: tr, NumGPUs: 4, LinkBandwidth: 235e9,
+		Parallelism: PP, MicroBatches: 1})
+	t4, _ := Predict(Config{Trace: tr, NumGPUs: 4, LinkBandwidth: 235e9,
+		Parallelism: PP, MicroBatches: 4})
+	if t4 >= t1 {
+		t.Fatalf("more chunks should shrink the bubble: %v vs %v", t4, t1)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr, err := hwsim.CollectTrace("resnet18", 16, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Predict(Config{NumGPUs: 2, LinkBandwidth: 1,
+		Parallelism: DP}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := Predict(Config{Trace: tr, NumGPUs: 0, LinkBandwidth: 1,
+		Parallelism: DP}); err == nil {
+		t.Fatal("0 GPUs accepted")
+	}
+	if _, err := Predict(Config{Trace: tr, NumGPUs: 2,
+		Parallelism: DP}); err == nil {
+		t.Fatal("no bandwidth accepted")
+	}
+	if _, err := Predict(Config{Trace: tr, NumGPUs: 2, LinkBandwidth: 1,
+		Parallelism: "quantum"}); err == nil {
+		t.Fatal("unknown parallelism accepted")
+	}
+}
+
+// The Table 1 story: on a symmetric fabric the analytical baseline is
+// competitive with TrioSim, but on an asymmetric one (one link slowed 4×)
+// the baseline cannot express the degradation and its error blows past
+// TrioSim's.
+func TestAsymmetricNetworkGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison; run without -short")
+	}
+	const model = "vgg16"
+	p2 := gpu.P2
+
+	// Symmetric case.
+	symTruth, err := core.GroundTruth(core.Config{Model: model,
+		Platform: &p2, Parallelism: core.DDP, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hwsim.CollectTrace(model, 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Predict(Config{Trace: tr, NumGPUs: 4,
+		LinkBandwidth: p2.LinkBandwidth, Parallelism: DDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	symBaseErr := math.Abs(float64(base-symTruth.PerIteration)) /
+		float64(symTruth.PerIteration)
+	if symBaseErr > 0.25 {
+		t.Fatalf("baseline should be decent on symmetric fabric: %.1f%%",
+			symBaseErr*100)
+	}
+
+	// Asymmetric case: slow one GPU's switch link by 4×.
+	topo := core.BuildTopology(&p2)
+	topo.SetLinkBandwidth(0, p2.LinkBandwidth/4)
+	asymTruth, err := core.GroundTruth(core.Config{Model: model,
+		Platform: &p2, Topology: topo, Parallelism: core.DDP,
+		TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trioPred, err := core.Simulate(core.Config{Model: model, Platform: &p2,
+		Topology: topo, Parallelism: core.DDP, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trioErr := math.Abs(float64(trioPred.PerIteration-asymTruth.PerIteration)) /
+		float64(asymTruth.PerIteration)
+	// The analytical model has no way to express the slow link; its best
+	// effort is the uniform-bandwidth prediction.
+	asymBaseErr := math.Abs(float64(base-asymTruth.PerIteration)) /
+		float64(asymTruth.PerIteration)
+	if trioErr >= asymBaseErr {
+		t.Fatalf("TrioSim error %.1f%% should beat analytical %.1f%% on asymmetric fabric",
+			trioErr*100, asymBaseErr*100)
+	}
+}

@@ -1,0 +1,218 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/timeline"
+)
+
+// ringSetup builds an N-GPU ring with the given per-link bandwidth (bytes/s)
+// and zero latency.
+func ringSetup(n int, bw float64) (*sim.SerialEngine, *network.FlowNetwork,
+	[]network.NodeID) {
+	eng := sim.NewSerialEngine()
+	topo := network.Ring(network.Config{
+		NumGPUs: n, LinkBandwidth: bw, HostBandwidth: bw,
+	})
+	return eng, network.NewFlowNetwork(eng, topo), topo.GPUs()
+}
+
+func execute(t *testing.T, eng *sim.SerialEngine, net network.Network,
+	g *task.Graph) (sim.VTime, *timeline.Timeline) {
+	t.Helper()
+	tl := timeline.New()
+	x := task.NewExecutor(eng, net, g, tl)
+	makespan, err := x.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return makespan, tl
+}
+
+func TestRingAllReduceTime(t *testing.T) {
+	// Classic result: ring AllReduce of B bytes on N ranks with link
+	// bandwidth W takes 2(N−1)/N · B/W (disjoint ring links, full duplex).
+	const n, B, W = 4, 400e6, 100e9
+	eng, net, gpus := ringSetup(n, W)
+	g := task.NewGraph()
+	RingAllReduce(g, gpus, B, nil, Options{})
+	makespan, _ := execute(t, eng, net, g)
+	want := sim.VTime(2 * (n - 1) * (B / n) / W)
+	if math.Abs(float64(makespan-want))/float64(want) > 1e-6 {
+		t.Fatalf("AllReduce makespan %v, want %v", makespan, want)
+	}
+}
+
+func TestRingAllReduceTrafficVolume(t *testing.T) {
+	const n, B = 8, 800e6
+	eng, net, gpus := ringSetup(n, 100e9)
+	g := task.NewGraph()
+	RingAllReduce(g, gpus, B, nil, Options{})
+	if _, err := task.NewExecutor(eng, net, g, timeline.New()).Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Total traffic = N ranks × 2(N−1) steps × B/N per step.
+	want := float64(2 * (n - 1) * B)
+	if math.Abs(net.TotalBytes-want)/want > 1e-9 {
+		t.Fatalf("traffic %g, want %g", net.TotalBytes, want)
+	}
+}
+
+func TestRingAllReduceStepDelay(t *testing.T) {
+	const n, B, W = 4, 400e6, 100e9
+	eng, net, gpus := ringSetup(n, W)
+	g := task.NewGraph()
+	delay := 10 * sim.USec
+	RingAllReduce(g, gpus, B, nil, Options{StepDelay: delay})
+	makespan, _ := execute(t, eng, net, g)
+	base := sim.VTime(2 * (n - 1) * (B / n) / W)
+	want := base + sim.VTime(2*(n-1))*delay
+	if math.Abs(float64(makespan-want))/float64(want) > 1e-6 {
+		t.Fatalf("with delays: %v, want %v", makespan, want)
+	}
+}
+
+func TestAllReduceSingleRankNoop(t *testing.T) {
+	eng, net, gpus := ringSetup(2, 100e9)
+	g := task.NewGraph()
+	gate := g.AddCompute(0, 5, "work")
+	done := RingAllReduce(g, gpus[:1], 1e9, []*task.Task{gate}, Options{})
+	fin := g.AddCompute(0, 1, "after")
+	g.AddDep(done, fin)
+	makespan, _ := execute(t, eng, net, g)
+	if makespan != 6 {
+		t.Fatalf("single-rank allreduce makespan %v, want 6", makespan)
+	}
+	if net.TotalTransfers != 0 {
+		t.Fatal("single-rank allreduce must not send")
+	}
+}
+
+func TestAllReduceWaitsForAllRanks(t *testing.T) {
+	// One straggler rank delays the collective's completion.
+	eng, net, gpus := ringSetup(4, 100e9)
+	g := task.NewGraph()
+	gates := make([]*task.Task, 4)
+	for i := range gates {
+		dur := sim.VTime(1)
+		if i == 2 {
+			dur = 10 // straggler
+		}
+		gates[i] = g.AddCompute(i, dur, "bwd")
+	}
+	done := RingAllReduce(g, gpus, 400e6, gates, Options{})
+	_ = done
+	makespan, _ := execute(t, eng, net, g)
+	commTime := sim.VTime(2 * 3 * (100e6 / 100e9))
+	// Step 0 sends from fast ranks can start early, but step 1 needs the
+	// straggler's step-0 send, so completion ≥ 10 + most of the collective.
+	if makespan < 10+commTime/2 {
+		t.Fatalf("makespan %v ignores straggler", makespan)
+	}
+}
+
+func TestReduceScatterAndAllGather(t *testing.T) {
+	const n, B, W = 4, 400e6, 100e9
+	for _, tc := range []struct {
+		name string
+		run  func(g *task.Graph, gpus []network.NodeID) *task.Task
+	}{
+		{"reducescatter", func(g *task.Graph, gpus []network.NodeID) *task.Task {
+			return RingReduceScatter(g, gpus, B, nil, Options{})
+		}},
+		{"allgather", func(g *task.Graph, gpus []network.NodeID) *task.Task {
+			return RingAllGather(g, gpus, B, nil, Options{})
+		}},
+	} {
+		eng, net, gpus := ringSetup(n, W)
+		g := task.NewGraph()
+		tc.run(g, gpus)
+		makespan, _ := execute(t, eng, net, g)
+		want := sim.VTime((n - 1) * (B / n) / W)
+		if math.Abs(float64(makespan-want))/float64(want) > 1e-6 {
+			t.Fatalf("%s makespan %v, want %v", tc.name, makespan, want)
+		}
+	}
+}
+
+func TestAllReduceEqualsScatterPlusGather(t *testing.T) {
+	const n, B, W = 6, 600e6, 50e9
+	eng1, net1, gpus1 := ringSetup(n, W)
+	g1 := task.NewGraph()
+	RingAllReduce(g1, gpus1, B, nil, Options{})
+	ar, _ := execute(t, eng1, net1, g1)
+
+	eng2, net2, gpus2 := ringSetup(n, W)
+	g2 := task.NewGraph()
+	rs := RingReduceScatter(g2, gpus2, B, nil, Options{})
+	agGates := make([]*task.Task, n)
+	for i := range agGates {
+		agGates[i] = rs
+	}
+	RingAllGather(g2, gpus2, B, agGates, Options{})
+	two, _ := execute(t, eng2, net2, g2)
+
+	if math.Abs(float64(ar-two))/float64(ar) > 1e-6 {
+		t.Fatalf("allreduce %v != reducescatter+allgather %v", ar, two)
+	}
+}
+
+func TestBroadcastPipelined(t *testing.T) {
+	const n, B, W = 4, 800e6, 100e9
+	eng, net, gpus := ringSetup(n, W)
+	g := task.NewGraph()
+	Broadcast(g, gpus, B, nil, Options{})
+	makespan, _ := execute(t, eng, net, g)
+	// Pipelined broadcast: ~ (B + (n-2)·chunk)/W, far less than (n-1)·B/W.
+	naive := sim.VTime((n - 1) * B / W)
+	if makespan >= naive {
+		t.Fatalf("broadcast %v not pipelined (naive %v)", makespan, naive)
+	}
+	lower := sim.VTime(B / W)
+	if makespan < lower {
+		t.Fatalf("broadcast %v faster than line rate %v", makespan, lower)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n, shard, W = 4, 100e6, 100e9
+	eng, net, gpus := ringSetup(n, W)
+	g := task.NewGraph()
+	root := g.AddCompute(0, 1, "prep")
+	sc := ScatterFromRoot(g, gpus, shard, root, Options{})
+	gates := make([]*task.Task, n)
+	for i := range gates {
+		gates[i] = sc
+	}
+	GatherToRoot(g, gpus, shard, gates, Options{})
+	makespan, _ := execute(t, eng, net, g)
+	if makespan <= 1 {
+		t.Fatalf("makespan %v", makespan)
+	}
+	// 3 scatter sends + 3 gather sends.
+	if net.TotalTransfers != 6 {
+		t.Fatalf("transfers = %d, want 6", net.TotalTransfers)
+	}
+}
+
+func TestCollectiveOnSwitchTopology(t *testing.T) {
+	// A logical ring mapped onto an NVSwitch: every send traverses two
+	// switch hops; per-direction link capacity still yields the ring bound.
+	const n, B, W = 4, 400e6, 100e9
+	eng := sim.NewSerialEngine()
+	topo := network.Switch(network.Config{
+		NumGPUs: n, LinkBandwidth: W, HostBandwidth: W,
+	})
+	net := network.NewFlowNetwork(eng, topo)
+	g := task.NewGraph()
+	RingAllReduce(g, topo.GPUs(), B, nil, Options{})
+	makespan, _ := execute(t, eng, net, g)
+	want := sim.VTime(2 * (n - 1) * (B / n) / W)
+	if math.Abs(float64(makespan-want))/float64(want) > 1e-6 {
+		t.Fatalf("switch allreduce %v, want %v", makespan, want)
+	}
+}

@@ -1,0 +1,128 @@
+package collective
+
+import (
+	"testing"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/timeline"
+)
+
+// switchSetup builds an N-GPU NVSwitch fabric.
+func switchSetup(n int, bw float64) (*sim.SerialEngine, *network.FlowNetwork,
+	[]network.NodeID) {
+	eng := sim.NewSerialEngine()
+	topo := network.Switch(network.Config{
+		NumGPUs: n, LinkBandwidth: bw, HostBandwidth: bw,
+	})
+	return eng, network.NewFlowNetwork(eng, topo), topo.GPUs()
+}
+
+func TestTreeAllReduceCompletes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 16} {
+		eng, net, gpus := switchSetup(n, 100e9)
+		g := task.NewGraph()
+		TreeAllReduce(g, gpus, 800e6, nil, Options{})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tl := timeline.New()
+		makespan, err := task.NewExecutor(eng, net, g, tl).Run()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if makespan <= 0 {
+			t.Fatalf("n=%d: zero makespan", n)
+		}
+		// Lower bound: data must cross at least up and down once: 2B/W.
+		lower := sim.VTime(2 * 800e6 / 100e9 / 8) // one chunk up+down min
+		if makespan < lower {
+			t.Fatalf("n=%d: makespan %v below physical bound", n, makespan)
+		}
+	}
+}
+
+func TestTreeAllReduceSingleRankNoop(t *testing.T) {
+	eng, net, gpus := switchSetup(2, 100e9)
+	g := task.NewGraph()
+	TreeAllReduce(g, gpus[:1], 1e9, nil, Options{})
+	if _, err := task.NewExecutor(eng, net, g, timeline.New()).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalTransfers != 0 {
+		t.Fatal("single-rank tree allreduce sent data")
+	}
+}
+
+func TestTreeAllReduceGatesOnAfter(t *testing.T) {
+	eng, net, gpus := switchSetup(4, 100e9)
+	g := task.NewGraph()
+	gates := make([]*task.Task, 4)
+	for i := range gates {
+		dur := sim.VTime(1 * sim.MSec)
+		if i == 3 {
+			dur = 50 * sim.MSec // straggler leaf
+		}
+		gates[i] = g.AddCompute(i, dur, "bwd")
+	}
+	TreeAllReduce(g, gpus, 100e6, gates, Options{})
+	makespan, err := task.NewExecutor(eng, net, g, timeline.New()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan < 50*sim.MSec {
+		t.Fatalf("makespan %v ignores straggler", makespan)
+	}
+}
+
+// The NCCL crossover: with per-step protocol latency, tree beats ring for
+// small messages (fewer latency-bound steps) while ring is at least
+// competitive for large ones (bandwidth-bound).
+func TestRingVsTreeCrossover(t *testing.T) {
+	run := func(bytes float64, tree bool) sim.VTime {
+		eng, net, gpus := switchSetup(16, 100e9)
+		g := task.NewGraph()
+		opt := Options{StepDelay: 20 * sim.USec}
+		if tree {
+			TreeAllReduce(g, gpus, bytes, nil, opt)
+		} else {
+			RingAllReduce(g, gpus, bytes, nil, opt)
+		}
+		makespan, err := task.NewExecutor(eng, net, g, timeline.New()).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return makespan
+	}
+	smallRing := run(64e3, false)
+	smallTree := run(64e3, true)
+	if smallTree >= smallRing {
+		t.Fatalf("tree (%v) should beat ring (%v) for small messages",
+			smallTree, smallRing)
+	}
+	bigRing := run(4e9, false)
+	bigTree := run(4e9, true)
+	// For large messages ring's 2(N−1)/N·B/W bound is hard to beat; tree
+	// should not win by more than its latency advantage.
+	if bigRing > bigTree*2 {
+		t.Fatalf("ring (%v) unexpectedly far behind tree (%v) at 4 GB",
+			bigRing, bigTree)
+	}
+}
+
+func TestTreeTrafficVolume(t *testing.T) {
+	// Every non-root rank sends B up and receives B down: traffic =
+	// 2(N−1)·B total, same as the ring.
+	const n, B = 8, 800e6
+	eng, net, gpus := switchSetup(n, 100e9)
+	g := task.NewGraph()
+	TreeAllReduce(g, gpus, B, nil, Options{})
+	if _, err := task.NewExecutor(eng, net, g, timeline.New()).Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * float64(n-1) * B
+	if diff := net.TotalBytes/want - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("tree traffic %g, want %g", net.TotalBytes, want)
+	}
+}

@@ -1,0 +1,170 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"triosim/internal/core"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAndRun(t *testing.T) {
+	path := writeSpec(t, `{
+		"model": "resnet18",
+		"platform": "P2",
+		"parallelism": "ddp",
+		"trace_batch": 32
+	}`)
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerIteration <= 0 {
+		t.Fatal("no time")
+	}
+}
+
+func TestCustomTopologyWithOverride(t *testing.T) {
+	path := writeSpec(t, `{
+		"model": "resnet18",
+		"platform": "P2",
+		"parallelism": "ddp",
+		"trace_batch": 32,
+		"topology": {
+			"kind": "switch",
+			"num_gpus": 4,
+			"link_bandwidth_gbps": 235,
+			"link_latency_us": 1.2,
+			"host_bandwidth_gbps": 20,
+			"host_latency_us": 5,
+			"overrides": [{"link": 0, "bandwidth_gbps": 30}]
+		}
+	}`)
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil {
+		t.Fatal("topology not built")
+	}
+	if cfg.Topology.Links[0].Bandwidth != 30e9 {
+		t.Fatalf("override not applied: %g", cfg.Topology.Links[0].Bandwidth)
+	}
+	slow, err := core.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same run with the symmetric fabric must be faster.
+	cfg.Topology.SetLinkBandwidth(0, 235e9)
+	fast, err := core.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.PerIteration <= fast.PerIteration {
+		t.Fatalf("degraded link did not slow the run: %v vs %v",
+			slow.PerIteration, fast.PerIteration)
+	}
+}
+
+func TestTopologyKinds(t *testing.T) {
+	for _, kind := range []string{"ring", "switch", "pcie-tree",
+		"double-ring", "chord-ring"} {
+		spec := TopologySpec{
+			Kind: kind, NumGPUs: 4,
+			LinkBandwidthGBps: 100, HostBandwidthGBps: 20,
+		}
+		topo, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(topo.GPUs()) != 4 {
+			t.Fatalf("%s: %d GPUs", kind, len(topo.GPUs()))
+		}
+	}
+	mesh := TopologySpec{Kind: "mesh", Rows: 2, Cols: 3,
+		LinkBandwidthGBps: 100, HostBandwidthGBps: 20}
+	topo, err := mesh.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.GPUs()) != 6 {
+		t.Fatalf("mesh GPUs = %d", len(topo.GPUs()))
+	}
+}
+
+func TestExtraLinks(t *testing.T) {
+	spec := TopologySpec{
+		Kind: "ring", NumGPUs: 6,
+		LinkBandwidthGBps: 100, HostBandwidthGBps: 20,
+		ExtraLinks: []LinkSpec{{A: 0, B: 3, BandwidthGBps: 50}},
+	}
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpus := topo.GPUs()
+	route, err := topo.Route(gpus[0], gpus[3])
+	if err != nil || len(route) != 1 {
+		t.Fatalf("chord not used: %v, %v", route, err)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	if _, err := Load("/nonexistent/run.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeSpec(t, `{not json`)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	spec := &RunSpec{Platform: "P9", Parallelism: "ddp"}
+	if _, err := spec.ToCore(); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	ts := TopologySpec{Kind: "warp", NumGPUs: 2, LinkBandwidthGBps: 1,
+		HostBandwidthGBps: 1}
+	if _, err := ts.Build(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	ts = TopologySpec{Kind: "ring", NumGPUs: 2}
+	if _, err := ts.Build(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	ts = TopologySpec{Kind: "mesh", LinkBandwidthGBps: 1,
+		HostBandwidthGBps: 1}
+	if _, err := ts.Build(); err == nil {
+		t.Fatal("mesh without dims accepted")
+	}
+	ts = TopologySpec{Kind: "ring", NumGPUs: 2, LinkBandwidthGBps: 1,
+		HostBandwidthGBps: 1,
+		ExtraLinks:        []LinkSpec{{A: 0, B: 9, BandwidthGBps: 1}}}
+	if _, err := ts.Build(); err == nil {
+		t.Fatal("out-of-range extra link accepted")
+	}
+	ts = TopologySpec{Kind: "ring", NumGPUs: 2, LinkBandwidthGBps: 1,
+		HostBandwidthGBps: 1, Overrides: []Override{{Link: 99}}}
+	if _, err := ts.Build(); err == nil {
+		t.Fatal("out-of-range override accepted")
+	}
+}

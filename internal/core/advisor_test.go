@@ -1,0 +1,91 @@
+package core
+
+import "testing"
+
+func TestAdviseRanksStrategies(t *testing.T) {
+	cands, err := Advise(Config{Model: "resnet50", Platform: p2(),
+		TraceBatch: 128, GlobalBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 5 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// Sorted: feasible first, then by time.
+	for i := 1; i < len(cands); i++ {
+		a, b := cands[i-1], cands[i]
+		if !a.Feasible && b.Feasible {
+			t.Fatal("infeasible candidate ranked above feasible one")
+		}
+		if a.Feasible == b.Feasible && a.PerIteration > b.PerIteration {
+			t.Fatal("candidates not time-sorted")
+		}
+	}
+	// Fig 12's conclusion: for a CNN at fixed total batch, DDP wins.
+	if cands[0].Parallelism != DDP {
+		t.Fatalf("winner = %+v, want DDP", cands[0])
+	}
+	// Every candidate carries a memory verdict.
+	for _, c := range cands {
+		if c.WorstMemUtil <= 0 {
+			t.Fatalf("candidate %+v missing memory estimate", c)
+		}
+	}
+}
+
+func TestAdviseIncludesHybrids(t *testing.T) {
+	cands, err := Advise(Config{Model: "resnet18", Platform: p2(),
+		TraceBatch: 64, GlobalBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDPPP, sawDPTP bool
+	for _, c := range cands {
+		if c.Parallelism == DPPP {
+			sawDPPP = true
+		}
+		if c.Parallelism == DPTP {
+			sawDPTP = true
+		}
+	}
+	if !sawDPPP || !sawDPTP {
+		t.Fatalf("hybrids missing: %+v", cands)
+	}
+}
+
+func TestAdviseSkipsIndivisibleHybrids(t *testing.T) {
+	cands, err := Advise(Config{Model: "resnet18", Platform: p2(),
+		TraceBatch: 63, GlobalBatch: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.DPGroups > 1 {
+			t.Fatalf("indivisible batch produced hybrid candidate %+v", c)
+		}
+	}
+}
+
+func TestAdviseFlagsOOM(t *testing.T) {
+	// Llama at total batch 256 (64/GPU) on P2: DDP replicates the full
+	// model and holds 64 samples of activations per GPU — must be flagged
+	// infeasible on 80 GB A100s.
+	cands, err := Advise(Config{Model: "llama32-1b", Platform: p2(),
+		TraceBatch: 16, GlobalBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ddp *Candidate
+	for i := range cands {
+		if cands[i].Parallelism == DDP {
+			ddp = &cands[i]
+		}
+	}
+	if ddp == nil {
+		t.Fatal("DDP candidate missing")
+	}
+	if ddp.Feasible {
+		t.Fatalf("llama@256 DDP on 80 GB A100s should be infeasible (util %.2f)",
+			ddp.WorstMemUtil)
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+func TestComputeModelSelection(t *testing.T) {
+	for _, cm := range []string{"", "li", "roofline", "hybrid"} {
+		res, err := Simulate(Config{Model: "resnet18", Platform: p1(),
+			Parallelism: DDP, TraceBatch: 32, ComputeModel: cm})
+		if err != nil {
+			t.Fatalf("%q: %v", cm, err)
+		}
+		if res.PerIteration <= 0 {
+			t.Fatalf("%q: no time", cm)
+		}
+	}
+	if _, err := Simulate(Config{Model: "resnet18", Platform: p1(),
+		Parallelism: DDP, TraceBatch: 32, ComputeModel: "magic"}); err == nil {
+		t.Fatal("unknown compute model accepted")
+	}
+	// Cross-GPU traces require Li's rescaling.
+	p3 := p2()
+	if _, err := Simulate(Config{Model: "resnet18", Platform: p3,
+		Parallelism: DDP, TraceBatch: 32, TraceGPU: "A40",
+		ComputeModel: "roofline"}); err == nil {
+		t.Fatal("cross-GPU roofline accepted")
+	}
+}
+
+func TestHybridModelCompetitiveOnTransformerTP(t *testing.T) {
+	// §8.2's promise: the alternative model helps underutilized workloads.
+	li, err := Validate(Config{Model: "gpt2", Platform: p2(),
+		Parallelism: TP, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := Validate(Config{Model: "gpt2", Platform: p2(),
+		Parallelism: TP, TraceBatch: 128, ComputeModel: "hybrid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow a small tolerance: the hybrid must be at least competitive.
+	if hy.Error > li.Error+0.02 {
+		t.Fatalf("hybrid error %.2f%% much worse than Li %.2f%%",
+			hy.Error*100, li.Error*100)
+	}
+}

@@ -1,0 +1,454 @@
+// Package core is TrioSim proper: it wires the tracer substitute, the
+// multi-GPU trace extrapolator, the linear-regression operator performance
+// model, and the lightweight network model into a single simulator with the
+// paper's inputs (a single-GPU trace, a network topology, GPU parameters,
+// and a parallelism scheme) and outputs (predicted execution time, per-phase
+// communication/computation breakdown, and a timeline).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"triosim/internal/extrapolator"
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+	"triosim/internal/memory"
+	"triosim/internal/network"
+	"triosim/internal/perfmodel"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/timeline"
+	"triosim/internal/trace"
+)
+
+// Parallelism selects the training strategy to simulate.
+type Parallelism string
+
+// Supported parallelism strategies.
+const (
+	Single Parallelism = "single"
+	DP     Parallelism = "dp"  // standard DataParallel
+	DDP    Parallelism = "ddp" // DistributedDataParallel (overlapped)
+	TP     Parallelism = "tp"  // tensor parallelism
+	PP     Parallelism = "pp"  // pipeline parallelism (GPipe)
+	// Hybrid strategies: DPGroups data-parallel replicas of pipeline or
+	// tensor parallel groups (an extension beyond the paper's DP/TP/PP).
+	DPPP Parallelism = "dp+pp"
+	DPTP Parallelism = "dp+tp"
+	// ZeRO1 is ZeRO stage-1 data parallelism: gradients reduce-scattered,
+	// optimizer state sharded, parameters all-gathered.
+	ZeRO1 Parallelism = "zero1"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Model is the workload name from the model zoo (used when Trace is
+	// nil).
+	Model string
+	// Trace optionally supplies a pre-collected single-GPU trace.
+	Trace *trace.Trace
+	// TraceBatch is the batch size to collect the trace at (default: the
+	// platform-appropriate 128).
+	TraceBatch int
+	// TraceGPU names the GPU the trace is collected on (default: the
+	// platform's GPU). A different GPU exercises Li's Model's cross-GPU
+	// rescaling (Fig 11 case 1).
+	TraceGPU string
+
+	// Platform is the simulated multi-GPU system.
+	Platform *gpu.Platform
+	// Topology optionally overrides the platform's default topology.
+	Topology *network.Topology
+
+	Parallelism Parallelism
+	// NumGPUs defaults to the platform's GPU count.
+	NumGPUs int
+	// GlobalBatch is the simulated total mini-batch (default: trace batch).
+	GlobalBatch int
+	// MicroBatches is the GPipe chunk count for PP.
+	MicroBatches int
+	// BucketBytes is the DDP gradient bucket size (default 25 MB).
+	BucketBytes float64
+	// Iterations to simulate (default 1).
+	Iterations int
+	// DPGroups is the number of data-parallel replicas for the hybrid
+	// strategies (default 2).
+	DPGroups int
+	// Collective selects the gradient AllReduce algorithm: "ring"
+	// (default) or "tree".
+	Collective string
+	// InferenceOnly simulates forward-only execution (no backward pass, no
+	// gradient synchronization, no optimizer).
+	InferenceOnly bool
+	// ComputeModel selects the operator performance model: "li" (default,
+	// the paper's Li's Model regression), "roofline" (NeuSight-style pooled
+	// device roofline), or "hybrid" (Li where the per-type fit is size-
+	// diverse, roofline otherwise — §8.2's alternative-model integration).
+	ComputeModel string
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Platform == nil {
+		return out, fmt.Errorf("core: no platform")
+	}
+	if out.NumGPUs == 0 {
+		out.NumGPUs = out.Platform.NumGPUs
+	}
+	if out.TraceBatch == 0 {
+		out.TraceBatch = 128
+	}
+	if out.TraceGPU == "" {
+		out.TraceGPU = out.Platform.GPU.Name
+	}
+	if out.Parallelism == "" {
+		out.Parallelism = Single
+	}
+	if out.Iterations == 0 {
+		out.Iterations = 1
+	}
+	return out, nil
+}
+
+// Result is the simulator's output.
+type Result struct {
+	// TotalTime is the simulated end-to-end time for all iterations.
+	TotalTime sim.VTime
+	// PerIteration is TotalTime / iterations.
+	PerIteration sim.VTime
+	// ComputeTime is the union time during which at least one GPU computed.
+	ComputeTime sim.VTime
+	// CommTime is the union time during which at least one inter-GPU
+	// transfer was in flight.
+	CommTime sim.VTime
+	// HostLoadTime is the union time of host→GPU input staging.
+	HostLoadTime sim.VTime
+	// Timeline holds every recorded interval for deeper analysis.
+	Timeline *timeline.Timeline
+	// Tasks is the extrapolated graph size.
+	Tasks int
+	// Events is the number of engine events dispatched.
+	Events uint64
+	// WallClock is how long the simulation itself took to run (the paper's
+	// Fig 14 metric).
+	WallClock time.Duration
+}
+
+// BuildTopology constructs the platform's default interconnect.
+func BuildTopology(p *gpu.Platform) *network.Topology {
+	cfg := network.Config{
+		NumGPUs:       p.NumGPUs,
+		LinkBandwidth: p.LinkBandwidth,
+		LinkLatency:   p.LinkLatency,
+		HostBandwidth: p.HostBandwidth,
+		HostLatency:   p.HostLatency,
+	}
+	switch p.Topology {
+	case gpu.TopoPCIeTree:
+		return network.PCIeTree(cfg)
+	case gpu.TopoRing:
+		return network.Ring(cfg)
+	case gpu.TopoMesh:
+		// Square-ish mesh.
+		rows := 1
+		for rows*rows < p.NumGPUs {
+			rows++
+		}
+		cols := (p.NumGPUs + rows - 1) / rows
+		return network.Mesh(rows, cols, cfg)
+	default:
+		return network.Switch(cfg)
+	}
+}
+
+// collectTrace returns the configured trace, collecting one from the model
+// zoo + hardware emulator when none was supplied.
+func collectTrace(cfg Config) (*trace.Trace, error) {
+	if cfg.Trace != nil {
+		return cfg.Trace, nil
+	}
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("core: neither Trace nor Model given")
+	}
+	spec, err := gpu.SpecByName(cfg.TraceGPU)
+	if err != nil {
+		return nil, err
+	}
+	return hwsim.CollectTrace(cfg.Model, cfg.TraceBatch, spec)
+}
+
+// extrapolate builds the task graph for the configured parallelism.
+func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
+	timer extrapolator.OpTimer,
+	effects hwsim.Effects) (*extrapolator.Result, error) {
+
+	ecfg := extrapolator.Config{
+		Trace:        tr,
+		Topo:         topo,
+		NumGPUs:      cfg.NumGPUs,
+		Timer:        timer,
+		Effects:      effects,
+		GlobalBatch:  cfg.GlobalBatch,
+		MicroBatches: cfg.MicroBatches,
+		BucketBytes:  cfg.BucketBytes,
+		Iterations:   cfg.Iterations,
+		Collective:   cfg.Collective,
+		ForwardOnly:  cfg.InferenceOnly,
+	}
+	switch cfg.Parallelism {
+	case Single:
+		ecfg.NumGPUs = 1
+		return extrapolator.SingleGPU(ecfg)
+	case DP:
+		return extrapolator.DataParallel(ecfg, false)
+	case DDP:
+		return extrapolator.DataParallel(ecfg, true)
+	case TP:
+		return extrapolator.TensorParallel(ecfg)
+	case PP:
+		return extrapolator.PipelineParallel(ecfg)
+	case DPPP:
+		return extrapolator.HybridDPPP(ecfg, hybridGroups(cfg))
+	case DPTP:
+		return extrapolator.HybridDPTP(ecfg, hybridGroups(cfg))
+	case ZeRO1:
+		return extrapolator.DataParallelZeRO(ecfg)
+	}
+	return nil, fmt.Errorf("core: unknown parallelism %q", cfg.Parallelism)
+}
+
+// execute runs a task graph over the platform network and packages results.
+func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
+	rampBytes float64) (*Result, error) {
+
+	start := time.Now()
+	eng := sim.NewSerialEngine()
+	net := network.NewFlowNetwork(eng, topo)
+	net.RampBytes = rampBytes
+	tl := timeline.New()
+	makespan, err := task.NewExecutor(eng, net, res.Graph, tl).Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		TotalTime:    makespan,
+		PerIteration: makespan / sim.VTime(cfg.Iterations),
+		ComputeTime:  tl.UnionTime(timeline.ByPhase("compute")),
+		CommTime:     tl.UnionTime(timeline.ByPhase("comm")),
+		HostLoadTime: tl.UnionTime(timeline.ByPhase("hostload")),
+		Timeline:     tl,
+		Tasks:        res.Graph.Len(),
+		Events:       eng.EventCount(),
+		WallClock:    time.Since(start),
+	}
+	return out, nil
+}
+
+// Simulate is TrioSim's prediction path: fit Li's Model on the single-GPU
+// trace (rescaling it when the trace came from a different GPU than the
+// simulated platform), extrapolate to the multi-GPU configuration with no
+// hardware protocol overheads, and execute over the lightweight network
+// model.
+func Simulate(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := collectTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var timer extrapolator.OpTimer
+	crossGPU := tr.Device != cfg.Platform.GPU.Name
+	switch cfg.ComputeModel {
+	case "", "li":
+		model, err := perfmodel.Fit(tr)
+		if err != nil {
+			return nil, err
+		}
+		if crossGPU {
+			from, err := gpu.SpecByName(tr.Device)
+			if err != nil {
+				return nil, err
+			}
+			model = model.Rescale(from, &cfg.Platform.GPU)
+		}
+		timer = model
+	case "roofline":
+		if crossGPU {
+			return nil, fmt.Errorf("core: roofline model has no cross-GPU rescaling (trace from %s, platform %s)",
+				tr.Device, cfg.Platform.GPU.Name)
+		}
+		model, err := perfmodel.FitRoofline(tr)
+		if err != nil {
+			return nil, err
+		}
+		timer = model
+	case "hybrid":
+		if crossGPU {
+			return nil, fmt.Errorf("core: hybrid model has no cross-GPU rescaling (trace from %s, platform %s)",
+				tr.Device, cfg.Platform.GPU.Name)
+		}
+		model, err := perfmodel.FitHybrid(tr)
+		if err != nil {
+			return nil, err
+		}
+		timer = model
+	default:
+		return nil, fmt.Errorf("core: unknown compute model %q",
+			cfg.ComputeModel)
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = BuildTopology(cfg.Platform)
+	}
+	eres, err := extrapolate(cfg, tr, topo, timer, hwsim.NoEffects)
+	if err != nil {
+		return nil, err
+	}
+	return execute(cfg, topo, eres, 0)
+}
+
+// GroundTruth is the reference-hardware path standing in for the paper's
+// physical platforms: the workload is "executed" natively at the simulated
+// sizes with hwsim's nonlinear operator timer and the platform's protocol
+// overheads. TrioSim's predictions are validated against this.
+func GroundTruth(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("core: ground truth requires a zoo model name")
+	}
+	// Native trace on the platform's own GPU at the simulated global batch:
+	// real hardware does not extrapolate across batch sizes or devices.
+	batch := cfg.GlobalBatch
+	if batch == 0 {
+		batch = cfg.TraceBatch
+	}
+	tr, err := hwsim.CollectTrace(cfg.Model, batch, &cfg.Platform.GPU)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := cfg
+	gcfg.GlobalBatch = batch
+	topo := cfg.Topology
+	if topo == nil {
+		topo = BuildTopology(cfg.Platform)
+	}
+	timer := hwsim.NewTimer(&cfg.Platform.GPU)
+	effects := hwsim.PlatformEffects(cfg.Platform)
+	eres, err := extrapolate(gcfg, tr, topo, timer, effects)
+	if err != nil {
+		return nil, err
+	}
+	return execute(gcfg, topo, eres, effects.CommRampBytes)
+}
+
+func hybridGroups(cfg Config) int {
+	if cfg.DPGroups > 0 {
+		return cfg.DPGroups
+	}
+	return 2
+}
+
+// Comparison holds a predicted-vs-hardware pair, the paper's validation
+// unit.
+type Comparison struct {
+	Model     string
+	Predicted sim.VTime
+	Actual    sim.VTime
+	// Error is |Predicted-Actual| / Actual.
+	Error float64
+	// Normalized is Predicted / Actual (the paper's normalized-time bars).
+	Normalized float64
+}
+
+// Validate runs both paths and compares per-iteration times.
+func Validate(cfg Config) (*Comparison, error) {
+	pred, err := Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	actual, err := GroundTruth(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := float64(pred.PerIteration)
+	a := float64(actual.PerIteration)
+	diff := p - a
+	if diff < 0 {
+		diff = -diff
+	}
+	return &Comparison{
+		Model:      cfg.Model,
+		Predicted:  pred.PerIteration,
+		Actual:     actual.PerIteration,
+		Error:      diff / a,
+		Normalized: p / a,
+	}, nil
+}
+
+// MemoryReport is the per-GPU peak-memory estimate for a configuration.
+type MemoryReport struct {
+	PerGPU []memory.Footprint
+	// Fits is false when some GPU exceeds its memory capacity.
+	Fits bool
+	// WorstUtilization is the highest footprint/capacity fraction.
+	WorstUtilization float64
+}
+
+// MemoryFootprint estimates whether the configured training run fits in GPU
+// memory — the constraint that forces the paper to trace Llama at batch 16
+// and to exclude batch-256 transformers. Hybrid strategies are estimated as
+// their inner strategy over the per-replica batch share.
+func MemoryFootprint(cfg Config) (*MemoryReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := collectTrace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	batch := cfg.GlobalBatch
+	if batch == 0 {
+		batch = tr.BatchSize
+	}
+
+	mcfg := memory.Config{Trace: tr, GlobalBatch: batch}
+	switch cfg.Parallelism {
+	case Single:
+		mcfg.Strategy, mcfg.NumGPUs = memory.Single, 1
+	case DP, DDP:
+		mcfg.Strategy, mcfg.NumGPUs = memory.DP, cfg.NumGPUs
+	case ZeRO1:
+		mcfg.Strategy, mcfg.NumGPUs = memory.ZeRO1, cfg.NumGPUs
+	case TP:
+		mcfg.Strategy, mcfg.NumGPUs = memory.TP, cfg.NumGPUs
+	case PP:
+		mcfg.Strategy, mcfg.NumGPUs = memory.PP, cfg.NumGPUs
+		mcfg.StageOf = extrapolator.StageAssignment(tr, cfg.NumGPUs)
+	case DPPP:
+		groups := hybridGroups(cfg)
+		mcfg.Strategy = memory.PP
+		mcfg.NumGPUs = cfg.NumGPUs / groups
+		mcfg.GlobalBatch = batch / groups
+		mcfg.StageOf = extrapolator.StageAssignment(tr, mcfg.NumGPUs)
+	case DPTP:
+		groups := hybridGroups(cfg)
+		mcfg.Strategy = memory.TP
+		mcfg.NumGPUs = cfg.NumGPUs / groups
+		mcfg.GlobalBatch = batch / groups
+	default:
+		return nil, fmt.Errorf("core: unknown parallelism %q", cfg.Parallelism)
+	}
+	fp, err := memory.Estimate(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	fits, worst := memory.Fits(fp, cfg.Platform.GPU.MemCapacity)
+	return &MemoryReport{PerGPU: fp, Fits: fits, WorstUtilization: worst}, nil
+}

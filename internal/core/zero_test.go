@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+func TestZeROEndToEnd(t *testing.T) {
+	res, err := Simulate(Config{Model: "resnet50", Platform: p2(),
+		Parallelism: ZeRO1, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerIteration <= 0 || res.CommTime <= 0 {
+		t.Fatalf("incomplete ZeRO result: %+v", res)
+	}
+	// Memory: ZeRO-1 shards optimizer state relative to DDP.
+	ddpMem, err := MemoryFootprint(Config{Model: "resnet50", Platform: p2(),
+		Parallelism: DDP, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zMem, err := MemoryFootprint(Config{Model: "resnet50", Platform: p2(),
+		Parallelism: ZeRO1, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ddpMem.PerGPU[0]
+	z := zMem.PerGPU[0]
+	if z.OptimizerState*4 != d.OptimizerState {
+		t.Fatalf("ZeRO optimizer state %d, DDP %d (want 4× shard)",
+			z.OptimizerState, d.OptimizerState)
+	}
+	if z.Weights != d.Weights {
+		t.Fatal("ZeRO-1 must not shard weights")
+	}
+	// Validation against the emulator stays in a reasonable band.
+	cmp, err := Validate(Config{Model: "resnet50", Platform: p2(),
+		Parallelism: ZeRO1, TraceBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Error > 0.15 {
+		t.Fatalf("ZeRO validation error %.1f%%", cmp.Error*100)
+	}
+}

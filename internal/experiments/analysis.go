@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+)
+
+// Fig12 — comparing data, tensor, and pipeline parallelism on P2 with a
+// fixed total batch of 128 across 4 GPUs and a pipeline micro-batch of 64
+// (2 chunks). The reproduction target is relative ordering: DP wins for a
+// constant total workload; TP is competitive only on transformers; TrioSim
+// ranks TP vs PP per model the same way the hardware does.
+func Fig12(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig12",
+		Title:   "DP vs TP vs PP on P2 (total batch 128, micro-batch 64)",
+		Columns: []string{"predicted_s", "hardware_s", "error_pct"},
+	}
+	p2 := gpu.P2
+	type parCfg struct {
+		par    core.Parallelism
+		chunks int
+		name   string
+	}
+	pars := []parCfg{{core.DDP, 0, "dp"}, {core.TP, 0, "tp"},
+		{core.PP, 2, "pp"}}
+
+	agreements, comparisons := 0, 0
+	for _, m := range mixedList(quick) {
+		times := map[string][2]float64{} // name → {pred, actual}
+		for _, pc := range pars {
+			cmp, err := core.Validate(core.Config{
+				Model: m, Platform: &p2, Parallelism: pc.par,
+				TraceBatch:  traceBatchFor(m),
+				GlobalBatch: 128, MicroBatches: pc.chunks,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig12/%s/%s: %w", m, pc.name, err)
+			}
+			times[pc.name] = [2]float64{float64(cmp.Predicted),
+				float64(cmp.Actual)}
+			f.Add(m, pc.name, map[string]float64{
+				"predicted_s": float64(cmp.Predicted),
+				"hardware_s":  float64(cmp.Actual),
+				"error_pct":   cmp.Error * 100,
+			})
+		}
+		// Does TrioSim rank TP vs PP the same way the hardware does?
+		predTPFaster := times["tp"][0] < times["pp"][0]
+		hwTPFaster := times["tp"][1] < times["pp"][1]
+		comparisons++
+		if predTPFaster == hwTPFaster {
+			agreements++
+		}
+	}
+	f.Note("TP-vs-PP ranking agreement: %d/%d models",
+		agreements, comparisons)
+	return f, nil
+}
+
+// Fig13 — communication/computation time ratio for TP vs DDP on P1. The
+// reproduction target: TP's communication share exceeds DDP's.
+func Fig13(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig13",
+		Title:   "Communication/computation ratio, TP vs DDP on P1",
+		Columns: []string{"comm_s", "compute_s", "comm_ratio"},
+	}
+	p1 := gpu.P1
+	for _, par := range []core.Parallelism{core.TP, core.DDP} {
+		for _, m := range mixedList(quick) {
+			res, err := core.Simulate(core.Config{
+				Model: m, Platform: &p1, Parallelism: par,
+				TraceBatch: traceBatchFor(m),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig13/%s/%s: %w", m, par, err)
+			}
+			ratio := float64(res.CommTime) / float64(res.TotalTime)
+			f.Add(m, string(par), map[string]float64{
+				"comm_s":     float64(res.CommTime),
+				"compute_s":  float64(res.ComputeTime),
+				"comm_ratio": ratio,
+			})
+		}
+	}
+	f.Note("avg comm ratio TP: %.3f, DDP: %.3f (TP > DDP expected)",
+		f.MeanValue("comm_ratio", "tp"), f.MeanValue("comm_ratio", "ddp"))
+	return f, nil
+}
+
+// Fig14 — the simulator's own execution time (wall clock) when modeling
+// DDP on P2, per model. (Paper: seconds, log scale; grows with trace size
+// and GPU count.)
+func Fig14(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig14",
+		Title:   "TrioSim wall-clock execution time (DDP on P2)",
+		Columns: []string{"wallclock_s", "sim_tasks", "sim_events"},
+	}
+	p2 := gpu.P2
+	for _, m := range mixedList(quick) {
+		res, err := core.Simulate(core.Config{
+			Model: m, Platform: &p2, Parallelism: core.DDP,
+			TraceBatch: traceBatchFor(m), Iterations: 3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig14/%s: %w", m, err)
+		}
+		f.Add(m, "P2-DDP", map[string]float64{
+			"wallclock_s": res.WallClock.Seconds(),
+			"sim_tasks":   float64(res.Tasks),
+			"sim_events":  float64(res.Events),
+		})
+	}
+	f.Note("all simulations complete within seconds (paper's claim)")
+	return f, nil
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+
+	"triosim/internal/extrapolator"
+	"triosim/internal/gpu"
+	"triosim/internal/hop"
+	"triosim/internal/hwsim"
+	"triosim/internal/network"
+	"triosim/internal/perfmodel"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/timeline"
+)
+
+// Wafer-scale case study parameters (§7.1): 12×7 = 84 A100-class chiplets.
+// Passage provides 484 GB/s across 8 photonic links per GPU (60.5 GB/s per
+// circuit) with a 20 ms link-establishment latency; the electrical baseline
+// is a 2-D mesh of inter-reticle links.
+const (
+	waferRows             = 12
+	waferCols             = 7
+	waferElectricalLinkBW = 30e9
+	waferPhotonicPerLink  = 484e9 / 8
+	waferPhotonicPorts    = 8
+	waferPhotonicSetup    = 20 * sim.MSec
+	waferIterations       = 3
+	waferTotalBatch       = 128
+)
+
+// snakeOrder returns the boustrophedon (snake) traversal of the wafer mesh:
+// consecutive ring positions are always mesh neighbors, so the electrical
+// ring AllReduce never pays multi-hop congestion.
+func snakeOrder(rows, cols int) []int {
+	out := make([]int, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			for c := 0; c < cols; c++ {
+				out = append(out, r*cols+c)
+			}
+		} else {
+			for c := cols - 1; c >= 0; c-- {
+				out = append(out, r*cols+c)
+			}
+		}
+	}
+	return out
+}
+
+// runWafer extrapolates DDP training for one model across the wafer and
+// executes it on the given network, returning per-iteration total and
+// communication time.
+func runWafer(model string, topo *network.Topology, net network.Network,
+	eng *sim.SerialEngine, ringOrder []int) (total, comm sim.VTime,
+	err error) {
+
+	tr, err := hwsim.CollectTrace(model, traceBatchFor(model), &gpu.A100)
+	if err != nil {
+		return 0, 0, err
+	}
+	pm, err := perfmodel.Fit(tr)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := extrapolator.DataParallel(extrapolator.Config{
+		Trace:       tr,
+		Topo:        topo,
+		NumGPUs:     waferRows * waferCols,
+		Timer:       pm,
+		GlobalBatch: waferTotalBatch,
+		Iterations:  waferIterations,
+		RingOrder:   ringOrder,
+		// Large gradient buckets keep the 84-rank collective count sane for
+		// billion-parameter models (240 buckets × 166 ring steps × 84 ranks
+		// would otherwise dominate graph size, not fidelity).
+		BucketBytes: 256 << 20,
+	}, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	tl := timeline.New()
+	makespan, err := task.NewExecutor(eng, net, res.Graph, tl).Run()
+	if err != nil {
+		return 0, 0, err
+	}
+	iters := sim.VTime(waferIterations)
+	return makespan / iters,
+		tl.UnionTime(timeline.ByPhase("comm")) / iters, nil
+}
+
+// waferModels picks the case-study workloads.
+func waferModels(quick bool) []string {
+	if quick {
+		return []string{"vgg19", "resnet50"}
+	}
+	return []string{"resnet50", "resnet152", "densenet201", "vgg19",
+		"gpt2", "bert", "llama32-1b"}
+}
+
+// Fig15 — photonic-connected wafer-scale GPUs: 84 A100-class chiplets
+// training with data parallelism at a fixed total batch, electrical mesh vs
+// Passage-style photonic circuits. Reproduction targets: communication
+// dominates on the electrical network (≈90%+ for VGG-19) and the optical
+// network cuts communication time by roughly half.
+func Fig15(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig15",
+		Title:   "Wafer-scale 84-GPU DP: electrical mesh vs photonic",
+		Columns: []string{"total_s", "comm_s", "comm_ratio"},
+	}
+	meshCfg := network.Config{
+		LinkBandwidth: waferElectricalLinkBW,
+		LinkLatency:   1 * sim.USec,
+		HostBandwidth: 30e9,
+		HostLatency:   5 * sim.USec,
+	}
+	for _, m := range waferModels(quick) {
+		// Electrical: flow network over the mesh.
+		topoE := network.Mesh(waferRows, waferCols, meshCfg)
+		engE := sim.NewSerialEngine()
+		netE := network.NewFlowNetwork(engE, topoE)
+		totalE, commE, err := runWafer(m, topoE, netE, engE,
+			snakeOrder(waferRows, waferCols))
+		if err != nil {
+			return nil, fmt.Errorf("fig15/%s/electrical: %w", m, err)
+		}
+		f.Add(m, "electrical", map[string]float64{
+			"total_s":    float64(totalE),
+			"comm_s":     float64(commE),
+			"comm_ratio": float64(commE) / float64(totalE),
+		})
+
+		// Photonic: same workload graph, circuit-switching network. The
+		// mesh topology still provides node IDs and the host staging path;
+		// inter-GPU transfers ride photonic circuits.
+		topoP := network.Mesh(waferRows, waferCols, meshCfg)
+		engP := sim.NewSerialEngine()
+		netP := newHybridPhotonic(engP, topoP)
+		totalP, commP, err := runWafer(m, topoP, netP, engP, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig15/%s/photonic: %w", m, err)
+		}
+		f.Add(m, "photonic", map[string]float64{
+			"total_s":    float64(totalP),
+			"comm_s":     float64(commP),
+			"comm_ratio": float64(commP) / float64(totalP),
+		})
+	}
+	f.Note("avg comm ratio electrical: %.3f, photonic: %.3f",
+		f.MeanValue("comm_ratio", "electrical"),
+		f.MeanValue("comm_ratio", "photonic"))
+	f.Note("avg comm time reduction: %.1f%%",
+		100*(1-f.MeanValue("comm_s", "photonic")/
+			f.MeanValue("comm_s", "electrical")))
+	return f, nil
+}
+
+// hybridPhotonic routes host staging over the electrical flow network and
+// GPU↔GPU transfers over photonic circuits, mirroring the case study's
+// "swap the network model, keep the devices" integration (§7.1).
+type hybridPhotonic struct {
+	photonic *network.PhotonicNetwork
+	hostNet  *network.FlowNetwork
+	topo     *network.Topology
+}
+
+func newHybridPhotonic(eng *sim.SerialEngine,
+	topo *network.Topology) *hybridPhotonic {
+	return &hybridPhotonic{
+		photonic: network.NewPhotonicNetwork(eng, waferPhotonicPerLink,
+			waferPhotonicSetup, waferPhotonicPorts),
+		hostNet: network.NewFlowNetwork(eng, topo),
+		topo:    topo,
+	}
+}
+
+func (h *hybridPhotonic) Send(src, dst network.NodeID, bytes float64,
+	onDone func(now sim.VTime)) {
+	if h.topo.Nodes[src].Kind == network.HostNode ||
+		h.topo.Nodes[dst].Kind == network.HostNode {
+		h.hostNet.Send(src, dst, bytes, onDone)
+		return
+	}
+	h.photonic.Send(src, dst, bytes, onDone)
+}
+
+// Fig16 — Hop heterogeneous training: speedup from one backup worker across
+// 8 random slowdown scenarios on ring-with-chords and double-ring graphs of
+// 8 A100 GPUs running VGG-11 at batch 128.
+func Fig16(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig16",
+		Title:   "Hop: backup-worker speedup across slowdown scenarios",
+		Columns: []string{"speedup"},
+	}
+	// VGG-11 local step time and update volume from a single-GPU A100 trace.
+	tr, err := hwsim.CollectTrace("vgg11", 128, &gpu.A100)
+	if err != nil {
+		return nil, err
+	}
+	computeTime := tr.TotalTime()
+	updateBytes := float64(tr.GradientBytes())
+
+	netCfg := network.Config{
+		NumGPUs:       8,
+		LinkBandwidth: 235e9,
+		LinkLatency:   1.2 * sim.USec,
+		HostBandwidth: 20e9,
+	}
+	scenarios := 8
+	if quick {
+		scenarios = 3
+	}
+	graphs := []struct {
+		name  string
+		build func(network.Config) *network.Topology
+	}{
+		{"ring", network.RingWithChords},
+		{"double-ring", network.DoubleRing},
+	}
+	for _, g := range graphs {
+		for seed := 1; seed <= scenarios; seed++ {
+			cfg := hop.Config{
+				Topo:         g.build(netCfg),
+				Workers:      8,
+				ComputeTime:  computeTime,
+				UpdateBytes:  updateBytes,
+				MaxStaleness: 2,
+				Iterations:   10,
+				Slowdowns:    hop.RandomSlowdowns(8, int64(seed)),
+			}
+			sp, err := hop.Speedup(cfg, 1)
+			if err != nil {
+				return nil, fmt.Errorf("fig16/%s/seed%d: %w", g.name, seed,
+					err)
+			}
+			f.Add(fmt.Sprintf("scenario%d", seed), g.name,
+				map[string]float64{"speedup": sp})
+		}
+		f.Note("avg speedup on %s: %.3f", g.name,
+			f.MeanValue("speedup", g.name))
+	}
+	return f, nil
+}

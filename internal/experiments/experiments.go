@@ -1,0 +1,189 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6–§7): the same rows and series the paper reports, produced
+// by running TrioSim's prediction path against the reference hardware
+// emulator's ground truth. Absolute numbers differ from the paper (the
+// substrate is an emulator, not the authors' testbed); the shapes — error
+// bands per parallelism, who wins where, communication ratios — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Row is one data point of a figure: a workload under a configuration, with
+// named numeric values (seconds, ratios, speedups...).
+type Row struct {
+	Model  string
+	Config string
+	Values map[string]float64
+}
+
+// Get returns a value (0 when absent).
+func (r *Row) Get(key string) float64 { return r.Values[key] }
+
+// Figure is one reproduced table/figure.
+type Figure struct {
+	ID      string
+	Title   string
+	Columns []string // value columns in display order
+	Rows    []Row
+	// Notes records summary lines (average errors etc.).
+	Notes []string
+}
+
+// Add appends a row.
+func (f *Figure) Add(model, config string, values map[string]float64) {
+	f.Rows = append(f.Rows, Row{Model: model, Config: config, Values: values})
+}
+
+// MeanValue averages a column over rows matching the config filter ("" = all).
+func (f *Figure) MeanValue(col, config string) float64 {
+	var sum float64
+	var n int
+	for i := range f.Rows {
+		if config != "" && f.Rows[i].Config != config {
+			continue
+		}
+		if v, ok := f.Rows[i].Values[col]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Configs returns the distinct configs in first-appearance order.
+func (f *Figure) Configs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range f.Rows {
+		c := f.Rows[i].Config
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Note records a summary line.
+func (f *Figure) Note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the figure as an aligned text table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	cols := f.Columns
+	if len(cols) == 0 {
+		colSet := map[string]bool{}
+		for i := range f.Rows {
+			for k := range f.Rows[i].Values {
+				colSet[k] = true
+			}
+		}
+		for k := range colSet {
+			cols = append(cols, k)
+		}
+		sort.Strings(cols)
+	}
+	fmt.Fprintf(w, "  %-14s %-22s", "model", "config")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %14s", c)
+	}
+	fmt.Fprintln(w)
+	for i := range f.Rows {
+		r := &f.Rows[i]
+		fmt.Fprintf(w, "  %-14s %-22s", r.Model, r.Config)
+		for _, c := range cols {
+			if v, ok := r.Values[c]; ok {
+				fmt.Fprintf(w, " %14.6g", v)
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  # %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the figure as a Markdown table (used by EXPERIMENTS.md
+// regeneration).
+func (f *Figure) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s: %s\n\n", f.ID, f.Title)
+	cols := f.Columns
+	fmt.Fprintf(w, "| model | config |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s |", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|---|%s\n", strings.Repeat("---|", len(cols)))
+	for i := range f.Rows {
+		r := &f.Rows[i]
+		fmt.Fprintf(w, "| %s | %s |", r.Model, r.Config)
+		for _, c := range cols {
+			if v, ok := r.Values[c]; ok {
+				fmt.Fprintf(w, " %.4g |", v)
+			} else {
+				fmt.Fprintf(w, " - |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "- %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner names and runs a figure generator.
+type Runner struct {
+	ID  string
+	Run func() (*Figure, error)
+}
+
+// All returns every figure generator in paper order. quick trims workload
+// lists for fast smoke runs.
+func All(quick bool) []Runner {
+	return []Runner{
+		{"table1", func() (*Figure, error) { return Table1(quick) }},
+		{"fig6", func() (*Figure, error) { return Fig6(quick) }},
+		{"fig7", func() (*Figure, error) { return Fig7(quick) }},
+		{"fig8", func() (*Figure, error) { return Fig8(quick) }},
+		{"fig9", func() (*Figure, error) { return Fig9(quick) }},
+		{"fig10", func() (*Figure, error) { return Fig10(quick) }},
+		{"fig11", func() (*Figure, error) { return Fig11(quick) }},
+		{"fig12", func() (*Figure, error) { return Fig12(quick) }},
+		{"fig13", func() (*Figure, error) { return Fig13(quick) }},
+		{"fig14", func() (*Figure, error) { return Fig14(quick) }},
+		{"fig15", func() (*Figure, error) { return Fig15(quick) }},
+		{"fig16", func() (*Figure, error) { return Fig16(quick) }},
+	}
+}
+
+// cnnList returns the CNN workloads, trimmed in quick mode.
+func cnnList(quick bool) []string {
+	if quick {
+		return []string{"resnet18", "vgg11", "densenet121"}
+	}
+	return allCNNs()
+}
+
+// mixedList returns CNNs plus transformers, trimmed in quick mode.
+func mixedList(quick bool) []string {
+	if quick {
+		return []string{"resnet18", "vgg11", "gpt2"}
+	}
+	return append(allCNNs(), allTransformers()...)
+}

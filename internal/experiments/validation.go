@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+	"triosim/internal/models"
+)
+
+func allCNNs() []string         { return models.CNNs() }
+func allTransformers() []string { return models.Transformers() }
+
+// traceBatchFor follows the paper's tracing batch sizes: 128 for everything
+// except Llama, which is traced at 16 to avoid out-of-memory.
+func traceBatchFor(model string) int {
+	if model == "llama32-1b" {
+		return 16
+	}
+	return 128
+}
+
+// validateInto runs prediction vs ground truth and appends a row with
+// predicted/actual seconds and relative error.
+func validateInto(f *Figure, cfg core.Config, label string) error {
+	cmp, err := core.Validate(cfg)
+	if err != nil {
+		return fmt.Errorf("%s/%s/%s: %w", f.ID, cfg.Model, label, err)
+	}
+	f.Add(cfg.Model, label, map[string]float64{
+		"predicted_s": float64(cmp.Predicted),
+		"hardware_s":  float64(cmp.Actual),
+		"normalized":  cmp.Normalized,
+		"error_pct":   cmp.Error * 100,
+	})
+	return nil
+}
+
+var valColumns = []string{"predicted_s", "hardware_s", "normalized",
+	"error_pct"}
+
+// Fig6 — single-GPU validation: predict batch-256 iteration time from a
+// batch-128 trace, on A40 and A100. (Paper: avg error 1.10% on A40, 3.25%
+// on A100; transformers excluded — they OOM at 256 on real hardware.)
+func Fig6(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig6",
+		Title:   "Single-GPU batch-256 prediction from batch-128 traces",
+		Columns: valColumns,
+	}
+	for _, gpuName := range []string{"A40", "A100"} {
+		spec, err := gpu.SpecByName(gpuName)
+		if err != nil {
+			return nil, err
+		}
+		plat := gpu.Platform{
+			Name: "single-" + gpuName, GPU: *spec, NumGPUs: 1,
+			Topology:      gpu.TopoNVSwitch,
+			LinkBandwidth: 1, // unused with 1 GPU
+			HostBandwidth: gpu.P2.HostBandwidth,
+			HostLatency:   gpu.P2.HostLatency,
+		}
+		for _, m := range cnnList(quick) {
+			err := validateInto(f, core.Config{
+				Model: m, Platform: &plat, Parallelism: core.Single,
+				TraceBatch: 128, GlobalBatch: 256,
+			}, gpuName)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f.Note("avg error on %s: %.2f%%", gpuName,
+			f.MeanValue("error_pct", gpuName))
+	}
+	return f, nil
+}
+
+// Fig7 — standard data parallelism on P1. (Paper: avg error 7.39%.)
+func Fig7(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig7",
+		Title:   "Standard DataParallel on P1 (2×A40, PCIe)",
+		Columns: valColumns,
+	}
+	p1 := gpu.P1
+	for _, m := range mixedList(quick) {
+		err := validateInto(f, core.Config{
+			Model: m, Platform: &p1, Parallelism: core.DP,
+			TraceBatch: traceBatchFor(m),
+		}, "P1-DP")
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.Note("avg error: %.2f%% (paper: 7.39%%)", f.MeanValue("error_pct", ""))
+	return f, nil
+}
+
+// Fig8 — DistributedDataParallel on P1 and P2. (Paper: 2.91% / 2.73%.)
+func Fig8(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig8",
+		Title:   "DistributedDataParallel on P1 and P2",
+		Columns: valColumns,
+	}
+	for _, platName := range []string{"P1", "P2"} {
+		plat, err := gpu.PlatformByName(platName)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mixedList(quick) {
+			err := validateInto(f, core.Config{
+				Model: m, Platform: plat, Parallelism: core.DDP,
+				TraceBatch: traceBatchFor(m),
+			}, platName+"-DDP")
+			if err != nil {
+				return nil, err
+			}
+		}
+		f.Note("avg error on %s: %.2f%% (paper: %s)", platName,
+			f.MeanValue("error_pct", platName+"-DDP"),
+			map[string]string{"P1": "2.91%", "P2": "2.73%"}[platName])
+	}
+	return f, nil
+}
+
+// Fig9 — tensor parallelism on P1 and P2. (Paper: 4.54% / 11.24%.)
+func Fig9(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig9",
+		Title:   "Tensor parallelism on P1 and P2",
+		Columns: valColumns,
+	}
+	for _, platName := range []string{"P1", "P2"} {
+		plat, err := gpu.PlatformByName(platName)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mixedList(quick) {
+			err := validateInto(f, core.Config{
+				Model: m, Platform: plat, Parallelism: core.TP,
+				TraceBatch: traceBatchFor(m),
+			}, platName+"-TP")
+			if err != nil {
+				return nil, err
+			}
+		}
+		f.Note("avg error on %s: %.2f%% (paper: %s)", platName,
+			f.MeanValue("error_pct", platName+"-TP"),
+			map[string]string{"P1": "4.54%", "P2": "11.24%"}[platName])
+	}
+	return f, nil
+}
+
+// Fig10 — pipeline parallelism on 2 and 4 A100 GPUs with 1/2/4 chunks.
+// (Paper: avg errors 6.82/6.58/15.10% on 2 GPUs, 5.14/8.96/8.18% on 4.)
+func Fig10(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig10",
+		Title:   "GPipe pipeline parallelism on 2/4×A100, 1/2/4 chunks",
+		Columns: valColumns,
+	}
+	for _, nGPU := range []int{2, 4} {
+		plat := gpu.P2.WithGPUs(nGPU)
+		for _, chunks := range []int{1, 2, 4} {
+			label := fmt.Sprintf("%dxA100-%dchunk", nGPU, chunks)
+			for _, m := range cnnList(quick) {
+				err := validateInto(f, core.Config{
+					Model: m, Platform: &plat, Parallelism: core.PP,
+					TraceBatch: 128, MicroBatches: chunks,
+				}, label)
+				if err != nil {
+					return nil, err
+				}
+			}
+			f.Note("avg error %s: %.2f%%", label,
+				f.MeanValue("error_pct", label))
+		}
+	}
+	return f, nil
+}
+
+// Fig11 — new-GPU prediction on P3 (8×H100, batch 256): case 1 uses traces
+// from a single A40 and a single A100 at batch 128 (cross-GPU + batch
+// rescaling); case 2 uses a native H100 batch-256 trace. (Paper: case-1
+// errors 9.09% DDP / 9.07% TP / 5.65–16.28% PP; case 2 slightly lower.)
+func Fig11(quick bool) (*Figure, error) {
+	f := &Figure{
+		ID:      "fig11",
+		Title:   "New-GPU prediction: A40/A100 traces → 8×H100 @ batch 256",
+		Columns: valColumns,
+	}
+	p3 := gpu.P3
+	type variant struct {
+		label      string
+		traceGPU   string
+		traceBatch int
+	}
+	variants := []variant{
+		{"case1-A40trace", "A40", 128},
+		{"case1-A100trace", "A100", 128},
+		{"case2-H100trace", "H100", 256},
+	}
+	type parCfg struct {
+		par    core.Parallelism
+		chunks int
+		name   string
+	}
+	pars := []parCfg{{core.DDP, 0, "ddp"}, {core.TP, 0, "tp"},
+		{core.PP, 1, "pp1"}, {core.PP, 2, "pp2"}}
+	if quick {
+		pars = []parCfg{{core.DDP, 0, "ddp"}, {core.TP, 0, "tp"}}
+	}
+	for _, v := range variants {
+		for _, pc := range pars {
+			label := v.label + "-" + pc.name
+			for _, m := range cnnList(quick) {
+				err := validateInto(f, core.Config{
+					Model: m, Platform: &p3, Parallelism: pc.par,
+					TraceBatch: v.traceBatch, TraceGPU: v.traceGPU,
+					GlobalBatch:  256,
+					MicroBatches: pc.chunks,
+				}, label)
+				if err != nil {
+					return nil, err
+				}
+			}
+			f.Note("avg error %s: %.2f%%", label,
+				f.MeanValue("error_pct", label))
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,187 @@
+package extrapolator
+
+import (
+	"fmt"
+
+	"triosim/internal/collective"
+	"triosim/internal/network"
+	"triosim/internal/task"
+)
+
+// HybridDPPP extrapolates the trace to hybrid data + pipeline parallelism
+// (the HP scheme the paper's Table 1 credits to DistSim/vTrain and lists as
+// an extension point for TrioSim): the GPUs form dpGroups pipeline replicas
+// of NumGPUs/dpGroups stages each. Every replica runs GPipe over its share
+// of the global batch; after the backward drain, corresponding stages of
+// all replicas AllReduce their gradient shards, then apply the optimizer.
+//
+// GPU layout: replica g owns physical GPUs [g·S, (g+1)·S) where
+// S = NumGPUs/dpGroups; stage s of replica g runs on GPU g·S+s.
+func HybridDPPP(cfg Config, dpGroups int) (*Result, error) {
+	b, err := newBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = b.cfg
+	if dpGroups < 2 {
+		return nil, fmt.Errorf("extrapolator: hybrid needs ≥2 DP groups, got %d",
+			dpGroups)
+	}
+	if cfg.NumGPUs%dpGroups != 0 {
+		return nil, fmt.Errorf("extrapolator: %d GPUs not divisible into %d groups",
+			cfg.NumGPUs, dpGroups)
+	}
+	stages := cfg.NumGPUs / dpGroups
+	if cfg.GlobalBatch%dpGroups != 0 {
+		return nil, fmt.Errorf("extrapolator: batch %d not divisible by %d groups",
+			cfg.GlobalBatch, dpGroups)
+	}
+	groupBatch := cfg.GlobalBatch / dpGroups
+
+	res := &Result{Graph: b.g}
+	gate := b.g.AddBarrier("start")
+	for it := 0; it < cfg.Iterations; it++ {
+		suffix := fmt.Sprintf("-it%d", it)
+
+		// One GPipe schedule per data-parallel replica, windowed onto its
+		// physical GPU range.
+		phases := make([]*ppPhase, dpGroups)
+		for g := 0; g < dpGroups; g++ {
+			win := make([]int, stages)
+			for s := 0; s < stages; s++ {
+				win[s] = g*stages + s
+			}
+			b.logMap = win
+			phases[g] = b.ppForwardBackward(gate,
+				fmt.Sprintf("%s-r%d", suffix, g), stages, groupBatch)
+		}
+		b.logMap = nil
+
+		// Per-stage gradient AllReduce across replicas.
+		arDone := make([]*task.Task, stages)
+		for s := 0; s < stages; s++ {
+			ring := make([]network.NodeID, dpGroups)
+			gates := make([]*task.Task, dpGroups)
+			for g := 0; g < dpGroups; g++ {
+				ring[g] = b.gpus[g*stages+s]
+				gates[g] = phases[g].bwdDone[s]
+			}
+			arDone[s] = collective.RingAllReduce(b.g, ring,
+				phases[0].gradBytes[s], gates, collective.Options{
+					StepDelay: b.cfg.Effects.CommStepLatency,
+					Label:     fmt.Sprintf("hp-allreduce-s%d%s", s, suffix),
+				})
+		}
+
+		// Optimizer on every GPU, gated on its stage's AllReduce.
+		end := b.g.AddBarrier("iter-done" + suffix)
+		for g := 0; g < dpGroups; g++ {
+			for s := 0; s < stages; s++ {
+				prev := arDone[s]
+				for _, idx := range phases[g].optOps[s] {
+					op := &b.tr.Ops[idx]
+					t := b.g.AddCompute(g*stages+s, b.opDuration(op, 1, 1),
+						op.Name+suffix)
+					t.Layer = op.Layer
+					b.g.AddDep(prev, t)
+					prev = t
+				}
+				b.g.AddDep(prev, end)
+			}
+		}
+		res.IterationEnds = append(res.IterationEnds, end)
+		gate = end
+	}
+	return res, nil
+}
+
+// HybridDPTP extrapolates to hybrid data + tensor parallelism: dpGroups
+// tensor-parallel replicas of NumGPUs/dpGroups ranks each. Every replica
+// runs TP over its batch share; gradients of the local weight shards are
+// then AllReduced across the replicas holding the same shard.
+func HybridDPTP(cfg Config, dpGroups int) (*Result, error) {
+	b, err := newBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = b.cfg
+	if dpGroups < 2 {
+		return nil, fmt.Errorf("extrapolator: hybrid needs ≥2 DP groups, got %d",
+			dpGroups)
+	}
+	if cfg.NumGPUs%dpGroups != 0 {
+		return nil, fmt.Errorf("extrapolator: %d GPUs not divisible into %d groups",
+			cfg.NumGPUs, dpGroups)
+	}
+	ranks := cfg.NumGPUs / dpGroups
+	scale := float64(cfg.GlobalBatch) / float64(dpGroups) /
+		float64(b.tr.BatchSize)
+	shard := 1.0 / float64(ranks)
+	// Each replica rank holds 1/ranks of the weights; the cross-replica
+	// AllReduce moves that shard's gradients.
+	shardGradBytes := float64(b.tr.GradientBytes()) * shard
+
+	res := &Result{Graph: b.g}
+	gate := b.g.AddBarrier("start")
+	for it := 0; it < cfg.Iterations; it++ {
+		suffix := fmt.Sprintf("-it%d", it)
+
+		// TP forward+backward per replica.
+		lastByGPU := make([][]*task.Task, dpGroups)
+		for g := 0; g < dpGroups; g++ {
+			win := make([]int, ranks)
+			for r := 0; r < ranks; r++ {
+				win[r] = g*ranks + r
+			}
+			b.logMap = win
+			gsuffix := fmt.Sprintf("%s-r%d", suffix, g)
+			prev := make([]*task.Task, ranks)
+			for r := 0; r < ranks; r++ {
+				prev[r] = b.stageInput(b.node(r), scale, gate,
+					fmt.Sprintf("stage-input-g%d%s", r, gsuffix))
+			}
+			prev = b.tpLayers(b.groupByLayer(b.fwd), scale, shard, prev,
+				gsuffix, "fwd")
+			prev = b.tpLayers(b.groupByLayer(b.bwd), scale, shard, prev,
+				gsuffix, "bwd")
+			lastByGPU[g] = prev
+		}
+		b.logMap = nil
+
+		// Cross-replica gradient AllReduce per TP rank.
+		arDone := make([]*task.Task, ranks)
+		for r := 0; r < ranks; r++ {
+			ring := make([]network.NodeID, dpGroups)
+			gates := make([]*task.Task, dpGroups)
+			for g := 0; g < dpGroups; g++ {
+				ring[g] = b.gpus[g*ranks+r]
+				gates[g] = lastByGPU[g][r]
+			}
+			arDone[r] = collective.RingAllReduce(b.g, ring, shardGradBytes,
+				gates, collective.Options{
+					StepDelay: b.cfg.Effects.CommStepLatency,
+					Label:     fmt.Sprintf("hp-allreduce-r%d%s", r, suffix),
+				})
+		}
+
+		// Sharded optimizer per GPU.
+		end := b.g.AddBarrier("iter-done" + suffix)
+		for g := 0; g < dpGroups; g++ {
+			for r := 0; r < ranks; r++ {
+				prev := arDone[r]
+				for _, idx := range b.opt {
+					op := &b.tr.Ops[idx]
+					t := b.g.AddCompute(g*ranks+r,
+						b.opDuration(op, scale, shard), op.Name+suffix)
+					t.Layer = op.Layer
+					b.g.AddDep(prev, t)
+					prev = t
+				}
+				b.g.AddDep(prev, end)
+			}
+		}
+		res.IterationEnds = append(res.IterationEnds, end)
+		gate = end
+	}
+	return res, nil
+}

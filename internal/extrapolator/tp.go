@@ -1,0 +1,143 @@
+package extrapolator
+
+import (
+	"fmt"
+
+	"triosim/internal/collective"
+	"triosim/internal/task"
+)
+
+// layerGroup is a run of consecutive same-layer op indices.
+type layerGroup struct {
+	layer int
+	ops   []int
+}
+
+// groupByLayer splits an op index sequence into consecutive layer runs.
+func (b *builder) groupByLayer(ops []int) []layerGroup {
+	var out []layerGroup
+	for _, idx := range ops {
+		l := b.tr.Ops[idx].Layer
+		if len(out) == 0 || out[len(out)-1].layer != l {
+			out = append(out, layerGroup{layer: l})
+		}
+		out[len(out)-1].ops = append(out[len(out)-1].ops, idx)
+	}
+	return out
+}
+
+// TensorParallel extrapolates the trace to N-GPU tensor-parallel training:
+// each parallelizable operator's tensor (weights and the corresponding
+// work) is divided across the GPUs; at the end of each such layer the GPUs
+// gather the partial outputs from all devices (paper §4.3). The batch is
+// replicated, not split.
+func TensorParallel(cfg Config) (*Result, error) {
+	b, err := newBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = b.cfg
+	n := cfg.NumGPUs
+	scale := float64(cfg.GlobalBatch) / float64(b.tr.BatchSize)
+	shard := 1.0 / float64(n)
+
+	res := &Result{Graph: b.g}
+	gate := b.g.AddBarrier("start")
+	for it := 0; it < cfg.Iterations; it++ {
+		suffix := fmt.Sprintf("-it%d", it)
+		end := b.tpIteration(scale, shard, gate, suffix)
+		res.IterationEnds = append(res.IterationEnds, end)
+		gate = end
+	}
+	return res, nil
+}
+
+// tpLayers emits one phase's layers with per-layer collectives. mkColl
+// builds the boundary collective for a layer given the per-rank gates and
+// boundary bytes.
+func (b *builder) tpLayers(groups []layerGroup, scale, shard float64,
+	prev []*task.Task, suffix, phase string) []*task.Task {
+
+	n := len(prev)
+	for _, grp := range groups {
+		hasPar := false
+		lastOps := make([]*task.Task, n)
+		for _, idx := range grp.ops {
+			op := &b.tr.Ops[idx]
+			sh := 1.0
+			if op.Parallelizable {
+				sh = shard
+				hasPar = true
+			}
+			for i := 0; i < n; i++ {
+				t := b.g.AddCompute(b.phys(i), b.opDuration(op, scale, sh),
+					op.Name+suffix)
+				t.Layer = op.Layer
+				b.g.AddDep(prev[i], t)
+				prev[i] = t
+				lastOps[i] = t
+			}
+		}
+		if !hasPar || len(grp.ops) == 0 {
+			continue
+		}
+		// Boundary tensor: the layer's final output activation at full
+		// (unsharded) size — every rank must end up with the whole result.
+		lastOp := &b.tr.Ops[grp.ops[len(grp.ops)-1]]
+		boundary := b.outBytes(lastOp, scale)
+		opts := collective.Options{
+			StepDelay: b.cfg.Effects.CommStepLatency,
+			Label: fmt.Sprintf("tp-%s-l%d%s", phase, grp.layer,
+				suffix),
+		}
+		var coll *task.Task
+		if phase == "fwd" {
+			coll = collective.RingAllGather(b.g, b.ringNodes(), boundary,
+				b.permuteGates(lastOps), opts)
+		} else {
+			coll = collective.RingAllReduce(b.g, b.ringNodes(), boundary,
+				b.permuteGates(lastOps), opts)
+		}
+		if b.cfg.Effects.TPSyncPerLayer > 0 {
+			d := b.g.AddDelay(b.cfg.Effects.TPSyncPerLayer,
+				fmt.Sprintf("tp-sync-l%d-%s%s", grp.layer, phase, suffix))
+			b.g.AddDep(coll, d)
+			coll = d
+		}
+		for i := 0; i < n; i++ {
+			prev[i] = coll
+		}
+	}
+	return prev
+}
+
+func (b *builder) tpIteration(scale, shard float64, gate *task.Task,
+	suffix string) *task.Task {
+
+	n := b.cfg.NumGPUs
+	prev := make([]*task.Task, n)
+	for i := 0; i < n; i++ {
+		// Tensor parallelism replicates the input batch on every rank.
+		prev[i] = b.stageInput(b.node(i), scale, gate,
+			fmt.Sprintf("stage-input-g%d%s", i, suffix))
+	}
+
+	prev = b.tpLayers(b.groupByLayer(b.fwd), scale, shard, prev, suffix, "fwd")
+	prev = b.tpLayers(b.groupByLayer(b.bwd), scale, shard, prev, suffix, "bwd")
+
+	// Optimizer updates the local weight shard only.
+	end := b.g.AddBarrier("iter-done" + suffix)
+	for i := 0; i < n; i++ {
+		last := prev[i]
+		for _, idx := range b.opt {
+			op := &b.tr.Ops[idx]
+			t := b.g.AddCompute(b.phys(i), b.opDuration(op, scale, shard),
+				op.Name+suffix)
+			t.Layer = op.Layer
+			b.g.AddDep(last, t)
+			last = t
+		}
+		b.g.AddDep(last, end)
+	}
+	return end
+}

@@ -1,0 +1,236 @@
+// Package gpu defines the GPU device specifications and the validation
+// platforms (P1, P2, P3) used throughout the paper's evaluation.
+//
+// The paper feeds *measured* (nccl-test achieved) link bandwidths into the
+// simulator rather than theoretical peaks; the platform definitions below do
+// the same with one fixed set of numbers per platform. The compute-side
+// numbers (effective training FLOPS, memory bandwidth) parameterize both the
+// reference hardware emulator (internal/hwsim) and Li's Model's cross-GPU
+// rescaling (internal/perfmodel).
+package gpu
+
+import (
+	"fmt"
+
+	"triosim/internal/sim"
+)
+
+// Spec describes one GPU model.
+type Spec struct {
+	// Name is the marketing name, e.g. "A100".
+	Name string
+	// PeakFLOPS is the peak training throughput in FLOP/s (TF32/tensor-core
+	// class for Ampere/Hopper parts).
+	PeakFLOPS float64
+	// MemBandwidth is the device memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// MemCapacity is the device memory size in bytes.
+	MemCapacity int64
+	// UtilMax is the highest fraction of PeakFLOPS a large DNN kernel
+	// achieves in practice.
+	UtilMax float64
+	// UtilHalfFLOPs is the kernel size (in FLOPs) at which achieved
+	// utilization reaches half of UtilMax. Small kernels underutilize the
+	// GPU; this knob shapes the utilization curve
+	// u(f) = UtilMax * f / (f + UtilHalfFLOPs).
+	UtilHalfFLOPs float64
+	// MemEff is the fraction of MemBandwidth memory-bound kernels achieve.
+	MemEff float64
+	// LaunchOverhead is the per-kernel launch cost on real hardware. TrioSim
+	// deliberately does not model it (paper §8.2, CPU overhead), so it is
+	// one of the controlled error sources between the reference emulator
+	// and TrioSim's prediction.
+	LaunchOverhead sim.VTime
+}
+
+// Utilization returns the achieved fraction of peak FLOPS for a kernel of
+// the given FLOPs.
+func (s *Spec) Utilization(flops float64) float64 {
+	if flops <= 0 {
+		return s.UtilMax
+	}
+	return s.UtilMax * flops / (flops + s.UtilHalfFLOPs)
+}
+
+// Predefined GPU specs. Peak numbers follow public datasheets (TF32 class);
+// utilization parameters are calibrated so the emulator's single-GPU
+// iteration times land in realistic ranges for the paper's workloads.
+var (
+	A40 = Spec{
+		Name:           "A40",
+		PeakFLOPS:      74.8e12, // TF32 with structured reuse
+		MemBandwidth:   696e9,
+		MemCapacity:    48 << 30,
+		UtilMax:        0.52,
+		UtilHalfFLOPs:  2.5e9,
+		MemEff:         0.72,
+		LaunchOverhead: 6 * sim.USec,
+	}
+	A100 = Spec{
+		Name:           "A100",
+		PeakFLOPS:      156e12, // TF32
+		MemBandwidth:   1935e9,
+		MemCapacity:    80 << 30,
+		UtilMax:        0.50,
+		UtilHalfFLOPs:  5e9,
+		MemEff:         0.75,
+		LaunchOverhead: 5 * sim.USec,
+	}
+	H100 = Spec{
+		Name:           "H100",
+		PeakFLOPS:      400e12, // TF32 with higher clocks/occupancy
+		MemBandwidth:   3350e9,
+		MemCapacity:    80 << 30,
+		UtilMax:        0.48,
+		UtilHalfFLOPs:  9e9,
+		MemEff:         0.78,
+		LaunchOverhead: 4.5 * sim.USec,
+	}
+)
+
+// SpecByName looks up a predefined spec.
+func SpecByName(name string) (*Spec, error) {
+	switch name {
+	case "A40":
+		s := A40
+		return &s, nil
+	case "A100":
+		s := A100
+		return &s, nil
+	case "H100":
+		s := H100
+		return &s, nil
+	}
+	return nil, fmt.Errorf("gpu: unknown GPU spec %q", name)
+}
+
+// TopologyKind names the inter-GPU connection arrangement of a platform.
+type TopologyKind string
+
+// Supported platform topologies.
+const (
+	// TopoPCIeTree is a host root complex with GPUs as leaves (P1).
+	TopoPCIeTree TopologyKind = "pcie-tree"
+	// TopoNVSwitch is an any-to-any switch (P2, P3).
+	TopoNVSwitch TopologyKind = "nvswitch"
+	// TopoRing connects GPUs in a ring.
+	TopoRing TopologyKind = "ring"
+	// TopoMesh is a 2-D mesh (wafer-scale case study).
+	TopoMesh TopologyKind = "mesh"
+)
+
+// Platform is a multi-GPU system configuration: GPUs plus interconnect.
+type Platform struct {
+	Name    string
+	GPU     Spec
+	NumGPUs int
+	// Topology is the inter-GPU connection arrangement.
+	Topology TopologyKind
+	// LinkBandwidth is the measured achieved bandwidth per inter-GPU link,
+	// bytes/s (the nccl-test number the paper feeds in).
+	LinkBandwidth float64
+	// LinkLatency is the one-way latency per inter-GPU hop.
+	LinkLatency sim.VTime
+	// HostBandwidth and HostLatency describe the CPU-to-GPU path used for
+	// input-batch staging.
+	HostBandwidth float64
+	HostLatency   sim.VTime
+	// CommStepLatency is the per-collective-step protocol latency the real
+	// NCCL stack pays (ring setup, kernel launch per step). The reference
+	// emulator charges it; TrioSim's lightweight network model does not
+	// (paper §8.2, network model error source).
+	CommStepLatency sim.VTime
+	// CPUSchedOverhead is the host-side scheduling cost per micro-batch
+	// stage in pipeline parallelism on real hardware.
+	CPUSchedOverhead sim.VTime
+	// CommRampBytes is the message-size scale at which real transfers reach
+	// their allocated bandwidth (NCCL's size-dependent achieved busbw). The
+	// reference hardware emulator applies it; TrioSim does not model it.
+	CommRampBytes float64
+}
+
+// Predefined validation platforms matching the paper's §5.
+var (
+	// P1: 2 NVIDIA A40 GPUs connected with PCIe.
+	P1 = Platform{
+		Name:             "P1",
+		GPU:              A40,
+		NumGPUs:          2,
+		Topology:         TopoPCIeTree,
+		LinkBandwidth:    11e9, // achieved PCIe 4.0 x16 p2p
+		LinkLatency:      3 * sim.USec,
+		HostBandwidth:    12e9,
+		HostLatency:      5 * sim.USec,
+		CommStepLatency:  18 * sim.USec,
+		CPUSchedOverhead: 900 * sim.USec,
+		CommRampBytes:    3 << 20,
+	}
+	// P2: 4 NVIDIA A100 GPUs connected with NVLink.
+	P2 = Platform{
+		Name:             "P2",
+		GPU:              A100,
+		NumGPUs:          4,
+		Topology:         TopoNVSwitch,
+		LinkBandwidth:    235e9, // achieved NVLink3 busbw
+		LinkLatency:      1.2 * sim.USec,
+		HostBandwidth:    20e9,
+		HostLatency:      5 * sim.USec,
+		CommStepLatency:  10 * sim.USec,
+		CPUSchedOverhead: 850 * sim.USec,
+		CommRampBytes:    8 << 20,
+	}
+	// P3: 8 NVIDIA H100 GPUs connected with NVLink/NVSwitch.
+	P3 = Platform{
+		Name:             "P3",
+		GPU:              H100,
+		NumGPUs:          8,
+		Topology:         TopoNVSwitch,
+		LinkBandwidth:    350e9, // achieved NVLink4 busbw
+		LinkLatency:      1.0 * sim.USec,
+		HostBandwidth:    40e9,
+		HostLatency:      4 * sim.USec,
+		CommStepLatency:  8 * sim.USec,
+		CPUSchedOverhead: 800 * sim.USec,
+		CommRampBytes:    8 << 20,
+	}
+)
+
+// PlatformByName looks up a predefined platform.
+func PlatformByName(name string) (*Platform, error) {
+	switch name {
+	case "P1":
+		p := P1
+		return &p, nil
+	case "P2":
+		p := P2
+		return &p, nil
+	case "P3":
+		p := P3
+		return &p, nil
+	}
+	return nil, fmt.Errorf("gpu: unknown platform %q", name)
+}
+
+// WithGPUs returns a copy of the platform resized to n GPUs (used by the
+// paper's 2-of-4 A100 pipeline experiments).
+func (p Platform) WithGPUs(n int) Platform {
+	p.NumGPUs = n
+	return p
+}
+
+// Validate checks that the platform is runnable.
+func (p *Platform) Validate() error {
+	if p.NumGPUs < 1 {
+		return fmt.Errorf("gpu: platform %s has %d GPUs", p.Name, p.NumGPUs)
+	}
+	if p.LinkBandwidth <= 0 && p.NumGPUs > 1 {
+		return fmt.Errorf("gpu: platform %s has no link bandwidth", p.Name)
+	}
+	if p.HostBandwidth <= 0 {
+		return fmt.Errorf("gpu: platform %s has no host bandwidth", p.Name)
+	}
+	if p.GPU.PeakFLOPS <= 0 || p.GPU.MemBandwidth <= 0 {
+		return fmt.Errorf("gpu: platform %s GPU spec incomplete", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"A40", "A100", "H100"} {
+		s, err := SpecByName(name)
+		if err != nil {
+			t.Fatalf("SpecByName(%s): %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("spec name %q", s.Name)
+		}
+		if s.PeakFLOPS <= 0 || s.MemBandwidth <= 0 || s.MemCapacity <= 0 {
+			t.Fatalf("%s spec incomplete: %+v", name, s)
+		}
+	}
+	if _, err := SpecByName("TPU"); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}
+
+func TestSpecOrdering(t *testing.T) {
+	// Newer GPUs must be strictly faster in both compute and memory: the
+	// new-GPU prediction experiment (Fig 11) depends on this ordering.
+	if !(A40.PeakFLOPS < A100.PeakFLOPS && A100.PeakFLOPS < H100.PeakFLOPS) {
+		t.Fatal("FLOPS ordering violated")
+	}
+	if !(A40.MemBandwidth < A100.MemBandwidth &&
+		A100.MemBandwidth < H100.MemBandwidth) {
+		t.Fatal("memory bandwidth ordering violated")
+	}
+}
+
+func TestUtilizationCurve(t *testing.T) {
+	s := A100
+	if got := s.Utilization(0); got != s.UtilMax {
+		t.Fatalf("Utilization(0) = %v", got)
+	}
+	half := s.Utilization(s.UtilHalfFLOPs)
+	if diff := half - s.UtilMax/2; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("half-saturation point wrong: %v", half)
+	}
+	big := s.Utilization(1e15)
+	if big <= s.Utilization(1e9) || big > s.UtilMax {
+		t.Fatalf("utilization not monotone toward UtilMax: %v", big)
+	}
+}
+
+func TestUtilizationMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		fa, fb := float64(a), float64(b)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		ua, ub := A40.Utilization(fa*1e6), A40.Utilization(fb*1e6)
+		return ua <= ub+1e-15 && ub <= A40.UtilMax+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatforms(t *testing.T) {
+	for _, name := range []string{"P1", "P2", "P3"} {
+		p, err := PlatformByName(name)
+		if err != nil {
+			t.Fatalf("PlatformByName(%s): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("platform %s invalid: %v", name, err)
+		}
+	}
+	if _, err := PlatformByName("P9"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	// Paper's platform shapes.
+	p1, _ := PlatformByName("P1")
+	if p1.NumGPUs != 2 || p1.GPU.Name != "A40" || p1.Topology != TopoPCIeTree {
+		t.Fatalf("P1 misconfigured: %+v", p1)
+	}
+	p2, _ := PlatformByName("P2")
+	if p2.NumGPUs != 4 || p2.GPU.Name != "A100" || p2.Topology != TopoNVSwitch {
+		t.Fatalf("P2 misconfigured: %+v", p2)
+	}
+	p3, _ := PlatformByName("P3")
+	if p3.NumGPUs != 8 || p3.GPU.Name != "H100" {
+		t.Fatalf("P3 misconfigured: %+v", p3)
+	}
+	// NVLink platforms must have far higher link bandwidth than PCIe P1.
+	if p2.LinkBandwidth < 10*p1.LinkBandwidth {
+		t.Fatal("P2 NVLink should dwarf P1 PCIe bandwidth")
+	}
+}
+
+func TestWithGPUs(t *testing.T) {
+	p2, _ := PlatformByName("P2")
+	half := p2.WithGPUs(2)
+	if half.NumGPUs != 2 || p2.NumGPUs != 4 {
+		t.Fatal("WithGPUs must copy, not mutate")
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	bad := P1
+	bad.NumGPUs = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 GPUs accepted")
+	}
+	bad = P1
+	bad.LinkBandwidth = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 link bandwidth accepted")
+	}
+	bad = P1
+	bad.HostBandwidth = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 host bandwidth accepted")
+	}
+	bad = P1
+	bad.GPU.PeakFLOPS = 0
+	if bad.Validate() == nil {
+		t.Fatal("0 FLOPS accepted")
+	}
+	// Single GPU with no links is fine.
+	single := P1.WithGPUs(1)
+	single.LinkBandwidth = 0
+	if err := single.Validate(); err != nil {
+		t.Fatalf("single-GPU platform rejected: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package hop implements the paper's second case study (§7.2): the Hop
+// heterogeneity-aware decentralized training protocol [Luo et al., ASPLOS
+// 2019] running on top of TrioSim's event engine and network model.
+//
+// Hop replaces the global AllReduce with neighbor-wise update exchange over
+// a communication graph, managed by two queue mechanisms:
+//
+//   - update queues: a worker may advance to the next iteration once it has
+//     received updates from enough neighbors — with b backup workers, it may
+//     skip the b slowest neighbors' updates;
+//   - token queues: iteration gaps between neighbors are strictly bounded
+//     (bounded staleness), so no worker runs away from a straggler.
+//
+// Heterogeneity is injected by slowing each worker's communication links by
+// a per-worker random factor, exactly as the paper's case study does.
+package hop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+)
+
+// Config parameterizes one Hop simulation.
+type Config struct {
+	// Topo is the communication graph (ring-with-chords or double-ring in
+	// the paper). Worker i is the i-th GPU node.
+	Topo *network.Topology
+	// Workers is the number of participating workers.
+	Workers int
+	// ComputeTime is the local fwd+bwd time per iteration per worker.
+	ComputeTime sim.VTime
+	// UpdateBytes is the gradient update size sent to each neighbor.
+	UpdateBytes float64
+	// Backup is the number of backup workers: how many slowest neighbor
+	// updates each worker may skip per iteration (0 = fully synchronous).
+	Backup int
+	// MaxStaleness bounds the iteration gap between neighbors (token
+	// queues). Minimum 1.
+	MaxStaleness int
+	// Iterations is the number of training iterations to run.
+	Iterations int
+	// Slowdowns divides worker i's link bandwidth by Slowdowns[i]
+	// (heterogeneity); nil means homogeneous.
+	Slowdowns []float64
+}
+
+// Result reports a Hop run.
+type Result struct {
+	// TotalTime is when the last worker finishes its final iteration.
+	TotalTime sim.VTime
+	// FinishTimes per worker.
+	FinishTimes []sim.VTime
+	// SkippedUpdates counts neighbor updates workers advanced without.
+	SkippedUpdates int
+}
+
+// worker is one Hop participant's state machine.
+type worker struct {
+	id        int
+	node      network.NodeID
+	neighbors []int // worker IDs
+
+	iter      int // current iteration being computed (0-based)
+	computing bool
+	finished  bool
+
+	// received[k] counts update messages for iteration k.
+	received map[int]int
+	// peerIter tracks the highest iteration each neighbor has announced.
+	peerIter map[int]int
+
+	finishTime sim.VTime
+}
+
+type runner struct {
+	cfg     Config
+	eng     *sim.SerialEngine
+	net     *network.FlowNetwork
+	workers []*worker
+	skipped int
+}
+
+// Run executes the Hop protocol and returns timing results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("hop: nil topology")
+	}
+	gpus := cfg.Topo.GPUs()
+	if cfg.Workers < 2 || cfg.Workers > len(gpus) {
+		return nil, fmt.Errorf("hop: %d workers for %d GPUs",
+			cfg.Workers, len(gpus))
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("hop: %d iterations", cfg.Iterations)
+	}
+	if cfg.MaxStaleness < 1 {
+		cfg.MaxStaleness = 1
+	}
+
+	// Apply per-worker communication slowdowns to incident links.
+	if cfg.Slowdowns != nil {
+		if len(cfg.Slowdowns) != cfg.Workers {
+			return nil, fmt.Errorf("hop: %d slowdowns for %d workers",
+				len(cfg.Slowdowns), cfg.Workers)
+		}
+		for i := 0; i < cfg.Workers; i++ {
+			if cfg.Slowdowns[i] < 1 {
+				return nil, fmt.Errorf("hop: slowdown %g < 1",
+					cfg.Slowdowns[i])
+			}
+			for _, l := range cfg.Topo.LinksOf(gpus[i]) {
+				lk := cfg.Topo.Links[l]
+				cfg.Topo.SetLinkBandwidth(l, lk.Bandwidth/cfg.Slowdowns[i])
+			}
+		}
+	}
+
+	eng := sim.NewSerialEngine()
+	r := &runner{
+		cfg: cfg,
+		eng: eng,
+		net: network.NewFlowNetwork(eng, cfg.Topo),
+	}
+
+	// Build workers and neighbor lists from GPU-GPU links.
+	nodeToWorker := map[network.NodeID]int{}
+	for i := 0; i < cfg.Workers; i++ {
+		nodeToWorker[gpus[i]] = i
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:       i,
+			node:     gpus[i],
+			received: map[int]int{},
+			peerIter: map[int]int{},
+		}
+		for _, l := range cfg.Topo.LinksOf(gpus[i]) {
+			other := cfg.Topo.Neighbor(l, gpus[i])
+			if j, ok := nodeToWorker[other]; ok && j != i {
+				w.neighbors = append(w.neighbors, j)
+				w.peerIter[j] = -1
+			}
+		}
+		if len(w.neighbors) == 0 {
+			return nil, fmt.Errorf("hop: worker %d has no neighbors", i)
+		}
+		if cfg.Backup >= len(w.neighbors) {
+			return nil, fmt.Errorf("hop: %d backups ≥ degree %d",
+				cfg.Backup, len(w.neighbors))
+		}
+		r.workers = append(r.workers, w)
+	}
+
+	for _, w := range r.workers {
+		r.startCompute(w, 0)
+	}
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+
+	out := &Result{SkippedUpdates: r.skipped}
+	for _, w := range r.workers {
+		if !w.finished {
+			return nil, fmt.Errorf("hop: worker %d stalled at iteration %d",
+				w.id, w.iter)
+		}
+		out.FinishTimes = append(out.FinishTimes, w.finishTime)
+		if w.finishTime > out.TotalTime {
+			out.TotalTime = w.finishTime
+		}
+	}
+	return out, nil
+}
+
+// startCompute begins iteration k's local computation on w.
+func (r *runner) startCompute(w *worker, k int) {
+	w.iter = k
+	w.computing = true
+	now := r.eng.CurrentTime()
+	r.eng.Schedule(sim.NewFuncEvent(now+r.cfg.ComputeTime,
+		func(t sim.VTime) error {
+			r.onComputeDone(w, k, t)
+			return nil
+		}))
+}
+
+// onComputeDone sends iteration k's update to every neighbor and tries to
+// advance.
+func (r *runner) onComputeDone(w *worker, k int, now sim.VTime) {
+	w.computing = false
+	for _, nb := range w.neighbors {
+		peer := r.workers[nb]
+		r.net.Send(w.node, peer.node, r.cfg.UpdateBytes,
+			func(t sim.VTime) {
+				r.onUpdate(peer, w.id, k)
+			})
+	}
+	r.tryAdvance(w, now)
+}
+
+// onUpdate records a neighbor's update arrival at w.
+func (r *runner) onUpdate(w *worker, from, k int) {
+	w.received[k]++
+	if k > w.peerIter[from] {
+		w.peerIter[from] = k
+	}
+	if !w.computing && !w.finished {
+		r.tryAdvance(w, r.eng.CurrentTime())
+	}
+}
+
+// tryAdvance applies Hop's queue rules to decide whether w may begin its
+// next iteration.
+func (r *runner) tryAdvance(w *worker, now sim.VTime) {
+	k := w.iter
+	// Update queue: need updates from at least (degree − backup) neighbors
+	// for the iteration just computed.
+	needed := len(w.neighbors) - r.cfg.Backup
+	if w.received[k] < needed {
+		return
+	}
+	// Token queue: no neighbor may lag more than MaxStaleness iterations.
+	for _, nb := range w.neighbors {
+		if w.peerIter[nb] < k-r.cfg.MaxStaleness {
+			return
+		}
+	}
+	if w.received[k] < len(w.neighbors) {
+		r.skipped += len(w.neighbors) - w.received[k]
+	}
+	if k+1 >= r.cfg.Iterations {
+		w.finished = true
+		w.finishTime = now
+		return
+	}
+	r.startCompute(w, k+1)
+}
+
+// RandomSlowdowns draws the paper's heterogeneity scenario: per-worker
+// slowdown factors uniform in [1, 10), deterministic per seed.
+func RandomSlowdowns(workers int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, workers)
+	for i := range out {
+		out[i] = 1 + 9*rng.Float64()
+	}
+	return out
+}
+
+// Speedup runs the scenario with and without backup workers and returns
+// time(backup=0) / time(backup=b) — the paper's Fig 16 metric.
+func Speedup(cfg Config, backup int) (float64, error) {
+	// Run on fresh topology copies: Run mutates link bandwidths when
+	// applying slowdowns.
+	base := cfg
+	base.Backup = 0
+	base.Topo = cloneTopology(cfg.Topo)
+	noBackup, err := Run(base)
+	if err != nil {
+		return 0, err
+	}
+	with := cfg
+	with.Backup = backup
+	with.Topo = cloneTopology(cfg.Topo)
+	withBackup, err := Run(with)
+	if err != nil {
+		return 0, err
+	}
+	return float64(noBackup.TotalTime) / float64(withBackup.TotalTime), nil
+}
+
+// cloneTopology deep-copies nodes and links (bandwidths included).
+func cloneTopology(t *network.Topology) *network.Topology {
+	out := network.NewTopology()
+	for _, n := range t.Nodes {
+		out.AddNode(n.Name, n.Kind)
+	}
+	for _, l := range t.Links {
+		out.AddLink(l.A, l.B, l.Bandwidth, l.Latency)
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package hop
+
+import (
+	"testing"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+)
+
+func hopTopo(kind string) *network.Topology {
+	cfg := network.Config{
+		NumGPUs:       8,
+		LinkBandwidth: 235e9,
+		LinkLatency:   1 * sim.USec,
+		HostBandwidth: 20e9,
+	}
+	if kind == "double" {
+		return network.DoubleRing(cfg)
+	}
+	return network.RingWithChords(cfg)
+}
+
+func baseCfg() Config {
+	return Config{
+		Topo:         hopTopo("ring"),
+		Workers:      8,
+		ComputeTime:  50 * sim.MSec,
+		UpdateBytes:  531e6, // VGG-11 gradients
+		MaxStaleness: 2,
+		Iterations:   5,
+	}
+}
+
+func TestHomogeneousSynchronousRun(t *testing.T) {
+	cfg := baseCfg()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if len(res.FinishTimes) != 8 {
+		t.Fatalf("finish times = %d", len(res.FinishTimes))
+	}
+	// Homogeneous synchronous workers finish nearly together.
+	var min, max sim.VTime = sim.Infinity, 0
+	for _, f := range res.FinishTimes {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if float64(max-min) > 0.05*float64(max) {
+		t.Fatalf("homogeneous finishes spread too wide: %v..%v", min, max)
+	}
+	if res.SkippedUpdates != 0 {
+		t.Fatalf("synchronous run skipped %d updates", res.SkippedUpdates)
+	}
+}
+
+func TestIterationsScaleTime(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Iterations = 2
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = baseCfg()
+	cfg.Iterations = 6
+	r6, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(r6.TotalTime) / float64(r2.TotalTime)
+	if r < 2.5 || r > 3.5 {
+		t.Fatalf("6/2 iteration time ratio %.2f, want ≈3", r)
+	}
+}
+
+func TestSlowWorkerDragsSynchronousRun(t *testing.T) {
+	fast, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg()
+	slow := make([]float64, 8)
+	for i := range slow {
+		slow[i] = 1
+	}
+	slow[3] = 10
+	cfg.Slowdowns = slow
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= fast.TotalTime {
+		t.Fatalf("heterogeneous run %v not slower than homogeneous %v",
+			res.TotalTime, fast.TotalTime)
+	}
+}
+
+func TestBackupWorkerHelpsUnderHeterogeneity(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Slowdowns = RandomSlowdowns(8, 1)
+	sp, err := Speedup(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1.0 {
+		t.Fatalf("backup worker speedup %.3f < 1", sp)
+	}
+}
+
+func TestBackupSpeedupVariesAcrossScenarios(t *testing.T) {
+	// Fig 16's shape: the backup worker's effect varies widely with the
+	// random slowdown scenario.
+	var speedups []float64
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := baseCfg()
+		cfg.Slowdowns = RandomSlowdowns(8, seed)
+		sp, err := Speedup(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp < 0.99 {
+			t.Fatalf("seed %d: speedup %.3f below 1", seed, sp)
+		}
+		speedups = append(speedups, sp)
+	}
+	min, max := speedups[0], speedups[0]
+	for _, s := range speedups {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min < 0.01 {
+		t.Fatalf("speedups do not vary across scenarios: %v", speedups)
+	}
+}
+
+func TestDoubleRingTopologyRuns(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Topo = hopTopo("double")
+	cfg.Slowdowns = RandomSlowdowns(8, 3)
+	sp, err := Speedup(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 0.99 {
+		t.Fatalf("double-ring speedup %.3f", sp)
+	}
+}
+
+func TestBackupActuallySkips(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Backup = 1
+	cfg.Slowdowns = []float64{1, 1, 1, 10, 1, 1, 1, 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedUpdates == 0 {
+		t.Fatal("backup run with a straggler skipped nothing")
+	}
+}
+
+func TestStalenessBoundHolds(t *testing.T) {
+	// Even with a backup worker and a severe straggler, all workers finish
+	// (the token queue prevents runaway divergence and deadlock).
+	cfg := baseCfg()
+	cfg.Backup = 1
+	cfg.MaxStaleness = 1
+	cfg.Iterations = 10
+	cfg.Slowdowns = []float64{1, 1, 1, 1, 1, 1, 1, 10}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinishTimes) != 8 {
+		t.Fatal("not all workers finished")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Topo = nil
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("nil topo accepted")
+	}
+	cfg = baseCfg()
+	cfg.Workers = 1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("1 worker accepted")
+	}
+	cfg = baseCfg()
+	cfg.Iterations = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("0 iterations accepted")
+	}
+	cfg = baseCfg()
+	cfg.Slowdowns = []float64{1, 2}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("wrong slowdown count accepted")
+	}
+	cfg = baseCfg()
+	cfg.Slowdowns = RandomSlowdowns(8, 1)
+	cfg.Slowdowns[0] = 0.5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("slowdown < 1 accepted")
+	}
+	cfg = baseCfg()
+	cfg.Backup = 5 // degree on ring-with-chords is 3
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("backup ≥ degree accepted")
+	}
+}
+
+func TestRandomSlowdownsDeterministic(t *testing.T) {
+	a := RandomSlowdowns(8, 42)
+	b := RandomSlowdowns(8, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 1 || a[i] >= 10 {
+			t.Fatalf("slowdown %g out of [1,10)", a[i])
+		}
+	}
+	c := RandomSlowdowns(8, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical slowdowns")
+	}
+}

@@ -1,0 +1,146 @@
+// Package hwsim is the reference hardware emulator that stands in for the
+// paper's physical platforms (P1/P2/P3). It plays two roles:
+//
+//  1. Measurement: it stamps per-operator execution times onto the model
+//     zoo's trace skeletons, producing the single-GPU traces TrioSim
+//     ingests (the PyTorch-Profiler substitute).
+//  2. Ground truth: multi-GPU runs timed with hwsim's operator timer and
+//     protocol overheads serve as the "real hardware" numbers that
+//     TrioSim's predictions are validated against.
+//
+// hwsim deliberately includes the effects the paper lists as TrioSim's
+// error sources (§8.2) and that TrioSim's lightweight models abstract away:
+// a nonlinear, size-dependent SM-utilization curve, per-kernel launch
+// overhead, per-collective-step protocol latency, and per-micro-batch CPU
+// scheduling cost. The gap between hwsim ground truth and TrioSim
+// prediction is therefore structural, not arbitrary noise.
+package hwsim
+
+import (
+	"hash/fnv"
+	"math"
+
+	"triosim/internal/gpu"
+	"triosim/internal/models"
+	"triosim/internal/sim"
+	"triosim/internal/trace"
+)
+
+// Timer computes "real hardware" operator times for one GPU spec.
+type Timer struct {
+	Spec *gpu.Spec
+	// NoiseAmp is the amplitude of deterministic per-kernel timing
+	// variation (0.02 = ±2%). Zero disables it.
+	NoiseAmp float64
+}
+
+// NewTimer returns a Timer with the default ±2% kernel-to-kernel variation.
+func NewTimer(spec *gpu.Spec) *Timer {
+	return &Timer{Spec: spec, NoiseAmp: 0.02}
+}
+
+// OpTime returns the hardware execution time of an operator with the given
+// work. traceTime and scaled are part of the shared OpTimer contract used by
+// the extrapolator; hardware always recomputes from first principles.
+func (t *Timer) OpTime(name string, flops, bytes float64,
+	traceTime sim.VTime, scaled bool) sim.VTime {
+
+	var base float64
+	if models.IsMemoryBound(name) {
+		base = bytes / (t.Spec.MemBandwidth * t.Spec.MemEff)
+	} else {
+		util := t.Spec.Utilization(flops)
+		if util <= 0 {
+			util = 1e-3
+		}
+		base = flops / (t.Spec.PeakFLOPS * util)
+	}
+	base *= 1 + t.noise(name, flops)
+	return sim.VTime(base) + t.Spec.LaunchOverhead
+}
+
+// noise derives a deterministic per-kernel perturbation in
+// [-NoiseAmp, +NoiseAmp] from the kernel identity (name and size).
+func (t *Timer) noise(name string, flops float64) float64 {
+	if t.NoiseAmp == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	bits := math.Float64bits(flops)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (8 * i))
+	}
+	h.Write(buf[:])
+	u := float64(h.Sum64()%1_000_003) / 1_000_003.0 // [0,1)
+	return t.NoiseAmp * (2*u - 1)
+}
+
+// Stamp assigns measured times to every op of the trace skeleton and records
+// the device name, completing the "trace collection" step.
+func Stamp(tr *trace.Trace, spec *gpu.Spec) {
+	timer := NewTimer(spec)
+	tr.Device = spec.Name
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		bytes := float64(op.BytesIn(tr.Tensors) + op.BytesOut(tr.Tensors))
+		op.Time = timer.OpTime(op.Name, op.FLOPs, bytes, 0, true)
+	}
+}
+
+// CollectTrace builds and stamps a single-GPU trace for the named model —
+// the full tracer-substitute pipeline in one call.
+func CollectTrace(model string, batch int, spec *gpu.Spec) (*trace.Trace,
+	error) {
+	tr, err := models.Build(model, batch)
+	if err != nil {
+		return nil, err
+	}
+	Stamp(tr, spec)
+	return tr, nil
+}
+
+// Effects bundles the protocol/CPU overheads real hardware pays that
+// TrioSim's lightweight models skip. The extrapolator accepts an Effects so
+// the same extrapolation logic produces both the ground-truth graph (with
+// overheads) and TrioSim's predicted graph (without).
+type Effects struct {
+	// CommStepLatency is added to every collective-communication step
+	// (NCCL ring setup + kernel launch per step).
+	CommStepLatency sim.VTime
+	// CPUSchedPerMicroBatch is host scheduling cost charged per pipeline
+	// micro-batch stage execution.
+	CPUSchedPerMicroBatch sim.VTime
+	// DPDispatchPerLayer is the single-process dispatch overhead of
+	// standard (non-distributed) DataParallel, charged per layer on the
+	// critical path (GIL contention across model replicas).
+	DPDispatchPerLayer sim.VTime
+	// TPSyncPerLayer is the per-layer synchronization overhead of tensor
+	// parallelism on real hardware.
+	TPSyncPerLayer sim.VTime
+	// CommRampBytes parameterizes the network's size-dependent achieved
+	// bandwidth (see network.FlowNetwork.RampBytes).
+	CommRampBytes float64
+	// DPComputeInflation is the fractional compute slowdown of standard
+	// (single-process, multi-threaded) DataParallel caused by the Python
+	// GIL serializing kernel launches across replicas. DDP's multi-process
+	// design avoids it, which is why the paper finds DDP predictions more
+	// accurate than standard-DP ones.
+	DPComputeInflation float64
+}
+
+// NoEffects is what TrioSim assumes: no protocol or CPU overheads.
+var NoEffects = Effects{}
+
+// PlatformEffects derives the hardware Effects from a platform definition.
+func PlatformEffects(p *gpu.Platform) Effects {
+	return Effects{
+		CommStepLatency:       p.CommStepLatency,
+		CPUSchedPerMicroBatch: p.CPUSchedOverhead,
+		DPDispatchPerLayer:    150 * sim.USec,
+		TPSyncPerLayer:        40 * sim.USec,
+		CommRampBytes:         p.CommRampBytes,
+		DPComputeInflation:    0.055,
+	}
+}

@@ -1,0 +1,154 @@
+package hwsim
+
+import (
+	"testing"
+
+	"triosim/internal/gpu"
+	"triosim/internal/sim"
+)
+
+func TestOpTimeComputeBound(t *testing.T) {
+	tm := NewTimer(&gpu.A100)
+	tm.NoiseAmp = 0
+	// Big conv: 1e12 FLOPs, compute-bound.
+	got := tm.OpTime("conv2d", 1e12, 1e9, 0, true)
+	util := gpu.A100.Utilization(1e12)
+	want := sim.VTime(1e12/(gpu.A100.PeakFLOPS*util)) + gpu.A100.LaunchOverhead
+	if got != want {
+		t.Fatalf("OpTime = %v, want %v", got, want)
+	}
+}
+
+func TestOpTimeMemoryBound(t *testing.T) {
+	tm := NewTimer(&gpu.A100)
+	tm.NoiseAmp = 0
+	got := tm.OpTime("relu", 1e9, 4e9, 0, true)
+	want := sim.VTime(4e9/(gpu.A100.MemBandwidth*gpu.A100.MemEff)) +
+		gpu.A100.LaunchOverhead
+	if got != want {
+		t.Fatalf("OpTime = %v, want %v", got, want)
+	}
+}
+
+func TestLaunchOverheadDominatesTinyOps(t *testing.T) {
+	tm := NewTimer(&gpu.A100)
+	tm.NoiseAmp = 0
+	got := tm.OpTime("relu", 10, 40, 0, true)
+	if got < gpu.A100.LaunchOverhead {
+		t.Fatalf("tiny op time %v below launch overhead", got)
+	}
+	if got > 2*gpu.A100.LaunchOverhead {
+		t.Fatalf("tiny op time %v should be launch-dominated", got)
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	tm := NewTimer(&gpu.A40)
+	a := tm.OpTime("conv2d", 5e10, 1e8, 0, true)
+	b := tm.OpTime("conv2d", 5e10, 1e8, 0, true)
+	if a != b {
+		t.Fatal("noise not deterministic")
+	}
+	tm2 := NewTimer(&gpu.A40)
+	tm2.NoiseAmp = 0
+	clean := tm2.OpTime("conv2d", 5e10, 1e8, 0, true)
+	rel := float64((a - clean) / clean)
+	if rel > 0.03 || rel < -0.03 {
+		t.Fatalf("noise out of bounds: %v vs %v", a, clean)
+	}
+	// Different sizes get different noise.
+	c := tm.OpTime("conv2d", 5e10+1e9, 1e8, 0, true)
+	if c == a {
+		t.Log("note: adjacent sizes happened to share noise (unlikely)")
+	}
+}
+
+func TestSublinearScaling(t *testing.T) {
+	// Real hardware: doubling FLOPs less than doubles time for mid-size
+	// kernels (utilization rises). This nonlinearity is what TrioSim's
+	// linear model cannot capture exactly.
+	tm := NewTimer(&gpu.A100)
+	tm.NoiseAmp = 0
+	t1 := tm.OpTime("conv2d", 5e9, 0, 0, true)
+	t2 := tm.OpTime("conv2d", 10e9, 0, 0, true)
+	if float64(t2) >= 2*float64(t1) {
+		t.Fatalf("scaling not sublinear: %v → %v", t1, t2)
+	}
+	if t2 <= t1 {
+		t.Fatalf("bigger kernel should still take longer: %v vs %v", t1, t2)
+	}
+}
+
+func TestStampAndCollect(t *testing.T) {
+	tr, err := CollectTrace("resnet18", 32, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Device != "A100" {
+		t.Fatalf("device = %q", tr.Device)
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i].Time <= 0 {
+			t.Fatalf("op %d (%s) has no time", i, tr.Ops[i].Name)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A full ResNet-18 iteration at batch 32 lands in a plausible range on
+	// an A100 (tens of ms to a few hundred ms).
+	total := tr.TotalTime()
+	if total < 10*sim.MSec || total > 1*sim.Sec {
+		t.Fatalf("implausible iteration time %v", total)
+	}
+}
+
+func TestFasterGPUFasterTrace(t *testing.T) {
+	slow, err := CollectTrace("resnet50", 16, &gpu.A40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := CollectTrace("resnet50", 16, &gpu.H100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.TotalTime() >= slow.TotalTime() {
+		t.Fatalf("H100 (%v) not faster than A40 (%v)",
+			fast.TotalTime(), slow.TotalTime())
+	}
+}
+
+func TestBatchScalingSublinear(t *testing.T) {
+	// Per-sample time shrinks as batch grows (fixed overheads amortize).
+	b64, err := CollectTrace("resnet18", 64, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b128, err := CollectTrace("resnet18", 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(b128.TotalTime()) / float64(b64.TotalTime())
+	if r >= 2 {
+		t.Fatalf("batch 64→128 time ratio %.3f, want < 2", r)
+	}
+	if r <= 1.2 {
+		t.Fatalf("batch 64→128 time ratio %.3f suspiciously low", r)
+	}
+}
+
+func TestPlatformEffects(t *testing.T) {
+	e := PlatformEffects(&gpu.P2)
+	if e.CommStepLatency != gpu.P2.CommStepLatency {
+		t.Fatal("comm step latency not propagated")
+	}
+	if e.CPUSchedPerMicroBatch != gpu.P2.CPUSchedOverhead {
+		t.Fatal("CPU sched overhead not propagated")
+	}
+	if e.DPDispatchPerLayer <= 0 || e.TPSyncPerLayer <= 0 {
+		t.Fatal("per-layer overheads missing")
+	}
+	if NoEffects.CommStepLatency != 0 || NoEffects.CPUSchedPerMicroBatch != 0 {
+		t.Fatal("NoEffects must be zero")
+	}
+}

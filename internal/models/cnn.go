@@ -1,0 +1,265 @@
+package models
+
+import (
+	"strconv"
+
+	"triosim/internal/tensor"
+)
+
+// CNN builders: ResNet, DenseNet, and VGG at ImageNet resolution (3×224×224),
+// matching the torchvision architectures the paper traces.
+
+// convOut computes the output spatial size of a convolution/pooling window.
+func convOut(in, k, stride, pad int64) int64 {
+	return (in+2*pad-k)/stride + 1
+}
+
+// prod multiplies all dims.
+func prod(d []int64) int64 {
+	p := int64(1)
+	for _, v := range d {
+		p *= v
+	}
+	return p
+}
+
+// convOn emits a Conv2d reading activation in [B,C,H,W] and returns the
+// produced activation. Used directly for skip-path projections.
+func (b *builder) convOn(in act, cout, k, stride, pad int64) act {
+	bb, cin, h, w := in.dims[0], in.dims[1], in.dims[2], in.dims[3]
+	oh, ow := convOut(h, k, stride, pad), convOut(w, k, stride, pad)
+	flops := 2 * float64(bb) * float64(cout) * float64(oh) * float64(ow) *
+		float64(cin) * float64(k) * float64(k)
+	return b.emitOn(in, "conv2d", flops, []int64{bb, cout, oh, ow},
+		[]int64{cout, cin, k, k}, true, 2)
+}
+
+// conv2d emits a Conv2d over the current activation.
+func (b *builder) conv2d(cout, k, stride, pad int64) {
+	b.cur = b.convOn(b.cur, cout, k, stride, pad)
+}
+
+// batchnorm emits a BatchNorm2d over the current activation.
+func (b *builder) batchnorm() {
+	d := b.cur.dims
+	elems := float64(prod(d))
+	b.emit("batchnorm", 5*elems, d, []int64{2, d[1]}, false, 1)
+}
+
+// relu emits a ReLU.
+func (b *builder) relu() {
+	d := b.cur.dims
+	b.emit("relu", float64(prod(d)), d, nil, false, 1)
+}
+
+// maxpool emits a MaxPool2d.
+func (b *builder) maxpool(k, stride, pad int64) {
+	d := b.cur.dims
+	oh := convOut(d[2], k, stride, pad)
+	ow := convOut(d[3], k, stride, pad)
+	out := []int64{d[0], d[1], oh, ow}
+	b.emit("maxpool", float64(prod(out))*float64(k*k), out, nil, false, 1)
+}
+
+// avgpoolGlobal emits adaptive average pooling to 1×1.
+func (b *builder) avgpoolGlobal() {
+	d := b.cur.dims
+	b.emit("avgpool", float64(prod(d)), []int64{d[0], d[1], 1, 1},
+		nil, false, 1)
+}
+
+// avgpool2 emits a stride-2 2×2 average pool (DenseNet transitions).
+func (b *builder) avgpool2() {
+	d := b.cur.dims
+	out := []int64{d[0], d[1], d[2] / 2, d[3] / 2}
+	b.emit("avgpool", float64(prod(d)), out, nil, false, 1)
+}
+
+// flatten reshapes [B,C,H,W] to [B,C*H*W] as a free view (no op emitted).
+func (b *builder) flatten() {
+	d := b.cur.dims
+	b.cur.dims = []int64{d[0], d[1] * d[2] * d[3]}
+}
+
+// linear emits a fully connected layer over [B,...,in].
+func (b *builder) linear(out int64) {
+	d := b.cur.dims
+	in := d[len(d)-1]
+	rows := prod(d) / in
+	flops := 2 * float64(rows) * float64(in) * float64(out)
+	outDims := append(append([]int64(nil), d[:len(d)-1]...), out)
+	b.emit("linear", flops, outDims, []int64{out, in}, true, 2)
+}
+
+// addResidual emits the elementwise residual addition with the skip input.
+func (b *builder) addResidual(skip act) {
+	d := b.cur.dims
+	b.emit("add", float64(prod(d)), d, nil, false, 1, skip.id)
+}
+
+// concat emits a channel-dim concat of the current activation with priors.
+func (b *builder) concat(priors ...act) {
+	d := b.cur.dims
+	chans := d[1]
+	extraIDs := make([]tensor.ID, 0, len(priors))
+	for _, p := range priors {
+		chans += p.dims[1]
+		extraIDs = append(extraIDs, p.id)
+	}
+	out := []int64{d[0], chans, d[2], d[3]}
+	b.emit("concat", float64(prod(out)), out, nil, false, 1, extraIDs...)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// ---- ResNet ----
+
+// buildResNet builds resnet{18,34} (basic blocks) or resnet{50,101,152}
+// (bottleneck blocks) per the torchvision configuration.
+func buildResNet(b *builder, blocks []int, bottleneck bool) {
+	b.beginLayer("stem")
+	b.input([]int64{3, 224, 224}, 0)
+	b.conv2d(64, 7, 2, 3)
+	b.batchnorm()
+	b.relu()
+	b.maxpool(3, 2, 1)
+
+	channels := []int64{64, 128, 256, 512}
+	expansion := int64(1)
+	if bottleneck {
+		expansion = 4
+	}
+	for stage, n := range blocks {
+		cout := channels[stage]
+		for blk := 0; blk < n; blk++ {
+			stride := int64(1)
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			b.beginLayer("layer" + itoa(stage+1) + "." + itoa(blk))
+			if bottleneck {
+				resBottleneckBlock(b, cout, stride, expansion)
+			} else {
+				resBasicBlock(b, cout, stride)
+			}
+		}
+	}
+	b.beginLayer("head")
+	b.avgpoolGlobal()
+	b.flatten()
+	b.linear(1000)
+}
+
+func resBasicBlock(b *builder, cout, stride int64) {
+	skip := b.saveAct()
+	needsProj := stride != 1 || skip.dims[1] != cout
+	b.conv2d(cout, 3, stride, 1)
+	b.batchnorm()
+	b.relu()
+	b.conv2d(cout, 3, 1, 1)
+	b.batchnorm()
+	if needsProj {
+		skip = b.convOn(skip, cout, 1, stride, 0)
+	}
+	b.addResidual(skip)
+	b.relu()
+}
+
+func resBottleneckBlock(b *builder, cout, stride, expansion int64) {
+	skip := b.saveAct()
+	outC := cout * expansion
+	needsProj := stride != 1 || skip.dims[1] != outC
+	b.conv2d(cout, 1, 1, 0)
+	b.batchnorm()
+	b.relu()
+	b.conv2d(cout, 3, stride, 1)
+	b.batchnorm()
+	b.relu()
+	b.conv2d(outC, 1, 1, 0)
+	b.batchnorm()
+	if needsProj {
+		skip = b.convOn(skip, outC, 1, stride, 0)
+	}
+	b.addResidual(skip)
+	b.relu()
+}
+
+// ---- DenseNet ----
+
+func buildDenseNet(b *builder, growth, initFeat int64, blocks []int) {
+	b.beginLayer("stem")
+	b.input([]int64{3, 224, 224}, 0)
+	b.conv2d(initFeat, 7, 2, 3)
+	b.batchnorm()
+	b.relu()
+	b.maxpool(3, 2, 1)
+
+	for bi, n := range blocks {
+		for li := 0; li < n; li++ {
+			b.beginLayer("dense" + itoa(bi+1) + "." + itoa(li))
+			in := b.saveAct()
+			// BN-ReLU-Conv1×1(4k) → BN-ReLU-Conv3×3(k), then concat with
+			// the block input (the dense connection).
+			b.batchnorm()
+			b.relu()
+			b.conv2d(4*growth, 1, 1, 0)
+			b.batchnorm()
+			b.relu()
+			b.conv2d(growth, 3, 1, 1)
+			b.concat(in)
+		}
+		if bi != len(blocks)-1 {
+			b.beginLayer("trans" + itoa(bi+1))
+			b.batchnorm()
+			b.relu()
+			b.conv2d(b.cur.dims[1]/2, 1, 1, 0)
+			b.avgpool2()
+		}
+	}
+	b.beginLayer("head")
+	b.batchnorm()
+	b.relu()
+	b.avgpoolGlobal()
+	b.flatten()
+	b.linear(1000)
+}
+
+// ---- VGG ----
+
+// VGG configurations: positive numbers are conv channel counts, -1 is a
+// max-pool.
+var (
+	vgg11Cfg = []int64{64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}
+	vgg13Cfg = []int64{64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1,
+		512, 512, -1}
+	vgg16Cfg = []int64{64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+		512, 512, 512, -1, 512, 512, 512, -1}
+	vgg19Cfg = []int64{64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1,
+		512, 512, 512, 512, -1, 512, 512, 512, 512, -1}
+)
+
+func buildVGG(b *builder, cfg []int64) {
+	b.beginLayer("conv1")
+	b.input([]int64{3, 224, 224}, 0)
+	conv := 0
+	for _, c := range cfg {
+		if c == -1 {
+			b.maxpool(2, 2, 0)
+			continue
+		}
+		conv++
+		if conv > 1 {
+			b.beginLayer("conv" + itoa(conv))
+		}
+		b.conv2d(c, 3, 1, 1)
+		b.batchnorm()
+		b.relu()
+	}
+	b.beginLayer("classifier")
+	b.flatten()
+	b.linear(4096)
+	b.relu()
+	b.linear(4096)
+	b.relu()
+	b.linear(1000)
+}

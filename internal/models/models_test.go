@@ -1,0 +1,320 @@
+package models
+
+import (
+	"testing"
+	"testing/quick"
+
+	"triosim/internal/tensor"
+	"triosim/internal/trace"
+)
+
+func TestAllModelsBuildAndValidate(t *testing.T) {
+	for _, name := range List() {
+		tr, err := Build(name, 8)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", name, err)
+		}
+		if len(tr.Ops) == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		if tr.TotalFLOPs() <= 0 {
+			t.Fatalf("%s: no FLOPs", name)
+		}
+		if tr.WeightBytes() <= 0 || tr.GradientBytes() <= 0 {
+			t.Fatalf("%s: missing weights or gradients", name)
+		}
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	if _, err := Build("alexnet", 8); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := Build("resnet18", 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+}
+
+func TestKnownParameterCounts(t *testing.T) {
+	// Published parameter counts (float32 bytes = 4·params). The zoo uses
+	// BN-enabled VGG and an untied LM head for transformers, so we allow a
+	// tolerance band around the canonical numbers.
+	cases := []struct {
+		model  string
+		params float64 // millions
+		tol    float64 // relative
+	}{
+		{"resnet18", 11.7, 0.05},
+		{"resnet50", 25.6, 0.05},
+		{"resnet152", 60.2, 0.05},
+		{"densenet121", 8.0, 0.05},
+		{"densenet201", 20.0, 0.05},
+		{"vgg16", 138.4, 0.05},
+		{"bert", 110 + 23.5, 0.1}, // +untied MLM head V×H
+		{"gpt2", 124 + 38.6, 0.1}, // +untied LM head
+		{"llama32-1b", 1236 + 263, 0.15},
+	}
+	for _, c := range cases {
+		tr, err := Build(c.model, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM := float64(tr.WeightBytes()) / 4e6
+		lo, hi := c.params*(1-c.tol), c.params*(1+c.tol)
+		if gotM < lo || gotM > hi {
+			t.Errorf("%s: %0.1fM params, want %0.1fM ±%0.0f%%",
+				c.model, gotM, c.params, c.tol*100)
+		}
+	}
+}
+
+func TestKnownFLOPs(t *testing.T) {
+	// Forward FLOPs per image at 224², 2-FLOPs-per-MAC convention.
+	cases := []struct {
+		model  string
+		gflops float64
+		tol    float64
+	}{
+		{"resnet18", 3.6, 0.1},
+		{"resnet50", 8.2, 0.1},
+		{"vgg16", 31.0, 0.1},
+		{"densenet121", 5.7, 0.15},
+	}
+	for _, c := range cases {
+		tr, err := Build(c.model, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fwd float64
+		for i := range tr.Ops {
+			if tr.Ops[i].Phase == trace.Forward {
+				fwd += tr.Ops[i].FLOPs
+			}
+		}
+		got := fwd / 1e9
+		lo, hi := c.gflops*(1-c.tol), c.gflops*(1+c.tol)
+		if got < lo || got > hi {
+			t.Errorf("%s: %.2f fwd GFLOPs/image, want %.2f ±%.0f%%",
+				c.model, got, c.gflops, c.tol*100)
+		}
+	}
+}
+
+func TestFLOPsScaleLinearlyWithBatch(t *testing.T) {
+	for _, name := range []string{"resnet18", "vgg11", "gpt2", "llama32-1b"} {
+		t1, err := Build(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := Build(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Optimizer FLOPs are batch-independent; compare fwd+bwd only.
+		sum := func(tr *trace.Trace) float64 {
+			var s float64
+			for i := range tr.Ops {
+				if tr.Ops[i].Phase != trace.Optimizer {
+					s += tr.Ops[i].FLOPs
+				}
+			}
+			return s
+		}
+		r := sum(t2) / sum(t1)
+		if r < 1.99 || r > 2.01 {
+			t.Errorf("%s: batch 2→4 FLOPs ratio %.4f, want 2", name, r)
+		}
+	}
+}
+
+func TestBackwardStructure(t *testing.T) {
+	tr, err := Build("resnet18", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwd, bwd, opt int
+	var fwdFLOPs, bwdFLOPs float64
+	for i := range tr.Ops {
+		switch tr.Ops[i].Phase {
+		case trace.Forward:
+			fwd++
+			fwdFLOPs += tr.Ops[i].FLOPs
+		case trace.Backward:
+			bwd++
+			bwdFLOPs += tr.Ops[i].FLOPs
+		case trace.Optimizer:
+			opt++
+		}
+	}
+	if fwd != bwd {
+		t.Fatalf("fwd ops %d != bwd ops %d", fwd, bwd)
+	}
+	if opt != tr.NumLayers() {
+		t.Fatalf("optimizer ops %d, layers %d", opt, tr.NumLayers())
+	}
+	// Backward is 1–2× forward FLOPs depending on compute/memory op mix.
+	if bwdFLOPs < fwdFLOPs || bwdFLOPs > 2*fwdFLOPs {
+		t.Fatalf("bwd FLOPs %.3g not in [1,2]× fwd %.3g", bwdFLOPs, fwdFLOPs)
+	}
+	// Backward ops appear in reverse layer order.
+	lastLayer := tr.NumLayers()
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Phase != trace.Backward {
+			continue
+		}
+		if op.Layer > lastLayer {
+			t.Fatalf("backward layer order violated at op %d", i)
+		}
+		lastLayer = op.Layer
+	}
+}
+
+func TestGradientsMatchWeights(t *testing.T) {
+	for _, name := range []string{"resnet50", "bert", "densenet121"} {
+		tr, err := Build(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.GradientBytes() != tr.WeightBytes() {
+			t.Errorf("%s: gradient bytes %d != weight bytes %d",
+				name, tr.GradientBytes(), tr.WeightBytes())
+		}
+	}
+}
+
+func TestParallelizableOpsExist(t *testing.T) {
+	for _, name := range []string{"resnet18", "gpt2"} {
+		tr, err := Build(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var par, tot int
+		var parFLOPs, totFLOPs float64
+		for i := range tr.Ops {
+			tot++
+			totFLOPs += tr.Ops[i].FLOPs
+			if tr.Ops[i].Parallelizable {
+				par++
+				parFLOPs += tr.Ops[i].FLOPs
+			}
+		}
+		if par == 0 {
+			t.Fatalf("%s: no parallelizable ops", name)
+		}
+		// Compute-heavy ops dominate: tensor parallelism must be able to
+		// split the bulk of the FLOPs.
+		if parFLOPs < 0.8*totFLOPs {
+			t.Errorf("%s: parallelizable FLOPs only %.0f%%",
+				name, 100*parFLOPs/totFLOPs)
+		}
+	}
+}
+
+func TestWeightsScaleFreeOfBatch(t *testing.T) {
+	f := func(b1, b2 uint8) bool {
+		bA := int(b1%16) + 1
+		bB := int(b2%16) + 1
+		tA, err := Build("resnet18", bA)
+		if err != nil {
+			return false
+		}
+		tB, err := Build("resnet18", bB)
+		if err != nil {
+			return false
+		}
+		return tA.WeightBytes() == tB.WeightBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputTensorBatchDim(t *testing.T) {
+	tr, err := Build("vgg11", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, tn := range tr.Tensors.All() {
+		if tn.Category == tensor.Input {
+			found = true
+			if tn.BatchDim != 0 || tn.Dims[0] != 32 {
+				t.Fatalf("input tensor %v has wrong batch handling", tn)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no input tensor")
+	}
+}
+
+func TestModelLists(t *testing.T) {
+	if len(CNNs()) != 13 {
+		t.Fatalf("CNNs() = %d entries, want 13", len(CNNs()))
+	}
+	if len(Transformers()) != 5 {
+		t.Fatalf("Transformers() = %d entries, want 5", len(Transformers()))
+	}
+	all := map[string]bool{}
+	for _, n := range List() {
+		all[n] = true
+	}
+	for _, n := range append(CNNs(), Transformers()...) {
+		if !all[n] {
+			t.Fatalf("%s missing from registry", n)
+		}
+	}
+	if len(List()) != 18 {
+		t.Fatalf("List() = %d, want 18", len(List()))
+	}
+}
+
+func TestMemoryBoundClassification(t *testing.T) {
+	if !IsMemoryBound("relu") || !IsMemoryBound("batchnorm_bwd") {
+		t.Fatal("memory-bound ops misclassified")
+	}
+	if IsMemoryBound("conv2d") || IsMemoryBound("matmul") ||
+		IsMemoryBound("linear_bwd") {
+		t.Fatal("compute ops misclassified as memory-bound")
+	}
+	// Every op name the zoo emits is classified one way or the other.
+	for _, name := range List() {
+		tr, err := Build(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr.Ops {
+			n := tr.Ops[i].Name
+			if !IsMemoryBound(n) {
+				switch n {
+				case "conv2d", "linear", "matmul",
+					"conv2d_bwd", "linear_bwd", "matmul_bwd":
+				default:
+					t.Fatalf("%s: unclassified op %q", name, n)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformerSizes(t *testing.T) {
+	// Model size ordering: llama > gpt2 > bert > t5small > flant5small.
+	sizes := map[string]int64{}
+	for _, n := range Transformers() {
+		tr, err := Build(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[n] = tr.WeightBytes()
+	}
+	if !(sizes["llama32-1b"] > sizes["gpt2"] &&
+		sizes["gpt2"] > sizes["bert"] &&
+		sizes["bert"] > sizes["t5small"] &&
+		sizes["t5small"] > sizes["flant5small"]) {
+		t.Fatalf("transformer size ordering wrong: %v", sizes)
+	}
+}

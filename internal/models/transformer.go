@@ -1,0 +1,148 @@
+package models
+
+import "triosim/internal/tensor"
+
+// Transformer builders for the NLP workloads: GPT-2, BERT-Base, T5-Small,
+// FLAN-T5-Small, and Llama-3.2-1B. Configurations follow the published
+// architectures; sequence lengths match typical fine-tuning settings (the
+// paper traces these models from Hugging Face with PyTorch defaults).
+
+type transformerCfg struct {
+	Name   string
+	Layers int
+	Hidden int64
+	Heads  int64
+	// KVHeads < Heads enables grouped-query attention (Llama 3).
+	KVHeads int64
+	FFN     int64
+	Vocab   int64
+	SeqLen  int64
+	// GatedFFN uses the gated activation (three projection matrices), as in
+	// Llama and FLAN-T5.
+	GatedFFN bool
+	// CrossAttn adds a second attention block to the last half of the
+	// layers, approximating a T5-style encoder-decoder stack.
+	CrossAttn bool
+}
+
+var (
+	gpt2Cfg = transformerCfg{
+		Name: "gpt2", Layers: 12, Hidden: 768, Heads: 12, KVHeads: 12,
+		FFN: 3072, Vocab: 50257, SeqLen: 128,
+	}
+	bertCfg = transformerCfg{
+		Name: "bert", Layers: 12, Hidden: 768, Heads: 12, KVHeads: 12,
+		FFN: 3072, Vocab: 30522, SeqLen: 128,
+	}
+	t5SmallCfg = transformerCfg{
+		Name: "t5small", Layers: 12, Hidden: 512, Heads: 8, KVHeads: 8,
+		FFN: 2048, Vocab: 32128, SeqLen: 128, CrossAttn: true,
+	}
+	flanT5SmallCfg = transformerCfg{
+		Name: "flant5small", Layers: 12, Hidden: 512, Heads: 6, KVHeads: 6,
+		FFN: 1024, Vocab: 32128, SeqLen: 128, CrossAttn: true, GatedFFN: true,
+	}
+	llama1BCfg = transformerCfg{
+		Name: "llama32-1b", Layers: 16, Hidden: 2048, Heads: 32, KVHeads: 8,
+		FFN: 8192, Vocab: 128256, SeqLen: 512, GatedFFN: true,
+	}
+)
+
+func buildTransformer(b *builder, cfg transformerCfg) {
+	B, S, H := b.batch, cfg.SeqLen, cfg.Hidden
+
+	b.beginLayer("embed")
+	b.input([]int64{S}, tensor.Int64)
+	b.emit("embedding", float64(B*S*H), []int64{B, S, H},
+		[]int64{cfg.Vocab, H}, true, 1)
+
+	for l := 0; l < cfg.Layers; l++ {
+		b.beginLayer("block" + itoa(l))
+		attentionBlock(b, cfg)
+		if cfg.CrossAttn && l >= cfg.Layers/2 {
+			attentionBlock(b, cfg)
+		}
+		ffnBlock(b, cfg)
+	}
+
+	b.beginLayer("head")
+	b.layernorm()
+	b.linear(cfg.Vocab)
+}
+
+// layernorm emits a LayerNorm over the current activation.
+func (b *builder) layernorm() {
+	d := b.cur.dims
+	elems := float64(prod(d))
+	b.emit("layernorm", 5*elems, d, []int64{2, d[len(d)-1]}, false, 1)
+}
+
+// gelu emits the GELU activation.
+func (b *builder) gelu() {
+	d := b.cur.dims
+	b.emit("gelu", 8*float64(prod(d)), d, nil, false, 1)
+}
+
+// softmax emits the attention softmax.
+func (b *builder) softmax() {
+	d := b.cur.dims
+	b.emit("softmax", 5*float64(prod(d)), d, nil, false, 1)
+}
+
+// attentionBlock emits LN → QKV projections → scores → softmax → values →
+// output projection → residual add.
+func attentionBlock(b *builder, cfg transformerCfg) {
+	resid := b.saveAct()
+	b.layernorm()
+	x := b.saveAct()
+	d := x.dims
+	B, S, H := d[0], d[1], cfg.Hidden
+	Hkv := H * cfg.KVHeads / cfg.Heads
+
+	fB, fS, fH, fHkv := float64(B), float64(S), float64(H), float64(Hkv)
+	q := b.emitOn(x, "linear", 2*fB*fS*fH*fH, []int64{B, S, H},
+		[]int64{H, H}, true, 2)
+	k := b.emitOn(x, "linear", 2*fB*fS*fH*fHkv, []int64{B, S, Hkv},
+		[]int64{Hkv, H}, true, 2)
+	v := b.emitOn(x, "linear", 2*fB*fS*fH*fHkv, []int64{B, S, Hkv},
+		[]int64{Hkv, H}, true, 2)
+
+	// scores = Q·Kᵀ over all heads: 2·B·S·S·H FLOPs.
+	scores := b.emitOn(q, "matmul", 2*fB*fS*fS*fH,
+		[]int64{B, cfg.Heads, S, S}, nil, true, 2, k.id)
+	b.cur = scores
+	b.softmax()
+	// context = scores·V.
+	ctx := b.emitOn(b.cur, "matmul", 2*fB*fS*fS*fH,
+		[]int64{B, S, H}, nil, true, 2, v.id)
+	b.cur = ctx
+	b.linear(H)
+	b.addResidual(resid)
+}
+
+// ffnBlock emits LN → up-projection(s) → activation → down-projection →
+// residual add.
+func ffnBlock(b *builder, cfg transformerCfg) {
+	resid := b.saveAct()
+	b.layernorm()
+	d := b.cur.dims
+	B, S, H, F := d[0], d[1], cfg.Hidden, cfg.FFN
+	fB, fS, fH, fF := float64(B), float64(S), float64(H), float64(F)
+
+	if cfg.GatedFFN {
+		x := b.saveAct()
+		up := b.emitOn(x, "linear", 2*fB*fS*fH*fF, []int64{B, S, F},
+			[]int64{F, H}, true, 2)
+		gate := b.emitOn(x, "linear", 2*fB*fS*fH*fF, []int64{B, S, F},
+			[]int64{F, H}, true, 2)
+		b.cur = gate
+		b.gelu()
+		// Elementwise gating (same cost profile as an elementwise add).
+		b.emit("add", fB*fS*fF, []int64{B, S, F}, nil, false, 1, up.id)
+	} else {
+		b.linear(F)
+		b.gelu()
+	}
+	b.linear(H)
+	b.addResidual(resid)
+}

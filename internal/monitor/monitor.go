@@ -1,0 +1,97 @@
+// Package monitor provides an AkitaRTM-style real-time monitoring surface
+// for running simulations: an engine hook collects progress (virtual-time
+// frontier, events dispatched, per-kind counts), and an HTTP handler exposes
+// it as JSON so a dashboard — or plain curl — can watch a long simulation
+// from outside, the way AkitaRTM watches Akita simulations.
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"triosim/internal/sim"
+)
+
+// Snapshot is one observation of a running simulation.
+type Snapshot struct {
+	VirtualTimeSec float64           `json:"virtual_time_sec"`
+	Events         uint64            `json:"events"`
+	EventsByKind   map[string]uint64 `json:"events_by_kind,omitempty"`
+	Done           bool              `json:"done"`
+}
+
+// RTM is a thread-safe simulation monitor. Register its Hook on the engine
+// before Run; serve its Handler from any goroutine.
+type RTM struct {
+	mu       sync.Mutex
+	snapshot Snapshot
+	// KindOf optionally classifies events for per-kind counts.
+	KindOf func(e sim.Event) string
+}
+
+// New returns an empty monitor.
+func New() *RTM {
+	return &RTM{snapshot: Snapshot{EventsByKind: map[string]uint64{}}}
+}
+
+// Hook returns the engine hook feeding this monitor.
+func (m *RTM) Hook() sim.Hook {
+	return sim.HookFunc(func(ctx sim.HookCtx) {
+		if ctx.Pos != sim.HookPosAfterEvent {
+			return
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.snapshot.Events++
+		m.snapshot.VirtualTimeSec = float64(ctx.Now)
+		if m.KindOf != nil {
+			if e, ok := ctx.Item.(sim.Event); ok {
+				m.snapshot.EventsByKind[m.KindOf(e)]++
+			}
+		}
+	})
+}
+
+// MarkDone flags the simulation as complete.
+func (m *RTM) MarkDone() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapshot.Done = true
+}
+
+// Snapshot returns a copy of the current state.
+func (m *RTM) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.snapshot
+	out.EventsByKind = map[string]uint64{}
+	for k, v := range m.snapshot.EventsByKind {
+		out.EventsByKind[k] = v
+	}
+	return out
+}
+
+// Handler serves the monitoring endpoints:
+//
+//	GET /status  — the JSON Snapshot
+//	GET /healthz — 200 ok
+func (m *RTM) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(m.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+// Serve blocks serving the monitor on addr (e.g. ":8080").
+func (m *RTM) Serve(addr string) error {
+	return http.ListenAndServe(addr, m.Handler())
+}

@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"triosim/internal/sim"
+)
+
+func TestHookCollectsProgress(t *testing.T) {
+	m := New()
+	m.KindOf = func(sim.Event) string { return "func" }
+	eng := sim.NewSerialEngine()
+	eng.RegisterHook(m.Hook())
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(sim.NewFuncEvent(sim.VTime(i), func(sim.VTime) error {
+			return nil
+		}))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkDone()
+	snap := m.Snapshot()
+	if snap.Events != 5 {
+		t.Fatalf("events = %d", snap.Events)
+	}
+	if snap.VirtualTimeSec != 5 {
+		t.Fatalf("virtual time = %v", snap.VirtualTimeSec)
+	}
+	if !snap.Done {
+		t.Fatal("done flag missing")
+	}
+	if snap.EventsByKind["func"] != 5 {
+		t.Fatalf("by-kind = %v", snap.EventsByKind)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	m := New()
+	eng := sim.NewSerialEngine()
+	eng.RegisterHook(m.Hook())
+	eng.Schedule(sim.NewFuncEvent(2, func(sim.VTime) error { return nil }))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Events != 1 || snap.VirtualTimeSec != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	h, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != 200 {
+		t.Fatalf("healthz = %d", h.StatusCode)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New()
+	m.KindOf = func(sim.Event) string { return "x" }
+	eng := sim.NewSerialEngine()
+	eng.RegisterHook(m.Hook())
+	eng.Schedule(sim.NewFuncEvent(1, func(sim.VTime) error { return nil }))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	snap.EventsByKind["x"] = 999
+	if m.Snapshot().EventsByKind["x"] == 999 {
+		t.Fatal("snapshot shares internal map")
+	}
+}

@@ -1,0 +1,141 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"triosim/internal/sim"
+)
+
+// Failure-injection and adversarial-condition tests for the network models.
+
+func TestSendPanicsOnDisconnectedNodes(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	topo := NewTopology()
+	a := topo.AddNode("a", GPUNode)
+	b := topo.AddNode("b", GPUNode)
+	net := NewFlowNetwork(eng, topo)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send over a disconnected pair must panic")
+		}
+	}()
+	net.Send(a, b, 1e9, func(sim.VTime) {})
+}
+
+func TestZeroBandwidthLinkStallsFlowUntilRestored(t *testing.T) {
+	// A degraded-to-zero link starves the flow (rate 0); the flow network
+	// must not crash and must not deliver.
+	eng := sim.NewSerialEngine()
+	topo := NewTopology()
+	a := topo.AddNode("a", GPUNode)
+	b := topo.AddNode("b", GPUNode)
+	topo.AddLink(a, b, 0, 0)
+	net := NewFlowNetwork(eng, topo)
+	delivered := false
+	net.Send(a, b, 1e9, func(sim.VTime) { delivered = true })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("flow over a dead link delivered")
+	}
+	if net.InFlight() != 1 {
+		t.Fatalf("starved flow should stay in flight, got %d", net.InFlight())
+	}
+}
+
+func TestTinyAndHugeTransfers(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	topo, n := lineTopo()
+	net := NewFlowNetwork(eng, topo)
+	var tiny, huge sim.VTime
+	net.Send(n[0], n[1], 1, func(now sim.VTime) { tiny = now })
+	net.Send(n[1], n[2], 1e15, func(now sim.VTime) { huge = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tiny <= 0 || tiny > 1*sim.MSec {
+		t.Fatalf("1-byte transfer took %v", tiny)
+	}
+	// 1 PB over 100 GB/s = 10,000 s.
+	approx(t, huge, 10000*sim.Sec+1*sim.USec, 1e-6, "petabyte flow")
+}
+
+func TestZeroByteSendDeliversImmediately(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	topo, n := lineTopo()
+	net := NewFlowNetwork(eng, topo)
+	fired := false
+	net.Send(n[0], n[2], 0, func(now sim.VTime) {
+		fired = true
+		if now != 0 {
+			t.Fatalf("zero-byte send at %v", now)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("zero-byte send lost")
+	}
+}
+
+// Property: with random degradations (including repeated SetLinkBandwidth
+// between bursts), the network still delivers every flow over live links.
+func TestDegradedFabricStillDeliversProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		eng := sim.NewSerialEngine()
+		topo := Switch(Config{
+			NumGPUs: 6, LinkBandwidth: 100e9, HostBandwidth: 10e9,
+		})
+		// Degrade (but never kill) a few random links.
+		for i := 0; i < 3; i++ {
+			l := rng.Intn(6) // GPU-switch links are first
+			factor := 1 + rng.Float64()*9
+			topo.SetLinkBandwidth(l, 100e9/factor)
+		}
+		net := NewFlowNetwork(eng, topo)
+		gpus := topo.GPUs()
+		delivered := 0
+		nSends := 10 + rng.Intn(10)
+		for i := 0; i < nSends; i++ {
+			src := gpus[rng.Intn(len(gpus))]
+			dst := gpus[rng.Intn(len(gpus))]
+			for dst == src {
+				dst = gpus[rng.Intn(len(gpus))]
+			}
+			net.Send(src, dst, float64(1+rng.Intn(100))*1e6,
+				func(sim.VTime) { delivered++ })
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if delivered != nSends {
+			t.Fatalf("trial %d: delivered %d of %d", trial, delivered, nSends)
+		}
+	}
+}
+
+func TestRampBytesReducesEffectiveRate(t *testing.T) {
+	run := func(ramp float64) sim.VTime {
+		eng := sim.NewSerialEngine()
+		topo, n := lineTopo()
+		net := NewFlowNetwork(eng, topo)
+		net.RampBytes = ramp
+		var done sim.VTime
+		net.Send(n[0], n[1], 4e6, func(now sim.VTime) { done = now })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	fast := run(0)
+	slow := run(4e6) // equal to the message: 50% achieved bandwidth
+	ratio := float64(slow) / float64(fast)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("ramp at message size should halve throughput, ratio %.2f",
+			ratio)
+	}
+}

@@ -1,0 +1,301 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"triosim/internal/sim"
+)
+
+// Network is the interface TrioSim requires of any interconnect model: a
+// Send that starts a transfer and later invokes onDone (the Deliver step) at
+// the virtual time the destination receives the data.
+type Network interface {
+	Send(src, dst NodeID, bytes float64, onDone func(now sim.VTime))
+}
+
+// flow is one in-flight message in the flow network.
+type flow struct {
+	id        int
+	route     []DirLink
+	remaining float64
+	rate      float64 // bytes/s currently achieved
+	eff       float64 // achieved fraction of the allocated share
+	latency   sim.VTime
+	onDone    func(now sim.VTime)
+	gen       int // invalidates superseded delivery events
+}
+
+// FlowNetwork is the flow-based packet-switching model: shortest-path
+// routing, max-min fair bandwidth sharing per directed link, and
+// reschedule-on-change delivery events.
+type FlowNetwork struct {
+	eng  sim.Engine
+	topo *Topology
+
+	// RampBytes models the message-size-dependent achieved bandwidth of
+	// real transport stacks: a transfer of B bytes achieves the fraction
+	// B/(B+RampBytes) of its allocated share (protocol setup, chunking and
+	// pipelining warm-up). Zero — TrioSim's lightweight assumption — gives
+	// every transfer its full share regardless of size; the reference
+	// hardware emulator sets it, making small messages one of the
+	// controlled error sources (paper §8.2, "varying data transfer unit
+	// sizes").
+	RampBytes float64
+
+	flows      map[int]*flow
+	nextID     int
+	lastUpdate sim.VTime
+	// recomputePending coalesces same-timestamp flow arrivals/departures
+	// into one max-min reallocation (a secondary event), so an 84-rank ring
+	// step triggers one recompute instead of 84. Virtual-time semantics are
+	// unchanged: no time passes between the individual changes.
+	recomputePending bool
+
+	// Stats.
+	TotalBytes     float64
+	TotalTransfers int
+}
+
+// NewFlowNetwork builds a flow network over topo driven by eng.
+func NewFlowNetwork(eng sim.Engine, topo *Topology) *FlowNetwork {
+	return &FlowNetwork{eng: eng, topo: topo, flows: map[int]*flow{}}
+}
+
+var _ Network = (*FlowNetwork)(nil)
+
+// Topology returns the underlying topology.
+func (n *FlowNetwork) Topology() *Topology { return n.topo }
+
+// InFlight returns the number of active flows.
+func (n *FlowNetwork) InFlight() int { return len(n.flows) }
+
+// Send starts a transfer of bytes from src to dst. onDone fires at delivery.
+// Local transfers (src == dst) complete immediately.
+func (n *FlowNetwork) Send(src, dst NodeID, bytes float64,
+	onDone func(now sim.VTime)) {
+
+	now := n.eng.CurrentTime()
+	n.TotalTransfers++
+	n.TotalBytes += bytes
+	if src == dst || bytes <= 0 {
+		n.eng.Schedule(sim.NewFuncEvent(now, func(t sim.VTime) error {
+			onDone(t)
+			return nil
+		}))
+		return
+	}
+
+	route, err := n.topo.Route(src, dst)
+	if err != nil {
+		panic(fmt.Sprintf("network: Send: %v", err))
+	}
+	n.nextID++
+	eff := 1.0
+	if n.RampBytes > 0 {
+		eff = bytes / (bytes + n.RampBytes)
+	}
+	f := &flow{
+		id:        n.nextID,
+		route:     route,
+		remaining: bytes,
+		eff:       eff,
+		latency:   n.topo.RouteLatency(route),
+		onDone:    onDone,
+	}
+	n.advance(now)
+	n.flows[f.id] = f
+	n.scheduleReallocate(now)
+}
+
+// scheduleReallocate defers the max-min recomputation to a secondary event
+// at the current timestamp, coalescing bursts of changes.
+func (n *FlowNetwork) scheduleReallocate(now sim.VTime) {
+	if n.recomputePending {
+		return
+	}
+	n.recomputePending = true
+	n.eng.Schedule(sim.NewSecondaryFuncEvent(now, func(t sim.VTime) error {
+		n.recomputePending = false
+		n.advance(t)
+		n.reallocate(t)
+		return nil
+	}))
+}
+
+// advance applies the elapsed time since the last reallocation to every
+// in-flight flow's remaining byte count.
+func (n *FlowNetwork) advance(now sim.VTime) {
+	dt := float64(now - n.lastUpdate)
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reallocate recomputes max-min fair rates and reschedules every flow's
+// delivery event.
+func (n *FlowNetwork) reallocate(now sim.VTime) {
+	n.computeRates()
+	// Size-dependent achieved fraction: the unachieved share of a flow's
+	// allocation is protocol dead time, not reusable by other flows.
+	for _, f := range n.flows {
+		f.rate *= f.eff
+	}
+	for _, f := range n.flows {
+		f.gen++
+		var doneAt sim.VTime
+		if f.rate <= 0 {
+			continue // starved flow: rescheduled when capacity frees up
+		}
+		doneAt = now + sim.VTime(f.remaining/f.rate)
+		fl, gen := f, f.gen
+		n.eng.Schedule(sim.NewFuncEvent(doneAt, func(t sim.VTime) error {
+			n.completeFlow(fl, gen, t)
+			return nil
+		}))
+	}
+}
+
+// completeFlow finalizes a flow when its delivery event fires, unless the
+// event was superseded by a reallocation.
+func (n *FlowNetwork) completeFlow(f *flow, gen int, now sim.VTime) {
+	cur, ok := n.flows[f.id]
+	if !ok || cur != f || f.gen != gen {
+		return // stale event
+	}
+	n.advance(now)
+	delete(n.flows, f.id)
+	n.scheduleReallocate(now)
+	// The receiver observes the data one route-latency later.
+	n.eng.Schedule(sim.NewFuncEvent(now+f.latency, func(t sim.VTime) error {
+		f.onDone(t)
+		return nil
+	}))
+}
+
+// computeRates assigns max-min fair rates: repeatedly find the most
+// constrained directed link (lowest capacity per crossing flow), freeze its
+// flows at that fair share, remove them, and continue (progressive filling).
+func (n *FlowNetwork) computeRates() {
+	type linkState struct {
+		cap   float64
+		flows []*flow
+	}
+	links := map[DirLink]*linkState{}
+	for _, f := range n.flows {
+		f.rate = 0
+		for _, dl := range f.route {
+			st := links[dl]
+			if st == nil {
+				st = &linkState{cap: n.topo.Links[dl.Link].Bandwidth}
+				links[dl] = st
+			}
+			st.flows = append(st.flows, f)
+		}
+	}
+	unassigned := map[int]bool{}
+	for id := range n.flows {
+		unassigned[id] = true
+	}
+
+	// Deterministic iteration: sort link keys.
+	keys := make([]DirLink, 0, len(links))
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Link != keys[j].Link {
+			return keys[i].Link < keys[j].Link
+		}
+		return keys[i].Forward && !keys[j].Forward
+	})
+
+	for len(unassigned) > 0 {
+		// Find the bottleneck: min cap/activeCount over links with
+		// unassigned flows.
+		bottleneck := DirLink{Link: -1}
+		best := math.Inf(1)
+		for _, k := range keys {
+			st := links[k]
+			cnt := 0
+			for _, f := range st.flows {
+				if unassigned[f.id] {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			fair := st.cap / float64(cnt)
+			if fair < best {
+				best = fair
+				bottleneck = k
+			}
+		}
+		if bottleneck.Link == -1 {
+			break
+		}
+		// Freeze the bottleneck's unassigned flows at the fair share and
+		// charge their rate against every link they cross.
+		for _, f := range links[bottleneck].flows {
+			if !unassigned[f.id] {
+				continue
+			}
+			f.rate = best
+			delete(unassigned, f.id)
+			for _, dl := range f.route {
+				links[dl].cap -= best
+				if links[dl].cap < 0 {
+					links[dl].cap = 0
+				}
+			}
+		}
+	}
+}
+
+// Rates returns the current flow rates keyed by flow ID (test hook).
+func (n *FlowNetwork) Rates() map[int]float64 {
+	out := map[int]float64{}
+	for id, f := range n.flows {
+		out[id] = f.rate
+	}
+	return out
+}
+
+// IdealNetwork gives every transfer the full configured bandwidth with a
+// fixed latency, with no sharing. It serves as the uncontended reference in
+// tests and the equal-split ablation baseline.
+type IdealNetwork struct {
+	eng       sim.Engine
+	Bandwidth float64
+	Latency   sim.VTime
+}
+
+// NewIdealNetwork returns an IdealNetwork.
+func NewIdealNetwork(eng sim.Engine, bandwidth float64,
+	latency sim.VTime) *IdealNetwork {
+	return &IdealNetwork{eng: eng, Bandwidth: bandwidth, Latency: latency}
+}
+
+var _ Network = (*IdealNetwork)(nil)
+
+// Send delivers after latency + bytes/bandwidth.
+func (n *IdealNetwork) Send(src, dst NodeID, bytes float64,
+	onDone func(now sim.VTime)) {
+	now := n.eng.CurrentTime()
+	var dur sim.VTime
+	if src != dst && bytes > 0 {
+		dur = n.Latency + sim.VTime(bytes/n.Bandwidth)
+	}
+	n.eng.Schedule(sim.NewFuncEvent(now+dur, func(t sim.VTime) error {
+		onDone(t)
+		return nil
+	}))
+}

@@ -1,0 +1,172 @@
+package network
+
+import (
+	"testing"
+
+	"triosim/internal/sim"
+)
+
+func newPhotonic(eng *sim.SerialEngine) *PhotonicNetwork {
+	// 60.5 GB/s per circuit, 20 ms setup, 8 ports (case study numbers).
+	return NewPhotonicNetwork(eng, 60.5e9, 20*sim.MSec, 8)
+}
+
+func TestPhotonicFirstSendPaysSetup(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	net := newPhotonic(eng)
+	var done sim.VTime
+	net.Send(0, 1, 60.5e9, func(now sim.VTime) { done = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 20*sim.MSec + 1*sim.Sec + net.DeliverLatency
+	approx(t, done, want, 1e-9, "first photonic send")
+	if net.Establishments != 1 {
+		t.Fatalf("establishments = %d", net.Establishments)
+	}
+}
+
+func TestPhotonicReuseSkipsSetup(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	net := newPhotonic(eng)
+	var d1, d2 sim.VTime
+	net.Send(0, 1, 60.5e9, func(now sim.VTime) { d1 = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 1, 60.5e9, func(now sim.VTime) { d2 = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Establishments != 1 {
+		t.Fatalf("second send re-established: %d", net.Establishments)
+	}
+	// Second transfer takes only 1 s (no setup).
+	gap := d2 - d1
+	approx(t, gap, 1*sim.Sec, 1e-6, "reused circuit transfer")
+}
+
+func TestPhotonicCircuitSerializes(t *testing.T) {
+	// Two back-to-back sends on the same circuit queue behind each other
+	// (buffer-space reservation), not share bandwidth.
+	eng := sim.NewSerialEngine()
+	net := newPhotonic(eng)
+	var d1, d2 sim.VTime
+	net.Send(0, 1, 60.5e9, func(now sim.VTime) { d1 = now })
+	net.Send(0, 1, 60.5e9, func(now sim.VTime) { d2 = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d1, 20*sim.MSec+1*sim.Sec+net.DeliverLatency, 1e-9, "first")
+	approx(t, d2, 20*sim.MSec+2*sim.Sec+net.DeliverLatency, 1e-9, "second")
+}
+
+func TestPhotonicDistinctPairsParallel(t *testing.T) {
+	// Circuits between distinct pairs run concurrently at full bandwidth.
+	eng := sim.NewSerialEngine()
+	net := newPhotonic(eng)
+	var d1, d2 sim.VTime
+	net.Send(0, 1, 60.5e9, func(now sim.VTime) { d1 = now })
+	net.Send(2, 3, 60.5e9, func(now sim.VTime) { d2 = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 20*sim.MSec + 1*sim.Sec + net.DeliverLatency
+	approx(t, d1, want, 1e-9, "pair 0-1")
+	approx(t, d2, want, 1e-9, "pair 2-3")
+	if net.Circuits() != 2 {
+		t.Fatalf("circuits = %d", net.Circuits())
+	}
+}
+
+func TestPhotonicPortEviction(t *testing.T) {
+	// With 2 ports per node, a third circuit from node 0 must evict the
+	// longest-idle one.
+	eng := sim.NewSerialEngine()
+	net := NewPhotonicNetwork(eng, 100e9, 1*sim.MSec, 2)
+	done := 0
+	net.Send(0, 1, 100e9, func(sim.VTime) { done++ })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 2, 100e9, func(sim.VTime) { done++ })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Circuits() != 2 {
+		t.Fatalf("circuits before eviction = %d", net.Circuits())
+	}
+	net.Send(0, 3, 100e9, func(sim.VTime) { done++ })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("delivered %d", done)
+	}
+	if net.Evictions != 1 {
+		t.Fatalf("evictions = %d", net.Evictions)
+	}
+	if net.Circuits() != 2 {
+		t.Fatalf("circuits after eviction = %d", net.Circuits())
+	}
+}
+
+func TestPhotonicEvictsLongestIdle(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	net := NewPhotonicNetwork(eng, 100e9, 1*sim.MSec, 2)
+	// Establish 0-1, then 0-2 (0-1 becomes the longest idle).
+	net.Send(0, 1, 1e9, func(sim.VTime) {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 2, 1e9, func(sim.VTime) {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	net.Send(0, 3, 1e9, func(sim.VTime) {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, has01 := net.circuits[pairOf(0, 1)]; has01 {
+		t.Fatal("0-1 should have been evicted (longest idle)")
+	}
+	if _, has02 := net.circuits[pairOf(0, 2)]; !has02 {
+		t.Fatal("0-2 should survive")
+	}
+}
+
+func TestPhotonicWaitsWhenAllPortsBusy(t *testing.T) {
+	// 1 port per node, circuit 0-1 busy; a send 0→2 must wait for it to go
+	// idle, then evict and proceed.
+	eng := sim.NewSerialEngine()
+	net := NewPhotonicNetwork(eng, 100e9, 1*sim.MSec, 1)
+	var d01, d02 sim.VTime
+	net.Send(0, 1, 100e9, func(now sim.VTime) { d01 = now }) // busy ~1.001 s
+	net.Send(0, 2, 100e9, func(now sim.VTime) { d02 = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d02 <= d01 {
+		t.Fatalf("0→2 finished at %v before 0→1 at %v", d02, d01)
+	}
+	// 0→2 starts after 0→1's transfer completes: ≥ 1.001s + setup + 1s.
+	if d02 < 2*sim.Sec {
+		t.Fatalf("0→2 done too early: %v", d02)
+	}
+}
+
+func TestPhotonicLocalSend(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	net := newPhotonic(eng)
+	fired := false
+	net.Send(5, 5, 1e9, func(sim.VTime) { fired = true })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("local send not delivered")
+	}
+	if net.Establishments != 0 {
+		t.Fatal("local send should not establish a circuit")
+	}
+}

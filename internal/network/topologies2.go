@@ -1,0 +1,97 @@
+package network
+
+import "fmt"
+
+// Additional interconnects the paper names as supported configurations
+// (§1: "network topology (e.g., NVSwitch, mesh, fat tree, etc.)";
+// §2.1: the DGX-2's NVLink hypercube mesh).
+
+// FatTree builds a two-level fat tree: GPUs attach to leaf switches in
+// groups of leafWidth; every leaf connects to every spine switch with
+// uplinks of uplinkBandwidth. With uplinkBandwidth ≥ leafWidth ×
+// LinkBandwidth the tree is non-blocking; smaller values model
+// oversubscription.
+func FatTree(cfg Config, leafWidth, spines int,
+	uplinkBandwidth float64) *Topology {
+	t := NewTopology()
+	gpus := addGPUs(t, cfg.NumGPUs)
+	nLeaves := (cfg.NumGPUs + leafWidth - 1) / leafWidth
+	leaves := make([]NodeID, nLeaves)
+	for i := range leaves {
+		leaves[i] = t.AddNode(fmt.Sprintf("leaf%d", i), SwitchNode)
+	}
+	for i, g := range gpus {
+		t.AddLink(g, leaves[i/leafWidth], cfg.LinkBandwidth, cfg.LinkLatency)
+	}
+	for s := 0; s < spines; s++ {
+		spine := t.AddNode(fmt.Sprintf("spine%d", s), SwitchNode)
+		for _, leaf := range leaves {
+			t.AddLink(leaf, spine, uplinkBandwidth, cfg.LinkLatency)
+		}
+	}
+	addHostAll(t, gpus, cfg.HostBandwidth, cfg.HostLatency)
+	return t
+}
+
+// Hypercube builds a d-dimensional hypercube of 2^d GPUs: node i connects
+// to every node differing in one address bit (the DGX-2-style NVLink cube
+// mesh).
+func Hypercube(dims int, cfg Config) *Topology {
+	t := NewTopology()
+	n := 1 << dims
+	gpus := addGPUs(t, n)
+	for i := 0; i < n; i++ {
+		for b := 0; b < dims; b++ {
+			j := i ^ (1 << b)
+			if j > i {
+				t.AddLink(gpus[i], gpus[j], cfg.LinkBandwidth,
+					cfg.LinkLatency)
+			}
+		}
+	}
+	addHostAll(t, gpus, cfg.HostBandwidth, cfg.HostLatency)
+	return t
+}
+
+// Torus builds a rows×cols 2-D torus: a mesh with wrap-around links, so
+// every node has degree 4 and the snake ring has no long way home.
+func Torus(rows, cols int, cfg Config) *Topology {
+	t := Mesh(rows, cols, cfg)
+	gpus := t.GPUs()
+	at := func(r, c int) NodeID { return gpus[r*cols+c] }
+	if cols > 2 {
+		for r := 0; r < rows; r++ {
+			t.AddLink(at(r, 0), at(r, cols-1), cfg.LinkBandwidth,
+				cfg.LinkLatency)
+		}
+	}
+	if rows > 2 {
+		for c := 0; c < cols; c++ {
+			t.AddLink(at(0, c), at(rows-1, c), cfg.LinkBandwidth,
+				cfg.LinkLatency)
+		}
+	}
+	return t
+}
+
+// MultiNode builds a cluster of `nodes` machines with gpusPerNode GPUs
+// each: intra-node traffic rides an NVSwitch per machine, inter-node
+// traffic crosses per-machine NICs into a non-blocking cluster switch at
+// interBandwidth — the asymmetric two-tier fabric large training clusters
+// actually have.
+func MultiNode(nodes, gpusPerNode int, cfg Config,
+	interBandwidth float64) *Topology {
+	t := NewTopology()
+	gpus := addGPUs(t, nodes*gpusPerNode)
+	cluster := t.AddNode("cluster-switch", SwitchNode)
+	for m := 0; m < nodes; m++ {
+		sw := t.AddNode(fmt.Sprintf("nvswitch%d", m), SwitchNode)
+		for g := 0; g < gpusPerNode; g++ {
+			t.AddLink(gpus[m*gpusPerNode+g], sw, cfg.LinkBandwidth,
+				cfg.LinkLatency)
+		}
+		t.AddLink(sw, cluster, interBandwidth, 5*cfg.LinkLatency)
+	}
+	addHostAll(t, gpus, cfg.HostBandwidth, cfg.HostLatency)
+	return t
+}

@@ -1,0 +1,154 @@
+package network
+
+import (
+	"testing"
+
+	"triosim/internal/sim"
+)
+
+func TestFatTree(t *testing.T) {
+	topo := FatTree(cfg(8), 4, 2, 400e9)
+	gpus := topo.GPUs()
+	if len(gpus) != 8 {
+		t.Fatalf("GPUs = %d", len(gpus))
+	}
+	// Same leaf: 2 hops (gpu-leaf-gpu).
+	r, err := topo.Route(gpus[0], gpus[1])
+	if err != nil || len(r) != 2 {
+		t.Fatalf("same-leaf route = %v, %v", r, err)
+	}
+	// Cross leaf: 4 hops (gpu-leaf-spine-leaf-gpu).
+	r, err = topo.Route(gpus[0], gpus[7])
+	if err != nil || len(r) != 4 {
+		t.Fatalf("cross-leaf route = %v, %v", r, err)
+	}
+}
+
+func TestFatTreeOversubscription(t *testing.T) {
+	// 8 GPUs per leaf, one thin spine uplink: cross-leaf flows contend on
+	// the uplink while same-leaf flows do not.
+	eng := sim.NewSerialEngine()
+	topo := FatTree(Config{
+		NumGPUs: 16, LinkBandwidth: 100e9, HostBandwidth: 10e9,
+	}, 8, 1, 100e9)
+	net := NewFlowNetwork(eng, topo)
+	gpus := topo.GPUs()
+	var crossA, crossB, local sim.VTime
+	net.Send(gpus[0], gpus[8], 100e9, func(now sim.VTime) { crossA = now })
+	net.Send(gpus[1], gpus[9], 100e9, func(now sim.VTime) { crossB = now })
+	net.Send(gpus[2], gpus[3], 100e9, func(now sim.VTime) { local = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two cross flows share the 100 GB/s uplink → 2 s; local gets 1 s.
+	approx(t, local, 1*sim.Sec, 1e-6, "same-leaf flow")
+	approx(t, crossA, 2*sim.Sec, 1e-6, "cross-leaf flow A")
+	approx(t, crossB, 2*sim.Sec, 1e-6, "cross-leaf flow B")
+}
+
+func TestHypercube(t *testing.T) {
+	topo := Hypercube(3, cfg(0))
+	gpus := topo.GPUs()
+	if len(gpus) != 8 {
+		t.Fatalf("GPUs = %d", len(gpus))
+	}
+	// Degree = dims for every node.
+	for _, g := range gpus {
+		deg := 0
+		for _, l := range topo.LinksOf(g) {
+			other := topo.Neighbor(l, g)
+			if topo.Nodes[other].Kind == GPUNode {
+				deg++
+			}
+		}
+		if deg != 3 {
+			t.Fatalf("gpu %d degree %d, want 3", g, deg)
+		}
+	}
+	// Route length equals Hamming distance.
+	r, err := topo.Route(gpus[0], gpus[7]) // 000 → 111
+	if err != nil || len(r) != 3 {
+		t.Fatalf("route 0→7 = %v, %v", r, err)
+	}
+	r, err = topo.Route(gpus[0], gpus[5]) // 000 → 101
+	if err != nil || len(r) != 2 {
+		t.Fatalf("route 0→5 = %v, %v", r, err)
+	}
+}
+
+func TestTorusWrapAround(t *testing.T) {
+	topo := Torus(4, 4, cfg(0))
+	gpus := topo.GPUs()
+	// Opposite corner is 2 hops via the wrap links (vs 6 in a plain mesh).
+	r, err := topo.Route(gpus[0], gpus[15])
+	if err != nil || len(r) != 2 {
+		t.Fatalf("torus corner route = %d hops, %v", len(r), err)
+	}
+	// Row neighbors across the wrap.
+	r, err = topo.Route(gpus[0], gpus[3])
+	if err != nil || len(r) != 1 {
+		t.Fatalf("torus wrap route = %d hops, %v", len(r), err)
+	}
+}
+
+func TestTorusSmallDimensionsNoDuplicateLinks(t *testing.T) {
+	// 2-wide dimensions already have the "wrap" link; no duplicates added.
+	topo := Torus(2, 2, cfg(0))
+	gpuLinks := 0
+	for _, l := range topo.Links {
+		if topo.Nodes[l.A].Kind == GPUNode && topo.Nodes[l.B].Kind == GPUNode {
+			gpuLinks++
+		}
+	}
+	if gpuLinks != 4 {
+		t.Fatalf("2×2 torus has %d GPU links, want 4", gpuLinks)
+	}
+}
+
+func TestMultiNode(t *testing.T) {
+	topo := MultiNode(4, 8, cfg(0), 25e9)
+	gpus := topo.GPUs()
+	if len(gpus) != 32 {
+		t.Fatalf("GPUs = %d", len(gpus))
+	}
+	// Intra-node: 2 hops through the local NVSwitch.
+	r, err := topo.Route(gpus[0], gpus[7])
+	if err != nil || len(r) != 2 {
+		t.Fatalf("intra-node route = %v, %v", r, err)
+	}
+	// Inter-node: 4 hops (gpu-nvswitch-cluster-nvswitch-gpu).
+	r, err = topo.Route(gpus[0], gpus[8])
+	if err != nil || len(r) != 4 {
+		t.Fatalf("inter-node route = %v, %v", r, err)
+	}
+	// The inter-node hop is the thin one.
+	var minBW float64 = 1e18
+	for _, dl := range r {
+		if bw := topo.Links[dl.Link].Bandwidth; bw < minBW {
+			minBW = bw
+		}
+	}
+	if minBW != 25e9 {
+		t.Fatalf("inter-node bottleneck %g, want 25e9", minBW)
+	}
+}
+
+func TestMultiNodeAllReduceHitsInterNodeBottleneck(t *testing.T) {
+	// A ring AllReduce across 2 nodes is limited by the NIC, not NVLink.
+	eng := sim.NewSerialEngine()
+	topo := MultiNode(2, 2, Config{
+		NumGPUs: 4, LinkBandwidth: 200e9, HostBandwidth: 10e9,
+	}, 25e9)
+	net := NewFlowNetwork(eng, topo)
+	gpus := topo.GPUs()
+	var done sim.VTime
+	// One cross-node transfer at NVLink-scale volume.
+	net.Send(gpus[0], gpus[2], 25e9, func(now sim.VTime) { done = now })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done < 1*sim.Sec {
+		t.Fatalf("cross-node transfer finished in %v; NIC limit ignored",
+			done)
+	}
+}

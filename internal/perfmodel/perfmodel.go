@@ -1,0 +1,273 @@
+// Package perfmodel implements the operator performance model TrioSim uses
+// to predict execution times when the simulated configuration deviates from
+// the trace (Li's Model [34]: a linear-regression, operator-level GPU time
+// predictor, extended here to training operators).
+//
+// For every operator type, the model fits time ≈ a·FLOPs + b·bytes + c on
+// the samples the single-GPU trace provides (one sample per operator
+// instance; a DNN trace contains the same operator at many sizes, which
+// spreads the fit). Predictions for resized operators — different batch
+// size, tensor-parallel shards, pipeline micro-batches — evaluate the fit at
+// the new (FLOPs, bytes).
+//
+// New-GPU support follows Li's Model: the fitted coefficients are rescaled
+// by the ratio of the devices' peak compute throughput (a), memory bandwidth
+// (b), and launch overhead (c), letting a trace from one GPU predict another.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"triosim/internal/gpu"
+	"triosim/internal/sim"
+	"triosim/internal/trace"
+)
+
+// coeff is one operator type's fitted line.
+type coeff struct {
+	a, b, c float64 // time = a·flops + b·bytes + c
+	// fallback statistics for degenerate fits.
+	meanTime  float64
+	meanFLOPs float64
+	meanBytes float64
+	samples   int
+	usable    bool // least-squares fit succeeded
+	// fitted feature range, for extrapolation-distance checks.
+	minFLOPs, maxFLOPs float64
+}
+
+// Model is a fitted per-operator-type regression model.
+type Model struct {
+	Device string
+	coeffs map[string]*coeff
+	// rescaled marks a model derived for a different GPU than the trace was
+	// collected on; its predictions must always come from the (rescaled)
+	// regression — replaying trace times verbatim would reproduce the wrong
+	// device's speed.
+	rescaled bool
+}
+
+// sample is one (FLOPs, bytes, time) observation.
+type sample struct{ f, b, t float64 }
+
+// Fit trains the model from a stamped single-GPU trace.
+func Fit(tr *trace.Trace) (*Model, error) {
+	byOp := map[string][]sample{}
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Time <= 0 {
+			return nil, fmt.Errorf("perfmodel: op %d (%s) has no measured time",
+				i, op.Name)
+		}
+		bytes := float64(op.BytesIn(tr.Tensors) + op.BytesOut(tr.Tensors))
+		byOp[op.Name] = append(byOp[op.Name],
+			sample{op.FLOPs, bytes, float64(op.Time)})
+	}
+	m := &Model{Device: tr.Device, coeffs: map[string]*coeff{}}
+	for name, ss := range byOp {
+		c := &coeff{samples: len(ss), minFLOPs: math.Inf(1)}
+		for _, s := range ss {
+			c.meanTime += s.t
+			c.meanFLOPs += s.f
+			c.meanBytes += s.b
+			if s.f < c.minFLOPs {
+				c.minFLOPs = s.f
+			}
+			if s.f > c.maxFLOPs {
+				c.maxFLOPs = s.f
+			}
+		}
+		n := float64(len(ss))
+		c.meanTime /= n
+		c.meanFLOPs /= n
+		c.meanBytes /= n
+
+		if a, b, cc, ok := leastSquares(ss); ok {
+			c.a, c.b, c.c, c.usable = a, b, cc, true
+		}
+		m.coeffs[name] = c
+	}
+	return m, nil
+}
+
+// leastSquares solves the ridge-regularized normal equations for
+// t = a·f + b·b + c. Returns ok=false if the system is hopeless.
+func leastSquares(ss []sample) (a, bb, c float64, ok bool) {
+	// Normalize features for conditioning.
+	var fScale, bScale float64
+	for _, s := range ss {
+		if s.f > fScale {
+			fScale = s.f
+		}
+		if s.b > bScale {
+			bScale = s.b
+		}
+	}
+	if fScale == 0 {
+		fScale = 1
+	}
+	if bScale == 0 {
+		bScale = 1
+	}
+
+	var m [3][3]float64
+	var v [3]float64
+	for _, s := range ss {
+		x := [3]float64{s.f / fScale, s.b / bScale, 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += x[i] * x[j]
+			}
+			v[i] += x[i] * s.t
+		}
+	}
+	// Ridge: nudges unidentifiable directions toward zero coefficients.
+	lambda := 1e-9 * float64(len(ss))
+	for i := 0; i < 3; i++ {
+		m[i][i] += lambda
+	}
+	sol, ok := solve3(m, v)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	a = sol[0] / fScale
+	bb = sol[1] / bScale
+	c = sol[2]
+	if math.IsNaN(a) || math.IsNaN(bb) || math.IsNaN(c) {
+		return 0, 0, 0, false
+	}
+	// A fit dominated by a negative slope is unusable for extrapolation.
+	if a < 0 && bb < 0 {
+		return 0, 0, 0, false
+	}
+	return a, bb, c, true
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, v [3]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-300 {
+			return [3]float64{}, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			k := m[r][col] / m[col][col]
+			for cc := col; cc < 3; cc++ {
+				m[r][cc] -= k * m[col][cc]
+			}
+			v[r] -= k * v[col]
+		}
+	}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		out[i] = v[i] / m[i][i]
+	}
+	return out, true
+}
+
+// Predict estimates the execution time of an operator of type name with the
+// given work. Unknown operator types fall back to a roofline-free
+// proportional estimate over all known ops.
+func (m *Model) Predict(name string, flops, bytes float64) sim.VTime {
+	c := m.coeffs[name]
+	if c == nil {
+		// Unknown op: proportional to the closest global scale we have.
+		var t float64
+		for _, cc := range m.coeffs {
+			t += cc.meanTime
+		}
+		if len(m.coeffs) > 0 {
+			t /= float64(len(m.coeffs))
+		}
+		return sim.VTime(math.Max(t, 1e-9))
+	}
+	if c.usable {
+		t := c.a*flops + c.b*bytes + c.c
+		if t < 1e-9 {
+			t = 1e-9
+		}
+		return sim.VTime(t)
+	}
+	// Degenerate fit: scale the mean observed time by the dominant ratio.
+	ratio := 1.0
+	switch {
+	case c.meanFLOPs > 0 && flops > 0:
+		ratio = flops / c.meanFLOPs
+	case c.meanBytes > 0 && bytes > 0:
+		ratio = bytes / c.meanBytes
+	}
+	t := c.meanTime * ratio
+	if t < 1e-9 {
+		t = 1e-9
+	}
+	return sim.VTime(t)
+}
+
+// OpTime implements the extrapolator's OpTimer contract: replay the traced
+// time when the operator is unmodified on the traced device, predict when
+// it was resized or the model targets a different GPU.
+func (m *Model) OpTime(name string, flops, bytes float64,
+	traceTime sim.VTime, scaled bool) sim.VTime {
+	if !scaled && traceTime > 0 && !m.rescaled {
+		return traceTime
+	}
+	return m.Predict(name, flops, bytes)
+}
+
+// Rescale derives a model for a different GPU by scaling the coefficients by
+// the devices' capability ratios (Li's Model's new-GPU support): compute
+// slope by peak-FLOPS ratio, byte slope by memory-bandwidth ratio, intercept
+// by launch-overhead ratio.
+func (m *Model) Rescale(from, to *gpu.Spec) *Model {
+	ka := (from.PeakFLOPS * from.UtilMax) / (to.PeakFLOPS * to.UtilMax)
+	kb := (from.MemBandwidth * from.MemEff) / (to.MemBandwidth * to.MemEff)
+	kc := float64(to.LaunchOverhead) / float64(from.LaunchOverhead)
+	out := &Model{Device: to.Name, coeffs: map[string]*coeff{}, rescaled: true}
+	for name, c := range m.coeffs {
+		nc := *c
+		nc.a = c.a * ka
+		nc.b = c.b * kb
+		nc.c = c.c * kc
+		// Fallback statistics: dominant path scales like the slopes.
+		nc.meanTime = c.meanTime * 0.5 * (ka + kb)
+		out.coeffs[name] = &nc
+	}
+	return out
+}
+
+// Ops returns the number of operator types the model covers.
+func (m *Model) Ops() int { return len(m.coeffs) }
+
+// MeanAbsErrOnTrace evaluates the model against the trace it (or another
+// trace) was measured on: mean |pred-actual|/actual across ops. A fitting
+// diagnostic used by tests and the Fig 6 experiment.
+func (m *Model) MeanAbsErrOnTrace(tr *trace.Trace) float64 {
+	var sum float64
+	var n int
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Time <= 0 {
+			continue
+		}
+		bytes := float64(op.BytesIn(tr.Tensors) + op.BytesOut(tr.Tensors))
+		pred := m.Predict(op.Name, op.FLOPs, bytes)
+		sum += math.Abs(float64(pred-op.Time)) / float64(op.Time)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

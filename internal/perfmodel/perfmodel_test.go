@@ -1,0 +1,211 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+	"triosim/internal/sim"
+	"triosim/internal/tensor"
+	"triosim/internal/trace"
+)
+
+// syntheticTrace builds a trace whose op times follow a known exact line
+// t = a·f + b·bytes + c, to verify the regression recovers it.
+func syntheticTrace(a, b, c float64) *trace.Trace {
+	tr := trace.New("synth", "A100", 1)
+	for i := 1; i <= 10; i++ {
+		// Quadratic element growth keeps bytes non-collinear with FLOPs so
+		// the slopes are identifiable.
+		elems := int64(i * i * 500)
+		in := tr.Tensors.Add(tensor.Tensor{
+			Dims: []int64{elems}, DType: tensor.Float32,
+			Category: tensor.Activation, BatchDim: 0,
+		})
+		out := tr.Tensors.Add(tensor.Tensor{
+			Dims: []int64{elems}, DType: tensor.Float32,
+			Category: tensor.Activation, BatchDim: 0,
+		})
+		flops := float64(i) * 1e9
+		bytes := float64(2 * elems * 4)
+		tr.Append(trace.Op{
+			Name: "conv2d", Phase: trace.Forward,
+			FLOPs:   flops,
+			Time:    sim.VTime(a*flops + b*bytes + c),
+			Inputs:  []tensor.ID{in},
+			Outputs: []tensor.ID{out},
+		})
+	}
+	return tr
+}
+
+func TestFitRecoversExactLine(t *testing.T) {
+	a, b, c := 2e-12, 5e-10, 3e-6
+	tr := syntheticTrace(a, b, c)
+	m, err := Fit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict an unseen size.
+	flops, bytes := 25e9, 4e5
+	want := a*flops + b*bytes + c
+	got := float64(m.Predict("conv2d", flops, bytes))
+	if math.Abs(got-want)/want > 1e-3 {
+		t.Fatalf("Predict = %g, want %g", got, want)
+	}
+	if m.MeanAbsErrOnTrace(tr) > 1e-3 {
+		t.Fatalf("in-sample error %g too high", m.MeanAbsErrOnTrace(tr))
+	}
+}
+
+func TestFitRejectsUnstampedTrace(t *testing.T) {
+	tr := trace.New("x", "A100", 1)
+	in := tr.Tensors.Add(tensor.Tensor{Dims: []int64{4},
+		DType: tensor.Float32, Category: tensor.Activation})
+	tr.Append(trace.Op{Name: "relu", FLOPs: 1,
+		Inputs: []tensor.ID{in}, Outputs: []tensor.ID{in}})
+	if _, err := Fit(tr); err == nil {
+		t.Fatal("unstamped trace accepted")
+	}
+}
+
+func TestPredictPositive(t *testing.T) {
+	tr := syntheticTrace(1e-12, 1e-10, 1e-6)
+	m, _ := Fit(tr)
+	if m.Predict("conv2d", 0, 0) <= 0 {
+		t.Fatal("prediction must be positive")
+	}
+	if m.Predict("never-seen-op", 1e9, 1e6) <= 0 {
+		t.Fatal("unknown-op prediction must be positive")
+	}
+}
+
+func TestSingleSampleFallback(t *testing.T) {
+	// An op type appearing once (e.g., the avgpool head) cannot support a
+	// 3-parameter fit; prediction must still scale sensibly.
+	tr := trace.New("x", "A100", 1)
+	in := tr.Tensors.Add(tensor.Tensor{Dims: []int64{1000},
+		DType: tensor.Float32, Category: tensor.Activation})
+	tr.Append(trace.Op{Name: "avgpool", Phase: trace.Forward,
+		FLOPs: 1e6, Time: 1e-4,
+		Inputs: []tensor.ID{in}, Outputs: []tensor.ID{in}})
+	m, err := Fit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Predict("avgpool", 1e6, 8000)
+	double := m.Predict("avgpool", 2e6, 16000)
+	r := float64(double) / float64(base)
+	if r < 1.2 || r > 2.5 {
+		t.Fatalf("single-sample scaling ratio %.3f implausible", r)
+	}
+}
+
+func TestFitOnRealTrace(t *testing.T) {
+	// Fit on an hwsim-stamped ResNet-50 trace: in-sample error should be
+	// small (the hardware curve is near-linear over each op type's range).
+	tr, err := hwsim.CollectTrace("resnet50", 64, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MeanAbsErrOnTrace(tr); got > 0.10 {
+		t.Fatalf("in-sample mean abs error %.1f%% too high", got*100)
+	}
+}
+
+func TestBatchExtrapolation(t *testing.T) {
+	// The paper's Fig 6 setting: fit at batch 128, predict batch 256 — the
+	// whole-iteration prediction should land within a few percent of
+	// hardware.
+	tr128, err := hwsim.CollectTrace("resnet18", 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(tr128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr256, err := hwsim.CollectTrace("resnet18", 256, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, actual float64
+	for i := range tr256.Ops {
+		op := &tr256.Ops[i]
+		bytes := float64(op.BytesIn(tr256.Tensors) +
+			op.BytesOut(tr256.Tensors))
+		pred += float64(m.Predict(op.Name, op.FLOPs, bytes))
+		actual += float64(op.Time)
+	}
+	relErr := math.Abs(pred-actual) / actual
+	if relErr > 0.08 {
+		t.Fatalf("batch 128→256 error %.1f%%, want < 8%%", relErr*100)
+	}
+}
+
+func TestRescaleToNewGPU(t *testing.T) {
+	// Fit on A40, rescale to H100: predictions should approximate a model
+	// fit directly on H100 within Li's Model's published ~15% band.
+	trA40, err := hwsim.CollectTrace("resnet50", 64, &gpu.A40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA40, err := Fit(trA40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCross := mA40.Rescale(&gpu.A40, &gpu.H100)
+	if mCross.Device != "H100" {
+		t.Fatalf("rescaled device = %q", mCross.Device)
+	}
+
+	trH100, err := hwsim.CollectTrace("resnet50", 64, &gpu.H100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, actual float64
+	for i := range trH100.Ops {
+		op := &trH100.Ops[i]
+		bytes := float64(op.BytesIn(trH100.Tensors) +
+			op.BytesOut(trH100.Tensors))
+		pred += float64(mCross.Predict(op.Name, op.FLOPs, bytes))
+		actual += float64(op.Time)
+	}
+	relErr := math.Abs(pred-actual) / actual
+	if relErr > 0.25 {
+		t.Fatalf("cross-GPU error %.1f%%, want < 25%%", relErr*100)
+	}
+	if relErr < 0.001 {
+		t.Fatalf("cross-GPU error %.3f%% suspiciously perfect", relErr*100)
+	}
+}
+
+func TestOpTimePassthrough(t *testing.T) {
+	tr := syntheticTrace(1e-12, 1e-10, 1e-6)
+	m, _ := Fit(tr)
+	// Unscaled: returns the trace time verbatim.
+	if got := m.OpTime("conv2d", 1e9, 1e6, 42*sim.USec, false); got != 42*sim.USec {
+		t.Fatalf("passthrough = %v", got)
+	}
+	// Scaled: uses the regression.
+	got := m.OpTime("conv2d", 1e9, 1e6, 42*sim.USec, true)
+	if got == 42*sim.USec {
+		t.Fatal("scaled op should not pass through")
+	}
+	if got <= 0 {
+		t.Fatal("scaled prediction must be positive")
+	}
+}
+
+func TestOps(t *testing.T) {
+	tr := syntheticTrace(1e-12, 1e-10, 1e-6)
+	m, _ := Fit(tr)
+	if m.Ops() != 1 {
+		t.Fatalf("Ops = %d", m.Ops())
+	}
+}

@@ -1,0 +1,196 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"triosim/internal/sim"
+	"triosim/internal/trace"
+)
+
+// RooflineModel is the alternative compute model the paper's §8.2 points at
+// (NeuSight-style): instead of one regression per operator *type*, it fits
+// device-level parameters — achieved compute throughput P, achieved memory
+// bandwidth W, and a fixed per-kernel overhead c — pooled over *every*
+// operator in the trace, and predicts
+//
+//	time ≈ max(FLOPs/P, bytes/W) + c.
+//
+// Pooling is the point: an operator type that appears at only one size
+// (every matmul in a 12-layer transformer is identical) gives Li's Model
+// nothing to fit a slope from, while the roofline transfers scaling
+// information across types. The cost is per-type bias. HybridModel picks
+// per type.
+type RooflineModel struct {
+	Device string
+	// P is achieved FLOP/s, W achieved bytes/s, C per-kernel overhead (s).
+	P, W float64
+	C    float64
+}
+
+// FitRoofline estimates (P, W, C) from a stamped trace by alternating
+// classification (is a sample compute- or memory-bound under the current
+// parameters?) and per-class least squares.
+func FitRoofline(tr *trace.Trace) (*RooflineModel, error) {
+	var samples []sample
+	minT := math.Inf(1)
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if op.Time <= 0 {
+			return nil, fmt.Errorf("perfmodel: op %d (%s) has no measured time",
+				i, op.Name)
+		}
+		b := float64(op.BytesIn(tr.Tensors) + op.BytesOut(tr.Tensors))
+		samples = append(samples, sample{op.FLOPs, b, float64(op.Time)})
+		if float64(op.Time) < minT {
+			minT = float64(op.Time)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("perfmodel: empty trace")
+	}
+
+	m := &RooflineModel{Device: tr.Device, C: minT / 2}
+	// Initialization: pooled ratios.
+	var sumF, sumB, sumT float64
+	for _, s := range samples {
+		sumF += s.f
+		sumB += s.b
+		sumT += s.t
+	}
+	m.P = sumF / sumT
+	m.W = sumB / sumT
+	if m.P <= 0 {
+		m.P = 1e12
+	}
+	if m.W <= 0 {
+		m.W = 1e11
+	}
+
+	for iter := 0; iter < 30; iter++ {
+		// Classify each sample by its dominant roofline term.
+		var cf, cb []sample
+		for _, s := range samples {
+			if s.f/m.P >= s.b/m.W {
+				cf = append(cf, s)
+			} else {
+				cb = append(cb, s)
+			}
+		}
+		// Least squares of (t − C) ≈ x/θ per class: 1/θ = Σx(t−C)/Σx².
+		refit := func(ss []sample, feature func(sample) float64,
+			old float64) float64 {
+			var num, den float64
+			for _, s := range ss {
+				x := feature(s)
+				num += x * (s.t - m.C)
+				den += x * x
+			}
+			if den <= 0 || num <= 0 {
+				return old
+			}
+			return den / num
+		}
+		newP := refit(cf, func(s sample) float64 { return s.f }, m.P)
+		newW := refit(cb, func(s sample) float64 { return s.b }, m.W)
+		// Overhead: mean positive residual floor.
+		var resid float64
+		for _, s := range samples {
+			pred := math.Max(s.f/newP, s.b/newW)
+			r := s.t - pred
+			if r < 0 {
+				r = 0
+			}
+			resid += r
+		}
+		newC := resid / float64(len(samples))
+		if newC > minT {
+			newC = minT
+		}
+		done := math.Abs(newP-m.P)/m.P < 1e-9 &&
+			math.Abs(newW-m.W)/m.W < 1e-9
+		m.P, m.W, m.C = newP, newW, newC
+		if done {
+			break
+		}
+	}
+	return m, nil
+}
+
+// Predict evaluates the roofline at the given work.
+func (m *RooflineModel) Predict(flops, bytes float64) sim.VTime {
+	t := math.Max(flops/m.P, bytes/m.W) + m.C
+	if t < 1e-9 {
+		t = 1e-9
+	}
+	return sim.VTime(t)
+}
+
+// OpTime implements the extrapolator's OpTimer contract.
+func (m *RooflineModel) OpTime(name string, flops, bytes float64,
+	traceTime sim.VTime, scaled bool) sim.VTime {
+	if !scaled && traceTime > 0 {
+		return traceTime
+	}
+	return m.Predict(flops, bytes)
+}
+
+// HybridModel predicts with Li's Model where the per-type fit had enough
+// size diversity to be trustworthy, and with the pooled roofline otherwise
+// — the integration mode §8.2 describes ("TrioSim allows the integration of
+// alternative compute models ... offering users the flexibility to refine
+// predictions").
+type HybridModel struct {
+	Li       *Model
+	Roofline *RooflineModel
+}
+
+// FitHybrid trains both component models.
+func FitHybrid(tr *trace.Trace) (*HybridModel, error) {
+	li, err := Fit(tr)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := FitRoofline(tr)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridModel{Li: li, Roofline: rf}, nil
+}
+
+// diverse reports whether the op type's samples spanned enough sizes for a
+// slope to be identified (≥3 samples is the regression's comfort zone).
+func (h *HybridModel) diverse(name string) bool {
+	c := h.Li.coeffs[name]
+	return c != nil && c.usable && c.samples >= 3
+}
+
+// inRange reports whether the query sits inside (a modest margin around)
+// the sizes the per-type fit actually saw. Outside it, the regression is
+// extrapolating — the failure mode the roofline covers.
+func (h *HybridModel) inRange(name string, flops float64) bool {
+	c := h.Li.coeffs[name]
+	if c == nil {
+		return false
+	}
+	return flops >= c.minFLOPs/2 && flops <= c.maxFLOPs*2
+}
+
+// Predict routes per operator type and query size: Li's regression where it
+// interpolates over a size-diverse fit, the pooled roofline where it would
+// extrapolate (shrunken shards, unseen op types).
+func (h *HybridModel) Predict(name string, flops, bytes float64) sim.VTime {
+	if h.diverse(name) && h.inRange(name, flops) {
+		return h.Li.Predict(name, flops, bytes)
+	}
+	return h.Roofline.Predict(flops, bytes)
+}
+
+// OpTime implements the extrapolator's OpTimer contract.
+func (h *HybridModel) OpTime(name string, flops, bytes float64,
+	traceTime sim.VTime, scaled bool) sim.VTime {
+	if !scaled && traceTime > 0 && !h.Li.rescaled {
+		return traceTime
+	}
+	return h.Predict(name, flops, bytes)
+}

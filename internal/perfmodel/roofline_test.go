@@ -1,0 +1,141 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+	"triosim/internal/sim"
+)
+
+func TestFitRooflineRecoversDeviceScale(t *testing.T) {
+	tr, err := hwsim.CollectTrace("resnet50", 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitRoofline(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fitted achieved FLOP/s should land near the emulator's effective
+	// throughput for big kernels: PeakFLOPS × UtilMax, within a factor 2.
+	eff := gpu.A100.PeakFLOPS * gpu.A100.UtilMax
+	if m.P < eff/2 || m.P > eff*2 {
+		t.Fatalf("fitted P = %.3g, emulator effective %.3g", m.P, eff)
+	}
+	effW := gpu.A100.MemBandwidth * gpu.A100.MemEff
+	if m.W < effW/2 || m.W > effW*2 {
+		t.Fatalf("fitted W = %.3g, emulator effective %.3g", m.W, effW)
+	}
+	if m.C < 0 {
+		t.Fatalf("negative overhead %g", m.C)
+	}
+}
+
+func TestRooflinePredictsHeldOutBatch(t *testing.T) {
+	tr, err := hwsim.CollectTrace("resnet18", 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitRoofline(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr256, err := hwsim.CollectTrace("resnet18", 256, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, actual float64
+	for i := range tr256.Ops {
+		op := &tr256.Ops[i]
+		b := float64(op.BytesIn(tr256.Tensors) + op.BytesOut(tr256.Tensors))
+		pred += float64(m.Predict(op.FLOPs, b))
+		actual += float64(op.Time)
+	}
+	rel := math.Abs(pred-actual) / actual
+	if rel > 0.25 {
+		t.Fatalf("roofline batch extrapolation error %.1f%%", rel*100)
+	}
+}
+
+func TestHybridBeatsLiOnSingleSizeOps(t *testing.T) {
+	// Transformers repeat identical matmuls: Li's per-type fit degenerates
+	// to a proportional fallback (no intercept), which misprices shrunken
+	// tensor-parallel shards. The hybrid's pooled roofline should predict
+	// sharded transformer operators at least as well overall.
+	tr, err := hwsim.CollectTrace("gpt2", 128, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := Fit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := FitHybrid(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := hwsim.NewTimer(&gpu.A100)
+
+	// Evaluate on 4-way shards of the parallelizable ops (the TP setting).
+	var liErr, hyErr float64
+	var n int
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if !op.Parallelizable {
+			continue
+		}
+		b := float64(op.BytesIn(tr.Tensors)+op.BytesOut(tr.Tensors)) / 4
+		f := op.FLOPs / 4
+		truth := float64(hw.OpTime(op.Name, f, b, 0, true))
+		liErr += math.Abs(float64(li.Predict(op.Name, f, b))-truth) / truth
+		hyErr += math.Abs(float64(hy.Predict(op.Name, f, b))-truth) / truth
+		n++
+	}
+	liErr /= float64(n)
+	hyErr /= float64(n)
+	if hyErr > liErr {
+		t.Fatalf("hybrid (%.2f%%) should not lose to Li (%.2f%%) on sharded transformer ops",
+			hyErr*100, liErr*100)
+	}
+}
+
+func TestHybridPassthroughAndRouting(t *testing.T) {
+	tr, err := hwsim.CollectTrace("resnet18", 64, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := FitHybrid(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hy.OpTime("conv2d", 1e9, 1e6, 7*sim.USec, false); got != 7*sim.USec {
+		t.Fatalf("passthrough broken: %v", got)
+	}
+	if hy.OpTime("conv2d", 1e9, 1e6, 7*sim.USec, true) <= 0 {
+		t.Fatal("scaled prediction missing")
+	}
+	// conv2d has many sizes → Li route; a made-up op → roofline route.
+	if !hy.diverse("conv2d") {
+		t.Fatal("conv2d should be size-diverse")
+	}
+	if hy.diverse("warp-op") {
+		t.Fatal("unknown op cannot be diverse")
+	}
+	if hy.Predict("warp-op", 1e10, 1e7) !=
+		hy.Roofline.Predict(1e10, 1e7) {
+		t.Fatal("unknown op should route to the roofline")
+	}
+}
+
+func TestFitRooflineRejectsBadTraces(t *testing.T) {
+	tr, err := hwsim.CollectTrace("resnet18", 16, &gpu.A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Ops[0].Time = 0
+	if _, err := FitRoofline(tr); err == nil {
+		t.Fatal("unstamped op accepted")
+	}
+}

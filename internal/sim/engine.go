@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Engine schedules and dispatches events in virtual-time order.
+type Engine interface {
+	// Schedule enqueues an event. Scheduling an event earlier than the
+	// current time is an error surfaced by Run.
+	Schedule(e Event)
+
+	// Run dispatches events until the queue drains, an error occurs, or the
+	// engine is terminated. It may be called repeatedly: each call continues
+	// from the current virtual time.
+	Run() error
+
+	// CurrentTime returns the virtual time of the most recently dispatched
+	// event (0 before any event runs).
+	CurrentTime() VTime
+
+	// Terminate makes Run return after the in-flight event completes. The
+	// remaining queue is preserved, so Run can resume.
+	Terminate()
+
+	// EventCount returns the total number of events dispatched so far.
+	EventCount() uint64
+}
+
+// queuedEvent decorates an event with a sequence number so the heap order is
+// a deterministic total order: (time, secondary flag, insertion sequence).
+type queuedEvent struct {
+	event Event
+	seq   uint64
+}
+
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	ti, tj := h[i].event.Time(), h[j].event.Time()
+	if ti != tj {
+		return ti < tj
+	}
+	si, sj := h[i].event.IsSecondary(), h[j].event.IsSecondary()
+	if si != sj {
+		return !si // primary before secondary
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = queuedEvent{}
+	*h = old[:n-1]
+	return item
+}
+
+// SerialEngine is a single-goroutine Engine. All simulated components run in
+// the goroutine that calls Run, so they need no internal locking.
+type SerialEngine struct {
+	queue      eventHeap
+	now        VTime
+	seq        uint64
+	dispatched uint64
+	terminated bool
+	hooks      []Hook
+	started    bool
+}
+
+// NewSerialEngine returns an empty engine at virtual time 0.
+func NewSerialEngine() *SerialEngine {
+	return &SerialEngine{}
+}
+
+var _ Engine = (*SerialEngine)(nil)
+
+// ErrPastEvent is wrapped by Run's error when an event was scheduled in the
+// virtual past.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Schedule enqueues e.
+func (eng *SerialEngine) Schedule(e Event) {
+	eng.seq++
+	heap.Push(&eng.queue, queuedEvent{event: e, seq: eng.seq})
+}
+
+// CurrentTime returns the time of the last dispatched event.
+func (eng *SerialEngine) CurrentTime() VTime { return eng.now }
+
+// EventCount returns the number of events dispatched so far.
+func (eng *SerialEngine) EventCount() uint64 { return eng.dispatched }
+
+// Terminate stops Run after the current event.
+func (eng *SerialEngine) Terminate() { eng.terminated = true }
+
+// Pending returns the number of events waiting in the queue.
+func (eng *SerialEngine) Pending() int { return len(eng.queue) }
+
+// RegisterHook adds a hook invoked around every event dispatch.
+func (eng *SerialEngine) RegisterHook(h Hook) {
+	eng.hooks = append(eng.hooks, h)
+}
+
+// Run dispatches events until the queue is empty or Terminate is called.
+func (eng *SerialEngine) Run() error {
+	eng.terminated = false
+	for len(eng.queue) > 0 && !eng.terminated {
+		qe := heap.Pop(&eng.queue).(queuedEvent)
+		e := qe.event
+		if eng.started && e.Time() < eng.now {
+			return fmt.Errorf("%w: event at %v, now %v",
+				ErrPastEvent, e.Time(), eng.now)
+		}
+		eng.started = true
+		eng.now = e.Time()
+		eng.dispatched++
+
+		for _, h := range eng.hooks {
+			h.Func(HookCtx{Pos: HookPosBeforeEvent, Now: eng.now, Item: e})
+		}
+		if err := dispatch(e); err != nil {
+			return err
+		}
+		for _, h := range eng.hooks {
+			h.Func(HookCtx{Pos: HookPosAfterEvent, Now: eng.now, Item: e})
+		}
+	}
+	return nil
+}
+
+func dispatch(e Event) error {
+	h := e.Handler()
+	if h == nil {
+		return fmt.Errorf("sim: event at %v has nil handler", e.Time())
+	}
+	return h.Handle(e)
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialEngineDispatchOrder(t *testing.T) {
+	eng := NewSerialEngine()
+	var got []VTime
+	times := []VTime{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tm := tm
+		eng.Schedule(NewFuncEvent(tm, func(now VTime) error {
+			got = append(got, now)
+			return nil
+		}))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []VTime{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSerialEngineSameTimeFIFO(t *testing.T) {
+	eng := NewSerialEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(NewFuncEvent(1, func(VTime) error {
+			got = append(got, i)
+			return nil
+		}))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSecondaryEventsRunAfterPrimary(t *testing.T) {
+	eng := NewSerialEngine()
+	var got []string
+	eng.Schedule(NewSecondaryFuncEvent(1, func(VTime) error {
+		got = append(got, "secondary")
+		return nil
+	}))
+	eng.Schedule(NewFuncEvent(1, func(VTime) error {
+		got = append(got, "primary")
+		return nil
+	}))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "primary" || got[1] != "secondary" {
+		t.Fatalf("got order %v", got)
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	eng := NewSerialEngine()
+	var fired []VTime
+	eng.Schedule(NewFuncEvent(1, func(now VTime) error {
+		fired = append(fired, now)
+		eng.Schedule(NewFuncEvent(now+2, func(now VTime) error {
+			fired = append(fired, now)
+			return nil
+		}))
+		return nil
+	}))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 3 {
+		t.Fatalf("cascade failed: %v", fired)
+	}
+	if eng.CurrentTime() != 3 {
+		t.Fatalf("CurrentTime = %v, want 3", eng.CurrentTime())
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	eng := NewSerialEngine()
+	eng.Schedule(NewFuncEvent(5, func(now VTime) error {
+		eng.Schedule(NewFuncEvent(1, func(VTime) error { return nil }))
+		return nil
+	}))
+	err := eng.Run()
+	if !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("want ErrPastEvent, got %v", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	eng := NewSerialEngine()
+	boom := errors.New("boom")
+	eng.Schedule(NewFuncEvent(1, func(VTime) error { return boom }))
+	if err := eng.Run(); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestTerminateAndResume(t *testing.T) {
+	eng := NewSerialEngine()
+	var count int
+	for i := 1; i <= 5; i++ {
+		i := i
+		eng.Schedule(NewFuncEvent(VTime(i), func(VTime) error {
+			count++
+			if i == 2 {
+				eng.Terminate()
+			}
+			return nil
+		}))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("ran %d events before terminate, want 2", count)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("ran %d events total, want 5", count)
+	}
+}
+
+func TestMonitorHook(t *testing.T) {
+	eng := NewSerialEngine()
+	mon := NewMonitor(func(Event) string { return "func" })
+	eng.RegisterHook(mon)
+	for i := 1; i <= 4; i++ {
+		eng.Schedule(NewFuncEvent(VTime(i), func(VTime) error { return nil }))
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Events != 4 {
+		t.Fatalf("monitor counted %d events, want 4", mon.Events)
+	}
+	if mon.LastTime != 4 {
+		t.Fatalf("monitor last time %v, want 4", mon.LastTime)
+	}
+	if mon.ByHandler["func"] != 4 {
+		t.Fatalf("by-handler count = %v", mon.ByHandler)
+	}
+	if eng.EventCount() != 4 {
+		t.Fatalf("EventCount = %d", eng.EventCount())
+	}
+}
+
+// Property: for any set of non-negative event times, the engine dispatches
+// them in sorted order.
+func TestDispatchOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		eng := NewSerialEngine()
+		var got []VTime
+		for _, r := range raw {
+			tm := VTime(r)
+			eng.Schedule(NewFuncEvent(tm, func(now VTime) error {
+				got = append(got, now)
+				return nil
+			}))
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool {
+			return got[i] < got[j]
+		}) && len(got) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving schedule-during-run never loses events and still
+// dispatches in order.
+func TestCascadingScheduleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		eng := NewSerialEngine()
+		total := 0
+		var fired int
+		var last VTime = -1
+		var schedule func(at VTime, depth int)
+		schedule = func(at VTime, depth int) {
+			total++
+			eng.Schedule(NewFuncEvent(at, func(now VTime) error {
+				if now < last {
+					t.Fatalf("time went backwards: %v after %v", now, last)
+				}
+				last = now
+				fired++
+				if depth < 3 && rng.Intn(2) == 0 {
+					schedule(now+VTime(rng.Intn(5)), depth+1)
+				}
+				return nil
+			}))
+		}
+		for i := 0; i < 20; i++ {
+			schedule(VTime(rng.Intn(100)), 0)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if fired != total {
+			t.Fatalf("fired %d of %d events", fired, total)
+		}
+	}
+}
+
+func TestVTimeHelpers(t *testing.T) {
+	if VTime(2).Max(3) != 3 || VTime(2).Min(3) != 2 {
+		t.Fatal("Max/Min broken")
+	}
+	if !VTime(1).Before(2) || !VTime(2).After(1) {
+		t.Fatal("Before/After broken")
+	}
+	cases := map[VTime]string{
+		0:        "0s",
+		1.5:      "1.500000s",
+		2e-3:     "2.000ms",
+		3e-6:     "3.000us",
+		4e-9:     "4.000ns",
+		Infinity: "+inf",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("VTime(%g).String() = %q, want %q", float64(in), got, want)
+		}
+	}
+	if VTime(1.5).Milliseconds() != 1500 {
+		t.Fatal("Milliseconds broken")
+	}
+	if VTime(1.5).Microseconds() != 1.5e6 {
+		t.Fatal("Microseconds broken")
+	}
+	if VTime(1.5).Seconds() != 1.5 {
+		t.Fatal("Seconds broken")
+	}
+}
+
+func TestNilHandlerError(t *testing.T) {
+	eng := NewSerialEngine()
+	eng.Schedule(&nilHandlerEvent{EventBase: NewEventBase(1, nil)})
+	if err := eng.Run(); err == nil {
+		t.Fatal("want error for nil handler")
+	}
+}
+
+type nilHandlerEvent struct{ EventBase }

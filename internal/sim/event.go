@@ -1,0 +1,75 @@
+package sim
+
+// Event is something that happens at a point in virtual time. The engine
+// dispatches events to their handlers in non-decreasing time order.
+type Event interface {
+	// Time returns the virtual time at which the event fires.
+	Time() VTime
+
+	// Handler returns the handler that processes the event.
+	Handler() Handler
+
+	// IsSecondary reports whether the event should run after all primary
+	// events scheduled for the same time. Secondary events are used for
+	// bookkeeping (e.g., statistics flushes) that must observe the state
+	// after all same-cycle primary activity.
+	IsSecondary() bool
+}
+
+// Handler processes events.
+type Handler interface {
+	Handle(e Event) error
+}
+
+// EventBase provides a reusable implementation of the Event interface.
+// Concrete event types embed it and add their payload fields.
+type EventBase struct {
+	EventTime VTime
+	EventHdl  Handler
+	Secondary bool
+}
+
+// NewEventBase builds an EventBase for a primary event at time t handled by h.
+func NewEventBase(t VTime, h Handler) EventBase {
+	return EventBase{EventTime: t, EventHdl: h}
+}
+
+// Time returns the event firing time.
+func (e EventBase) Time() VTime { return e.EventTime }
+
+// Handler returns the event handler.
+func (e EventBase) Handler() Handler { return e.EventHdl }
+
+// IsSecondary reports whether the event is secondary.
+func (e EventBase) IsSecondary() bool { return e.Secondary }
+
+// HandlerFunc adapts a plain function to the Handler interface.
+type HandlerFunc func(e Event) error
+
+// Handle calls f(e).
+func (f HandlerFunc) Handle(e Event) error { return f(e) }
+
+// funcEvent is an Event that calls a closure when it fires.
+type funcEvent struct {
+	EventBase
+	fn func(now VTime) error
+}
+
+func (e *funcEvent) Handler() Handler { return HandlerFunc(e.run) }
+
+func (e *funcEvent) run(Event) error { return e.fn(e.EventTime) }
+
+// NewFuncEvent wraps fn in an event that fires at time t. It is the most
+// convenient way for components to schedule one-off future work.
+func NewFuncEvent(t VTime, fn func(now VTime) error) Event {
+	return &funcEvent{EventBase: EventBase{EventTime: t}, fn: fn}
+}
+
+// NewSecondaryFuncEvent is like NewFuncEvent but the event runs after all
+// primary events at the same timestamp.
+func NewSecondaryFuncEvent(t VTime, fn func(now VTime) error) Event {
+	return &funcEvent{
+		EventBase: EventBase{EventTime: t, Secondary: true},
+		fn:        fn,
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+// HookPos identifies where in the engine's dispatch loop a hook fires.
+type HookPos int
+
+// Hook positions.
+const (
+	HookPosBeforeEvent HookPos = iota
+	HookPosAfterEvent
+)
+
+// HookCtx carries the context of a hook invocation.
+type HookCtx struct {
+	Pos  HookPos
+	Now  VTime
+	Item any
+}
+
+// Hook observes engine activity. Hooks enable AkitaRTM-style real-time
+// monitoring without touching component logic.
+type Hook interface {
+	Func(ctx HookCtx)
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(ctx HookCtx)
+
+// Func calls f(ctx).
+func (f HookFunc) Func(ctx HookCtx) { f(ctx) }
+
+// Monitor is a built-in hook that counts dispatched events and tracks the
+// virtual-time frontier. It stands in for the AkitaRTM monitoring surface:
+// callers can poll it from another goroutine-free context (e.g., between Run
+// segments) to report progress.
+type Monitor struct {
+	Events       uint64
+	LastTime     VTime
+	ByHandler    map[string]uint64
+	NameOf       func(e Event) string
+	sampleEveryN uint64
+}
+
+// NewMonitor returns a Monitor that tags events using nameOf (may be nil).
+func NewMonitor(nameOf func(e Event) string) *Monitor {
+	return &Monitor{ByHandler: map[string]uint64{}, NameOf: nameOf}
+}
+
+// Func implements Hook.
+func (m *Monitor) Func(ctx HookCtx) {
+	if ctx.Pos != HookPosAfterEvent {
+		return
+	}
+	m.Events++
+	m.LastTime = ctx.Now
+	if m.NameOf != nil {
+		if e, ok := ctx.Item.(Event); ok {
+			m.ByHandler[m.NameOf(e)]++
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package sim provides a lightweight discrete-event simulation engine in the
+// style of the Akita Simulator Engine. Events carry a virtual timestamp and a
+// handler; a serial engine pops events in time order and dispatches them.
+// The engine is the substrate every other TrioSim component runs on: the
+// network model, the GPU compute streams, and the collective-communication
+// schedules all advance virtual time exclusively by scheduling events here.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// VTime is virtual time inside the simulated world, in seconds.
+type VTime float64
+
+// Common time units expressed in VTime seconds.
+const (
+	Sec  VTime = 1
+	MSec VTime = 1e-3
+	USec VTime = 1e-6
+	NSec VTime = 1e-9
+)
+
+// Infinity is a VTime later than any schedulable event.
+var Infinity = VTime(math.Inf(1))
+
+// Seconds returns the time as a plain float64 second count.
+func (t VTime) Seconds() float64 { return float64(t) }
+
+// Milliseconds returns the time in milliseconds.
+func (t VTime) Milliseconds() float64 { return float64(t) * 1e3 }
+
+// Microseconds returns the time in microseconds.
+func (t VTime) Microseconds() float64 { return float64(t) * 1e6 }
+
+// Before reports whether t is strictly earlier than u.
+func (t VTime) Before(u VTime) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t VTime) After(u VTime) bool { return t > u }
+
+// Max returns the later of t and u.
+func (t VTime) Max(u VTime) VTime {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// Min returns the earlier of t and u.
+func (t VTime) Min(u VTime) VTime {
+	if t < u {
+		return t
+	}
+	return u
+}
+
+// String formats the time with an adaptive unit for readability.
+func (t VTime) String() string {
+	switch {
+	case math.IsInf(float64(t), 1):
+		return "+inf"
+	case t == 0:
+		return "0s"
+	case t >= Sec:
+		return fmt.Sprintf("%.6fs", float64(t))
+	case t >= MSec:
+		return fmt.Sprintf("%.3fms", float64(t)*1e3)
+	case t >= USec:
+		return fmt.Sprintf("%.3fus", float64(t)*1e6)
+	default:
+		return fmt.Sprintf("%.3fns", float64(t)*1e9)
+	}
+}

@@ -1,0 +1,142 @@
+package task
+
+import (
+	"fmt"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/timeline"
+)
+
+// Executor runs a task graph on the event engine: compute tasks occupy their
+// GPU's compute stream serially (in ready order), communication tasks go to
+// the network model (which shares bandwidth among concurrent transfers), and
+// barriers resolve instantly. It records every activity on a timeline.
+type Executor struct {
+	eng   sim.Engine
+	net   network.Network
+	graph *Graph
+	tl    *timeline.Timeline
+
+	indeg     []int
+	remaining int
+	gpuQueue  map[int][]*Task
+	gpuBusy   map[int]bool
+
+	startTime sim.VTime
+	lastEnd   sim.VTime
+}
+
+// NewExecutor prepares an executor; call Run to execute.
+func NewExecutor(eng sim.Engine, net network.Network, g *Graph,
+	tl *timeline.Timeline) *Executor {
+	return &Executor{
+		eng:      eng,
+		net:      net,
+		graph:    g,
+		tl:       tl,
+		gpuQueue: map[int][]*Task{},
+		gpuBusy:  map[int]bool{},
+	}
+}
+
+// Run executes the whole graph and returns the makespan (the virtual time
+// from start to the last task's completion).
+func (x *Executor) Run() (sim.VTime, error) {
+	if err := x.graph.Validate(); err != nil {
+		return 0, err
+	}
+	x.indeg = make([]int, x.graph.Len())
+	x.remaining = x.graph.Len()
+	for _, t := range x.graph.Tasks {
+		x.indeg[t.ID] = len(t.deps)
+	}
+	x.startTime = x.eng.CurrentTime()
+	x.lastEnd = x.startTime
+
+	x.eng.Schedule(sim.NewFuncEvent(x.startTime, func(now sim.VTime) error {
+		// Snapshot the initial ready set first: instantaneous tasks (e.g.
+		// barriers) completing inside ready() may zero further indegrees,
+		// and those tasks are dispatched by complete(), not this loop.
+		var initial []*Task
+		for _, t := range x.graph.Tasks {
+			if x.indeg[t.ID] == 0 {
+				initial = append(initial, t)
+			}
+		}
+		for _, t := range initial {
+			x.ready(t, now)
+		}
+		return nil
+	}))
+	if err := x.eng.Run(); err != nil {
+		return 0, err
+	}
+	if x.remaining != 0 {
+		return 0, fmt.Errorf("task: executor stalled with %d tasks pending",
+			x.remaining)
+	}
+	return x.lastEnd - x.startTime, nil
+}
+
+// ready dispatches a task whose dependencies have all resolved.
+func (x *Executor) ready(t *Task, now sim.VTime) {
+	switch t.Kind {
+	case Compute:
+		x.gpuQueue[t.GPU] = append(x.gpuQueue[t.GPU], t)
+		if !x.gpuBusy[t.GPU] {
+			x.startNextCompute(t.GPU, now)
+		}
+	case Comm, HostLoad:
+		phase := "comm"
+		if t.Kind == HostLoad {
+			phase = "hostload"
+		}
+		start := now
+		x.net.Send(t.Src, t.Dst, t.Bytes, func(end sim.VTime) {
+			x.tl.Add("net", t.Label, phase, start, end)
+			x.complete(t, end)
+		})
+	case Barrier:
+		x.complete(t, now)
+	case Delay:
+		x.eng.Schedule(sim.NewFuncEvent(now+t.Duration,
+			func(done sim.VTime) error {
+				x.complete(t, done)
+				return nil
+			}))
+	}
+}
+
+// startNextCompute pops the GPU's ready queue and occupies the stream.
+func (x *Executor) startNextCompute(gpu int, now sim.VTime) {
+	q := x.gpuQueue[gpu]
+	if len(q) == 0 {
+		return
+	}
+	t := q[0]
+	x.gpuQueue[gpu] = q[1:]
+	x.gpuBusy[gpu] = true
+	end := now + t.Duration
+	x.eng.Schedule(sim.NewFuncEvent(end, func(done sim.VTime) error {
+		x.tl.Add(fmt.Sprintf("gpu%d", gpu), t.Label, "compute", now, done)
+		x.gpuBusy[gpu] = false
+		x.complete(t, done)
+		x.startNextCompute(gpu, done)
+		return nil
+	}))
+}
+
+// complete resolves a finished task and releases its dependents.
+func (x *Executor) complete(t *Task, now sim.VTime) {
+	x.remaining--
+	if now > x.lastEnd {
+		x.lastEnd = now
+	}
+	for _, depID := range t.dependents {
+		x.indeg[depID]--
+		if x.indeg[depID] == 0 {
+			x.ready(x.graph.Tasks[depID], now)
+		}
+	}
+}

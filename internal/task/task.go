@@ -1,0 +1,258 @@
+// Package task defines the dependency-graph intermediate representation the
+// multi-GPU trace extrapolator produces and the simulator executes.
+//
+// The paper extrapolates the single-GPU trace "while the simulation
+// unfolds": reading each trace element, deciding which GPU(s) perform it,
+// and inserting data-movement operators when tensors are not resident. This
+// reproduction expresses the same decisions as an explicit task graph per
+// training iteration — a task only runs once its dependencies resolve, so
+// the execution semantics are identical, and the graph form is directly
+// unit-testable.
+package task
+
+import (
+	"fmt"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+)
+
+// Kind classifies tasks.
+type Kind int
+
+// Task kinds.
+const (
+	// Compute occupies one GPU's compute stream for Duration.
+	Compute Kind = iota
+	// Comm transfers Bytes from Src to Dst over the network model.
+	Comm
+	// HostLoad transfers Bytes from the host node to Dst (input staging).
+	HostLoad
+	// Barrier is an instantaneous synchronization point.
+	Barrier
+	// Delay occupies no resource but takes Duration (protocol latencies,
+	// CPU scheduling overheads).
+	Delay
+)
+
+var kindNames = [...]string{"compute", "comm", "hostload", "barrier", "delay"}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Task is one node of the execution graph.
+type Task struct {
+	ID    int
+	Kind  Kind
+	Label string
+
+	// GPU is the executing GPU index for Compute tasks.
+	GPU int
+	// Duration is the predicted execution time for Compute tasks.
+	Duration sim.VTime
+
+	// Src and Dst are topology node IDs for Comm/HostLoad tasks.
+	Src, Dst network.NodeID
+	// Bytes is the transfer volume for Comm/HostLoad tasks.
+	Bytes float64
+
+	// Layer and MicroBatch tag the task for breakdowns and tests.
+	Layer      int
+	MicroBatch int
+
+	deps       []int
+	dependents []int
+}
+
+// Deps returns the IDs of tasks that must finish before this one starts.
+func (t *Task) Deps() []int { return t.deps }
+
+// Dependents returns the IDs of tasks waiting on this one.
+func (t *Task) Dependents() []int { return t.dependents }
+
+// Graph is a DAG of tasks.
+type Graph struct {
+	Tasks []*Task
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// add appends t, assigning its ID.
+func (g *Graph) add(t *Task) *Task {
+	t.ID = len(g.Tasks)
+	g.Tasks = append(g.Tasks, t)
+	return t
+}
+
+// AddCompute adds a compute task on gpu lasting dur.
+func (g *Graph) AddCompute(gpu int, dur sim.VTime, label string) *Task {
+	return g.add(&Task{Kind: Compute, GPU: gpu, Duration: dur, Label: label})
+}
+
+// AddComm adds a network transfer task.
+func (g *Graph) AddComm(src, dst network.NodeID, bytes float64,
+	label string) *Task {
+	return g.add(&Task{Kind: Comm, Src: src, Dst: dst, Bytes: bytes,
+		Label: label})
+}
+
+// AddHostLoad adds a host→GPU staging transfer.
+func (g *Graph) AddHostLoad(host, dst network.NodeID, bytes float64,
+	label string) *Task {
+	return g.add(&Task{Kind: HostLoad, Src: host, Dst: dst, Bytes: bytes,
+		Label: label})
+}
+
+// AddBarrier adds an instantaneous barrier task.
+func (g *Graph) AddBarrier(label string) *Task {
+	return g.add(&Task{Kind: Barrier, Label: label})
+}
+
+// AddDelay adds a resource-free task taking dur (protocol/CPU overheads).
+func (g *Graph) AddDelay(dur sim.VTime, label string) *Task {
+	return g.add(&Task{Kind: Delay, Duration: dur, Label: label})
+}
+
+// AddDep records that before must finish before after starts. Self- and
+// duplicate dependencies are ignored.
+func (g *Graph) AddDep(before, after *Task) {
+	if before == nil || after == nil || before.ID == after.ID {
+		return
+	}
+	for _, d := range after.deps {
+		if d == before.ID {
+			return
+		}
+	}
+	after.deps = append(after.deps, before.ID)
+	before.dependents = append(before.dependents, after.ID)
+}
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.Tasks) }
+
+// Validate checks that the graph is a DAG with resolvable dependencies and
+// well-formed task fields.
+func (g *Graph) Validate() error {
+	for _, t := range g.Tasks {
+		switch t.Kind {
+		case Compute:
+			if t.Duration < 0 {
+				return fmt.Errorf("task %d (%s): negative duration",
+					t.ID, t.Label)
+			}
+			if t.GPU < 0 {
+				return fmt.Errorf("task %d (%s): no GPU", t.ID, t.Label)
+			}
+		case Delay:
+			if t.Duration < 0 {
+				return fmt.Errorf("task %d (%s): negative delay",
+					t.ID, t.Label)
+			}
+		case Comm, HostLoad:
+			if t.Bytes < 0 {
+				return fmt.Errorf("task %d (%s): negative bytes",
+					t.ID, t.Label)
+			}
+		}
+		for _, d := range t.deps {
+			if d < 0 || d >= len(g.Tasks) {
+				return fmt.Errorf("task %d (%s): dangling dep %d",
+					t.ID, t.Label, d)
+			}
+		}
+	}
+	// Kahn's algorithm: all tasks must be reachable at indegree 0.
+	indeg := make([]int, len(g.Tasks))
+	for _, t := range g.Tasks {
+		indeg[t.ID] = len(t.deps)
+	}
+	var queue []int
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, dep := range g.Tasks[id].dependents {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if seen != len(g.Tasks) {
+		return fmt.Errorf("task: graph has a cycle (%d of %d reachable)",
+			seen, len(g.Tasks))
+	}
+	return nil
+}
+
+// CriticalPathLength returns the longest dependency chain's total compute
+// duration, ignoring communication (a lower bound on makespan and a useful
+// diagnostic for stage balancing).
+func (g *Graph) CriticalPathLength() sim.VTime {
+	memo := make([]sim.VTime, len(g.Tasks))
+	done := make([]bool, len(g.Tasks))
+	var longest func(id int) sim.VTime
+	longest = func(id int) sim.VTime {
+		if done[id] {
+			return memo[id]
+		}
+		done[id] = true
+		t := g.Tasks[id]
+		var best sim.VTime
+		for _, d := range t.deps {
+			if v := longest(d); v > best {
+				best = v
+			}
+		}
+		memo[id] = best + t.Duration
+		return memo[id]
+	}
+	var best sim.VTime
+	for id := range g.Tasks {
+		if v := longest(id); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Stats summarizes a graph for logs and tests.
+type Stats struct {
+	Compute, Comm, HostLoad, Barrier int
+	ComputeTime                      sim.VTime
+	CommBytes                        float64
+}
+
+// Summarize counts tasks by kind.
+func (g *Graph) Summarize() Stats {
+	var s Stats
+	for _, t := range g.Tasks {
+		switch t.Kind {
+		case Compute:
+			s.Compute++
+			s.ComputeTime += t.Duration
+		case Comm:
+			s.Comm++
+			s.CommBytes += t.Bytes
+		case HostLoad:
+			s.HostLoad++
+			s.CommBytes += t.Bytes
+		case Barrier:
+			s.Barrier++
+		}
+	}
+	return s
+}

@@ -1,0 +1,240 @@
+// Package tensor describes the tensors recorded in TrioSim traces. A trace's
+// second table (the tensor table) stores, for every tensor the training
+// process touches, its dimensions, element type, and category. TrioSim uses
+// this metadata to compute how many bytes must move when a tensor is not
+// resident on the GPU that needs it.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID uniquely identifies a tensor within one trace.
+type ID int64
+
+// Category classifies a tensor's role in training, mirroring the categories
+// the Execution Graph Observer reports.
+type Category int
+
+// Tensor categories.
+const (
+	Unknown    Category = iota
+	Input               // mini-batch input data (lives on the host until fetched)
+	Weight              // model parameter
+	Gradient            // parameter gradient
+	Activation          // intermediate layer output
+	Output              // final model output
+)
+
+var categoryNames = [...]string{
+	"unknown", "input", "weight", "gradient", "activation", "output",
+}
+
+// String returns the lowercase category name.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// ParseCategory converts a category name back to a Category.
+func ParseCategory(s string) (Category, error) {
+	for i, n := range categoryNames {
+		if n == s {
+			return Category(i), nil
+		}
+	}
+	return Unknown, fmt.Errorf("tensor: unknown category %q", s)
+}
+
+// DType is a tensor element type.
+type DType int
+
+// Element types used by the traced workloads.
+const (
+	Float32 DType = iota
+	Float16
+	BFloat16
+	Int64
+	Int32
+	Int8
+)
+
+var dtypeInfo = []struct {
+	name string
+	size int64
+}{
+	{"float32", 4},
+	{"float16", 2},
+	{"bfloat16", 2},
+	{"int64", 8},
+	{"int32", 4},
+	{"int8", 1},
+}
+
+// String returns the lowercase dtype name.
+func (d DType) String() string {
+	if d < 0 || int(d) >= len(dtypeInfo) {
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+	return dtypeInfo[d].name
+}
+
+// Size returns the element size in bytes.
+func (d DType) Size() int64 {
+	if d < 0 || int(d) >= len(dtypeInfo) {
+		return 0
+	}
+	return dtypeInfo[d].size
+}
+
+// ParseDType converts a dtype name back to a DType.
+func ParseDType(s string) (DType, error) {
+	for i, info := range dtypeInfo {
+		if info.name == s {
+			return DType(i), nil
+		}
+	}
+	return Float32, fmt.Errorf("tensor: unknown dtype %q", s)
+}
+
+// Tensor is one row of the trace's tensor table.
+type Tensor struct {
+	ID       ID
+	Dims     []int64
+	DType    DType
+	Category Category
+	// BatchDim is the index of the dimension that scales with batch size,
+	// or -1 if the tensor does not scale (e.g., weights). The extrapolator
+	// uses it to resize tensors when the simulated batch size differs from
+	// the traced one.
+	BatchDim int
+}
+
+// NumElements returns the product of the dims (0 for a dimensionless tensor).
+func (t *Tensor) NumElements() int64 {
+	if len(t.Dims) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Bytes returns the tensor's size in bytes.
+func (t *Tensor) Bytes() int64 {
+	return t.NumElements() * t.DType.Size()
+}
+
+// ScaledToBatch returns a copy of the tensor resized to batch size newBatch,
+// assuming the traced batch size was oldBatch. Tensors without a batch
+// dimension are returned unchanged (weights do not scale with batch size).
+func (t *Tensor) ScaledToBatch(oldBatch, newBatch int64) Tensor {
+	out := *t
+	out.Dims = append([]int64(nil), t.Dims...)
+	if t.BatchDim < 0 || t.BatchDim >= len(out.Dims) || oldBatch <= 0 {
+		return out
+	}
+	perSample := out.Dims[t.BatchDim] / oldBatch
+	if perSample <= 0 {
+		perSample = 1
+	}
+	out.Dims[t.BatchDim] = perSample * newBatch
+	return out
+}
+
+// ShardDim returns a copy of the tensor with dimension dim divided across
+// parts shards (ceiling division so shards cover the tensor). Tensor
+// parallelism uses this to size per-GPU partitions.
+func (t *Tensor) ShardDim(dim, parts int) Tensor {
+	out := *t
+	out.Dims = append([]int64(nil), t.Dims...)
+	if dim < 0 || dim >= len(out.Dims) || parts <= 1 {
+		return out
+	}
+	d := out.Dims[dim]
+	out.Dims[dim] = (d + int64(parts) - 1) / int64(parts)
+	return out
+}
+
+// String renders the tensor compactly, e.g. "t42 float32[64,3,224,224] input".
+func (t *Tensor) String() string {
+	dims := make([]string, len(t.Dims))
+	for i, d := range t.Dims {
+		dims[i] = fmt.Sprintf("%d", d)
+	}
+	return fmt.Sprintf("t%d %s[%s] %s",
+		t.ID, t.DType, strings.Join(dims, ","), t.Category)
+}
+
+// Table is the tensor table of a trace: every tensor indexed by ID.
+type Table struct {
+	byID   map[ID]*Tensor
+	nextID ID
+}
+
+// NewTable returns an empty tensor table.
+func NewTable() *Table {
+	return &Table{byID: map[ID]*Tensor{}}
+}
+
+// Add registers a tensor, assigning it a fresh ID, and returns that ID.
+func (tb *Table) Add(t Tensor) ID {
+	tb.nextID++
+	t.ID = tb.nextID
+	tb.byID[t.ID] = &t
+	return t.ID
+}
+
+// Put registers a tensor under its existing ID (used when decoding traces).
+func (tb *Table) Put(t Tensor) {
+	tb.byID[t.ID] = &t
+	if t.ID > tb.nextID {
+		tb.nextID = t.ID
+	}
+}
+
+// Get returns the tensor with the given ID, or nil.
+func (tb *Table) Get(id ID) *Tensor {
+	return tb.byID[id]
+}
+
+// Len returns the number of tensors in the table.
+func (tb *Table) Len() int { return len(tb.byID) }
+
+// All returns the tensors in ascending ID order.
+func (tb *Table) All() []*Tensor {
+	out := make([]*Tensor, 0, len(tb.byID))
+	for id := ID(1); id <= tb.nextID; id++ {
+		if t, ok := tb.byID[id]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums the bytes of the tensors with the given IDs.
+func (tb *Table) TotalBytes(ids []ID) int64 {
+	var total int64
+	for _, id := range ids {
+		if t := tb.byID[id]; t != nil {
+			total += t.Bytes()
+		}
+	}
+	return total
+}
+
+// BytesByCategory sums tensor bytes for one category across the whole table.
+func (tb *Table) BytesByCategory(c Category) int64 {
+	var total int64
+	for _, t := range tb.byID {
+		if t.Category == c {
+			total += t.Bytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBytes(t *testing.T) {
+	tn := Tensor{Dims: []int64{64, 3, 224, 224}, DType: Float32}
+	wantElems := int64(64 * 3 * 224 * 224)
+	if tn.NumElements() != wantElems {
+		t.Fatalf("NumElements = %d, want %d", tn.NumElements(), wantElems)
+	}
+	if tn.Bytes() != wantElems*4 {
+		t.Fatalf("Bytes = %d, want %d", tn.Bytes(), wantElems*4)
+	}
+}
+
+func TestEmptyTensor(t *testing.T) {
+	tn := Tensor{DType: Float32}
+	if tn.NumElements() != 0 || tn.Bytes() != 0 {
+		t.Fatal("empty tensor should have 0 elements and bytes")
+	}
+}
+
+func TestDTypeSizes(t *testing.T) {
+	cases := map[DType]int64{
+		Float32: 4, Float16: 2, BFloat16: 2, Int64: 8, Int32: 4, Int8: 1,
+	}
+	for d, want := range cases {
+		if d.Size() != want {
+			t.Errorf("%v.Size() = %d, want %d", d, d.Size(), want)
+		}
+	}
+	if DType(99).Size() != 0 {
+		t.Error("invalid dtype should have size 0")
+	}
+}
+
+func TestDTypeRoundTrip(t *testing.T) {
+	for d := Float32; d <= Int8; d++ {
+		got, err := ParseDType(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDType(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDType("nope"); err == nil {
+		t.Error("ParseDType should reject unknown names")
+	}
+}
+
+func TestCategoryRoundTrip(t *testing.T) {
+	for c := Unknown; c <= Output; c++ {
+		got, err := ParseCategory(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCategory(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCategory("nope"); err == nil {
+		t.Error("ParseCategory should reject unknown names")
+	}
+}
+
+func TestScaledToBatch(t *testing.T) {
+	in := Tensor{Dims: []int64{128, 3, 32, 32}, DType: Float32, BatchDim: 0}
+	out := in.ScaledToBatch(128, 256)
+	if out.Dims[0] != 256 {
+		t.Fatalf("batch dim = %d, want 256", out.Dims[0])
+	}
+	if in.Dims[0] != 128 {
+		t.Fatal("ScaledToBatch mutated the input")
+	}
+
+	w := Tensor{Dims: []int64{512, 512}, DType: Float32, BatchDim: -1}
+	sw := w.ScaledToBatch(128, 256)
+	if sw.Dims[0] != 512 || sw.Dims[1] != 512 {
+		t.Fatal("weight tensor must not scale with batch")
+	}
+}
+
+func TestScaledToBatchProperty(t *testing.T) {
+	// Scaling to k*oldBatch multiplies the batch-dim by k exactly.
+	f := func(perSample uint8, oldB, k uint8) bool {
+		ps := int64(perSample%16) + 1
+		ob := int64(oldB%16) + 1
+		kk := int64(k%8) + 1
+		in := Tensor{Dims: []int64{ps * ob, 7}, DType: Float32, BatchDim: 0}
+		out := in.ScaledToBatch(ob, ob*kk)
+		return out.Dims[0] == ps*ob*kk && out.Dims[1] == 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardDim(t *testing.T) {
+	w := Tensor{Dims: []int64{1000, 512}, DType: Float32}
+	s := w.ShardDim(0, 4)
+	if s.Dims[0] != 250 {
+		t.Fatalf("shard dim = %d, want 250", s.Dims[0])
+	}
+	s = w.ShardDim(0, 3) // ceiling division
+	if s.Dims[0] != 334 {
+		t.Fatalf("ceil shard dim = %d, want 334", s.Dims[0])
+	}
+	s = w.ShardDim(5, 4) // out of range: unchanged
+	if s.Dims[0] != 1000 {
+		t.Fatal("out-of-range dim must leave tensor unchanged")
+	}
+}
+
+func TestShardCoversProperty(t *testing.T) {
+	// parts * shardSize >= original size, and shardSize <= original size.
+	f := func(size uint16, parts uint8) bool {
+		sz := int64(size%4096) + 1
+		p := int(parts%15) + 2
+		tn := Tensor{Dims: []int64{sz}, DType: Float32}
+		sh := tn.ShardDim(0, p)
+		return sh.Dims[0]*int64(p) >= sz && sh.Dims[0] <= sz
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable()
+	id1 := tb.Add(Tensor{Dims: []int64{10}, DType: Float32, Category: Weight})
+	id2 := tb.Add(Tensor{Dims: []int64{20}, DType: Float32, Category: Gradient})
+	if id1 == id2 {
+		t.Fatal("IDs must be unique")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if got := tb.Get(id1); got == nil || got.Dims[0] != 10 {
+		t.Fatalf("Get(%d) = %v", id1, got)
+	}
+	if tb.Get(999) != nil {
+		t.Fatal("Get of missing ID should be nil")
+	}
+	if got := tb.TotalBytes([]ID{id1, id2}); got != 30*4 {
+		t.Fatalf("TotalBytes = %d, want 120", got)
+	}
+	if got := tb.TotalBytes([]ID{id1, 999}); got != 40 {
+		t.Fatalf("TotalBytes with missing ID = %d, want 40", got)
+	}
+	if got := tb.BytesByCategory(Weight); got != 40 {
+		t.Fatalf("BytesByCategory(Weight) = %d, want 40", got)
+	}
+	all := tb.All()
+	if len(all) != 2 || all[0].ID != id1 || all[1].ID != id2 {
+		t.Fatalf("All() order wrong: %v", all)
+	}
+}
+
+func TestTablePut(t *testing.T) {
+	tb := NewTable()
+	tb.Put(Tensor{ID: 7, Dims: []int64{3}, DType: Float32})
+	if tb.Get(7) == nil {
+		t.Fatal("Put tensor missing")
+	}
+	// Next Add must not collide with the explicit ID.
+	id := tb.Add(Tensor{Dims: []int64{1}, DType: Float32})
+	if id <= 7 {
+		t.Fatalf("Add after Put(7) returned %d", id)
+	}
+}
+
+func TestTensorString(t *testing.T) {
+	tn := Tensor{ID: 42, Dims: []int64{64, 3}, DType: Float32, Category: Input}
+	want := "t42 float32[64,3] input"
+	if got := tn.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

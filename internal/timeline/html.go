@@ -1,0 +1,116 @@
+package timeline
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+
+	"triosim/internal/sim"
+)
+
+// ExportHTML writes a self-contained Daisen-style timeline viewer: one SVG
+// lane per resource, intervals as colored bars (compute / comm / hostload),
+// hover titles with labels and durations. No external assets — open the
+// file in any browser.
+func (tl *Timeline) ExportHTML(w io.Writer, title string) error {
+	start, end := tl.Span()
+	span := float64(end - start)
+	if span <= 0 {
+		span = 1
+	}
+	resources := tl.Resources()
+	laneOf := map[string]int{}
+	for i, r := range resources {
+		laneOf[r] = i
+	}
+
+	const (
+		width      = 1200.0
+		laneHeight = 28.0
+		laneGap    = 6.0
+		leftPad    = 90.0
+		topPad     = 40.0
+	)
+	height := topPad + float64(len(resources))*(laneHeight+laneGap) + 20
+
+	colors := map[string]string{
+		"compute":  "#4878cf",
+		"comm":     "#d65f5f",
+		"hostload": "#6acc65",
+	}
+
+	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+body { font-family: sans-serif; background: #fafafa; margin: 16px; }
+svg { background: white; border: 1px solid #ddd; }
+.lane-label { font-size: 12px; fill: #333; }
+.axis { font-size: 10px; fill: #777; }
+.legend { font-size: 12px; }
+</style></head><body>
+<h2>%s</h2>
+<p class="legend">
+<span style="color:%s">&#9632;</span> compute&nbsp;
+<span style="color:%s">&#9632;</span> communication&nbsp;
+<span style="color:%s">&#9632;</span> host load
+— span %s</p>
+<svg width="%.0f" height="%.0f">
+`, html.EscapeString(title), html.EscapeString(title),
+		colors["compute"], colors["comm"], colors["hostload"],
+		(end - start).String(), width, height); err != nil {
+		return err
+	}
+
+	// Lane labels and backgrounds.
+	for i, r := range resources {
+		y := topPad + float64(i)*(laneHeight+laneGap)
+		fmt.Fprintf(w,
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#f0f0f0"/>`+"\n",
+			leftPad, y, width-leftPad-10, laneHeight)
+		fmt.Fprintf(w,
+			`<text class="lane-label" x="4" y="%.1f">%s</text>`+"\n",
+			y+laneHeight*0.65, html.EscapeString(r))
+	}
+	// Time axis ticks.
+	for i := 0; i <= 10; i++ {
+		frac := float64(i) / 10
+		x := leftPad + frac*(width-leftPad-10)
+		t := start + sim.VTime(frac*float64(end-start))
+		fmt.Fprintf(w,
+			`<text class="axis" x="%.1f" y="%.1f">%s</text>`+"\n",
+			x, topPad-8, t.String())
+	}
+
+	// Intervals, drawn in start order so later bars overlay earlier ones.
+	ivs := make([]Interval, len(tl.Intervals))
+	copy(ivs, tl.Intervals)
+	sort.SliceStable(ivs, func(i, j int) bool {
+		return ivs[i].Start < ivs[j].Start
+	})
+	for i := range ivs {
+		iv := &ivs[i]
+		lane, ok := laneOf[iv.Resource]
+		if !ok {
+			continue
+		}
+		x := leftPad + float64(iv.Start-start)/span*(width-leftPad-10)
+		wpx := float64(iv.Duration()) / span * (width - leftPad - 10)
+		if wpx < 0.5 {
+			wpx = 0.5
+		}
+		y := topPad + float64(lane)*(laneHeight+laneGap)
+		color := colors[iv.Phase]
+		if color == "" {
+			color = "#999999"
+		}
+		fmt.Fprintf(w,
+			`<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="%s" opacity="0.85"><title>%s [%s] %s–%s (%s)</title></rect>`+"\n",
+			x, y+3, wpx, laneHeight-6, color,
+			html.EscapeString(iv.Label), iv.Phase,
+			iv.Start.String(), iv.End.String(), iv.Duration().String())
+	}
+
+	_, err := fmt.Fprint(w, "</svg></body></html>\n")
+	return err
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"triosim/internal/sim"
+)
+
+// OpClassStats aggregates one operator type.
+type OpClassStats struct {
+	Name  string
+	Count int
+	Time  sim.VTime
+	FLOPs float64
+	Bytes int64
+}
+
+// Stats is a trace profile: what a user inspects before simulating.
+type Stats struct {
+	Model     string
+	Device    string
+	BatchSize int
+	Ops       int
+	Tensors   int
+	TotalTime sim.VTime
+	// Phase times.
+	ForwardTime, BackwardTime, OptimizerTime sim.VTime
+	// Byte accounting.
+	WeightBytes, GradientBytes, InputBytes int64
+	// ByOp is sorted by descending total time.
+	ByOp []OpClassStats
+}
+
+// ComputeStats profiles the trace.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{
+		Model:         t.Model,
+		Device:        t.Device,
+		BatchSize:     t.BatchSize,
+		Ops:           len(t.Ops),
+		Tensors:       t.Tensors.Len(),
+		TotalTime:     t.TotalTime(),
+		WeightBytes:   t.WeightBytes(),
+		GradientBytes: t.GradientBytes(),
+		InputBytes:    t.InputBytes(),
+	}
+	byOp := map[string]*OpClassStats{}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		switch op.Phase {
+		case Forward:
+			s.ForwardTime += op.Time
+		case Backward:
+			s.BackwardTime += op.Time
+		case Optimizer:
+			s.OptimizerTime += op.Time
+		}
+		cls := byOp[op.Name]
+		if cls == nil {
+			cls = &OpClassStats{Name: op.Name}
+			byOp[op.Name] = cls
+		}
+		cls.Count++
+		cls.Time += op.Time
+		cls.FLOPs += op.FLOPs
+		cls.Bytes += op.BytesIn(t.Tensors) + op.BytesOut(t.Tensors)
+	}
+	for _, cls := range byOp {
+		s.ByOp = append(s.ByOp, *cls)
+	}
+	sort.Slice(s.ByOp, func(i, j int) bool {
+		if s.ByOp[i].Time != s.ByOp[j].Time {
+			return s.ByOp[i].Time > s.ByOp[j].Time
+		}
+		return s.ByOp[i].Name < s.ByOp[j].Name
+	})
+	return s
+}
+
+// Print renders the profile as an aligned report.
+func (s *Stats) Print(w io.Writer) {
+	fmt.Fprintf(w, "trace: %s on %s, batch %d\n", s.Model, s.Device,
+		s.BatchSize)
+	fmt.Fprintf(w, "  %d ops, %d tensors, iteration %v\n",
+		s.Ops, s.Tensors, s.TotalTime)
+	fmt.Fprintf(w, "  forward %v | backward %v | optimizer %v\n",
+		s.ForwardTime, s.BackwardTime, s.OptimizerTime)
+	fmt.Fprintf(w, "  weights %.1f MB | gradients %.1f MB | input %.1f MB\n",
+		float64(s.WeightBytes)/1e6, float64(s.GradientBytes)/1e6,
+		float64(s.InputBytes)/1e6)
+	fmt.Fprintf(w, "  %-16s %6s %14s %8s %12s %12s\n",
+		"operator", "count", "time", "share", "GFLOPs", "GB moved")
+	for _, cls := range s.ByOp {
+		fmt.Fprintf(w, "  %-16s %6d %14v %7.1f%% %12.1f %12.2f\n",
+			cls.Name, cls.Count, cls.Time,
+			100*float64(cls.Time)/float64(s.TotalTime),
+			cls.FLOPs/1e9, float64(cls.Bytes)/1e9)
+	}
+}

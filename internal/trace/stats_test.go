@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.ComputeStats()
+	if s.Ops != 3 || s.Tensors != tr.Tensors.Len() {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.TotalTime != tr.TotalTime() {
+		t.Fatal("total time mismatch")
+	}
+	if s.ForwardTime != 1e-3 || s.BackwardTime != 2e-3 ||
+		s.OptimizerTime != 1e-4 {
+		t.Fatalf("phase split wrong: %+v", s)
+	}
+	if s.WeightBytes != tr.WeightBytes() {
+		t.Fatal("weight bytes mismatch")
+	}
+	// Sorted by descending time: conv2d_bwd first.
+	if len(s.ByOp) != 3 || s.ByOp[0].Name != "conv2d_bwd" {
+		t.Fatalf("ByOp order: %+v", s.ByOp)
+	}
+	var sum float64
+	for _, cls := range s.ByOp {
+		sum += float64(cls.Time)
+	}
+	if sum != float64(s.TotalTime) {
+		t.Fatal("per-op times do not sum to total")
+	}
+}
+
+func TestStatsPrint(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.ComputeStats()
+	var buf bytes.Buffer
+	s.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"toy", "A100", "conv2d_bwd", "forward",
+		"weights"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package trace defines TrioSim's trace format and its JSON serialization.
+//
+// A trace is what the tracer tool (built on the PyTorch Profiler and the
+// Execution Graph Observer in the paper; the analytic model zoo plus the
+// reference hardware emulator in this reproduction) captures from one
+// single-GPU training iteration. It has two tables:
+//
+//   - the operator table: one entry per executed operator, with the operator
+//     name, the layer it belongs to, the training phase, the measured
+//     execution time, and the input/output tensors as lists of tensor IDs;
+//   - the tensor table: every tensor's dimensions, element type, and
+//     category, so the simulator can compute the bytes that must move when a
+//     tensor is not resident where it is needed.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"triosim/internal/sim"
+	"triosim/internal/tensor"
+)
+
+// Phase tags which part of the training step an operator belongs to.
+type Phase int
+
+// Training phases.
+const (
+	Forward Phase = iota
+	Backward
+	Optimizer
+)
+
+var phaseNames = [...]string{"forward", "backward", "optimizer"}
+
+// String returns the lowercase phase name.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// ParsePhase converts a phase name back to a Phase.
+func ParsePhase(s string) (Phase, error) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), nil
+		}
+	}
+	return Forward, fmt.Errorf("trace: unknown phase %q", s)
+}
+
+// Op is one operator-table entry.
+type Op struct {
+	// Seq is the position of the operator in program order.
+	Seq int
+	// Name is the operator name, e.g. "conv2d" or "matmul".
+	Name string
+	// Layer is the index of the DNN layer this operator implements. The
+	// trace extrapolator groups operators by layer when assigning pipeline
+	// stages and when deciding tensor-parallel splits.
+	Layer int
+	// LayerName is a human-readable layer label, e.g. "layer3.block2.conv1".
+	LayerName string
+	// Phase is forward, backward, or optimizer.
+	Phase Phase
+	// Time is the measured single-GPU execution time of the operator.
+	Time sim.VTime
+	// FLOPs is the floating-point work of the operator, derived from the
+	// operator's input/output dimensions (what Li's Model computes from the
+	// shapes the Execution Graph Observer records).
+	FLOPs float64
+	// Inputs and Outputs list the tensors the operator reads and writes.
+	Inputs  []tensor.ID
+	Outputs []tensor.ID
+	// Parallelizable marks operators whose work tensor parallelism can
+	// split across GPUs (conv, linear, embedding, matmul).
+	Parallelizable bool
+}
+
+// BytesIn returns the total input bytes of the op according to tab.
+func (o *Op) BytesIn(tab *tensor.Table) int64 { return tab.TotalBytes(o.Inputs) }
+
+// BytesOut returns the total output bytes of the op according to tab.
+func (o *Op) BytesOut(tab *tensor.Table) int64 { return tab.TotalBytes(o.Outputs) }
+
+// Trace is a complete single-GPU trace.
+type Trace struct {
+	// Model is the workload name, e.g. "resnet50".
+	Model string
+	// Device is the GPU the trace was collected on, e.g. "A100".
+	Device string
+	// BatchSize is the mini-batch size used during tracing.
+	BatchSize int
+	Ops       []Op
+	Tensors   *tensor.Table
+}
+
+// New returns an empty trace with an initialized tensor table.
+func New(model, device string, batchSize int) *Trace {
+	return &Trace{
+		Model:     model,
+		Device:    device,
+		BatchSize: batchSize,
+		Tensors:   tensor.NewTable(),
+	}
+}
+
+// Append adds an op, assigning its sequence number.
+func (t *Trace) Append(op Op) {
+	op.Seq = len(t.Ops)
+	t.Ops = append(t.Ops, op)
+}
+
+// TotalTime sums the measured time of all ops (the traced single-GPU
+// iteration time, excluding data loading).
+func (t *Trace) TotalTime() sim.VTime {
+	var total sim.VTime
+	for i := range t.Ops {
+		total += t.Ops[i].Time
+	}
+	return total
+}
+
+// TotalFLOPs sums the FLOPs of all ops.
+func (t *Trace) TotalFLOPs() float64 {
+	var total float64
+	for i := range t.Ops {
+		total += t.Ops[i].FLOPs
+	}
+	return total
+}
+
+// OpsInPhase returns the indices of ops in the given phase, in order.
+func (t *Trace) OpsInPhase(p Phase) []int {
+	var out []int
+	for i := range t.Ops {
+		if t.Ops[i].Phase == p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumLayers returns 1 + the maximum layer index (0 for an empty trace).
+func (t *Trace) NumLayers() int {
+	max := -1
+	for i := range t.Ops {
+		if t.Ops[i].Layer > max {
+			max = t.Ops[i].Layer
+		}
+	}
+	return max + 1
+}
+
+// GradientBytes sums the bytes of all gradient-category tensors; this is the
+// volume a data-parallel AllReduce must synchronize.
+func (t *Trace) GradientBytes() int64 {
+	return t.Tensors.BytesByCategory(tensor.Gradient)
+}
+
+// WeightBytes sums the bytes of all weight tensors.
+func (t *Trace) WeightBytes() int64 {
+	return t.Tensors.BytesByCategory(tensor.Weight)
+}
+
+// InputBytes sums the bytes of all input tensors (the host-to-device volume
+// per iteration).
+func (t *Trace) InputBytes() int64 {
+	return t.Tensors.BytesByCategory(tensor.Input)
+}
+
+// Validate checks trace integrity: sequence numbers are consecutive, every
+// referenced tensor exists, and times are non-negative.
+func (t *Trace) Validate() error {
+	if t.Tensors == nil {
+		return fmt.Errorf("trace: nil tensor table")
+	}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		if op.Seq != i {
+			return fmt.Errorf("trace: op %d has seq %d", i, op.Seq)
+		}
+		if op.Time < 0 {
+			return fmt.Errorf("trace: op %d (%s) has negative time", i, op.Name)
+		}
+		if op.FLOPs < 0 {
+			return fmt.Errorf("trace: op %d (%s) has negative FLOPs", i, op.Name)
+		}
+		for _, id := range op.Inputs {
+			if t.Tensors.Get(id) == nil {
+				return fmt.Errorf("trace: op %d (%s) reads unknown tensor %d",
+					i, op.Name, id)
+			}
+		}
+		for _, id := range op.Outputs {
+			if t.Tensors.Get(id) == nil {
+				return fmt.Errorf("trace: op %d (%s) writes unknown tensor %d",
+					i, op.Name, id)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- JSON serialization ----
+
+type jsonTensor struct {
+	ID       tensor.ID `json:"id"`
+	Dims     []int64   `json:"dims"`
+	DType    string    `json:"dtype"`
+	Category string    `json:"category"`
+	BatchDim int       `json:"batch_dim"`
+}
+
+type jsonOp struct {
+	Seq            int         `json:"seq"`
+	Name           string      `json:"name"`
+	Layer          int         `json:"layer"`
+	LayerName      string      `json:"layer_name,omitempty"`
+	Phase          string      `json:"phase"`
+	TimeSec        float64     `json:"time_sec"`
+	FLOPs          float64     `json:"flops"`
+	Inputs         []tensor.ID `json:"inputs"`
+	Outputs        []tensor.ID `json:"outputs"`
+	Parallelizable bool        `json:"parallelizable,omitempty"`
+}
+
+type jsonTrace struct {
+	Model     string       `json:"model"`
+	Device    string       `json:"device"`
+	BatchSize int          `json:"batch_size"`
+	Ops       []jsonOp     `json:"ops"`
+	Tensors   []jsonTensor `json:"tensors"`
+}
+
+// Encode writes the trace as JSON to w.
+func (t *Trace) Encode(w io.Writer) error {
+	jt := jsonTrace{
+		Model:     t.Model,
+		Device:    t.Device,
+		BatchSize: t.BatchSize,
+	}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		jt.Ops = append(jt.Ops, jsonOp{
+			Seq:            op.Seq,
+			Name:           op.Name,
+			Layer:          op.Layer,
+			LayerName:      op.LayerName,
+			Phase:          op.Phase.String(),
+			TimeSec:        float64(op.Time),
+			FLOPs:          op.FLOPs,
+			Inputs:         op.Inputs,
+			Outputs:        op.Outputs,
+			Parallelizable: op.Parallelizable,
+		})
+	}
+	for _, tn := range t.Tensors.All() {
+		jt.Tensors = append(jt.Tensors, jsonTensor{
+			ID:       tn.ID,
+			Dims:     tn.Dims,
+			DType:    tn.DType.String(),
+			Category: tn.Category.String(),
+			BatchDim: tn.BatchDim,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jt)
+}
+
+// Decode reads a JSON trace from r.
+func Decode(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	t := New(jt.Model, jt.Device, jt.BatchSize)
+	for _, jtn := range jt.Tensors {
+		dt, err := tensor.ParseDType(jtn.DType)
+		if err != nil {
+			return nil, err
+		}
+		cat, err := tensor.ParseCategory(jtn.Category)
+		if err != nil {
+			return nil, err
+		}
+		t.Tensors.Put(tensor.Tensor{
+			ID:       jtn.ID,
+			Dims:     jtn.Dims,
+			DType:    dt,
+			Category: cat,
+			BatchDim: jtn.BatchDim,
+		})
+	}
+	for _, jop := range jt.Ops {
+		ph, err := ParsePhase(jop.Phase)
+		if err != nil {
+			return nil, err
+		}
+		t.Ops = append(t.Ops, Op{
+			Seq:            jop.Seq,
+			Name:           jop.Name,
+			Layer:          jop.Layer,
+			LayerName:      jop.LayerName,
+			Phase:          ph,
+			Time:           sim.VTime(jop.TimeSec),
+			FLOPs:          jop.FLOPs,
+			Inputs:         jop.Inputs,
+			Outputs:        jop.Outputs,
+			Parallelizable: jop.Parallelizable,
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteFile encodes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes a trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

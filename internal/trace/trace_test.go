@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"triosim/internal/sim"
+	"triosim/internal/tensor"
+)
+
+func sampleTrace() *Trace {
+	t := New("toy", "A100", 128)
+	in := t.Tensors.Add(tensor.Tensor{
+		Dims: []int64{128, 3, 8, 8}, DType: tensor.Float32,
+		Category: tensor.Input, BatchDim: 0,
+	})
+	w := t.Tensors.Add(tensor.Tensor{
+		Dims: []int64{16, 3, 3, 3}, DType: tensor.Float32,
+		Category: tensor.Weight, BatchDim: -1,
+	})
+	act := t.Tensors.Add(tensor.Tensor{
+		Dims: []int64{128, 16, 8, 8}, DType: tensor.Float32,
+		Category: tensor.Activation, BatchDim: 0,
+	})
+	g := t.Tensors.Add(tensor.Tensor{
+		Dims: []int64{16, 3, 3, 3}, DType: tensor.Float32,
+		Category: tensor.Gradient, BatchDim: -1,
+	})
+	t.Append(Op{
+		Name: "conv2d", Layer: 0, LayerName: "conv1", Phase: Forward,
+		Time: 1e-3, FLOPs: 1e9,
+		Inputs: []tensor.ID{in, w}, Outputs: []tensor.ID{act},
+		Parallelizable: true,
+	})
+	t.Append(Op{
+		Name: "conv2d_bwd", Layer: 0, LayerName: "conv1", Phase: Backward,
+		Time: 2e-3, FLOPs: 2e9,
+		Inputs: []tensor.ID{act, w}, Outputs: []tensor.ID{g},
+		Parallelizable: true,
+	})
+	t.Append(Op{
+		Name: "sgd_step", Layer: 0, Phase: Optimizer,
+		Time: 1e-4, FLOPs: 1e6,
+		Inputs: []tensor.ID{w, g}, Outputs: []tensor.ID{w},
+	})
+	return t
+}
+
+func TestTotals(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.TotalTime(); got != sim.VTime(3.1e-3) {
+		t.Fatalf("TotalTime = %v", got)
+	}
+	if got := tr.TotalFLOPs(); got != 3.001e9 {
+		t.Fatalf("TotalFLOPs = %v", got)
+	}
+	if tr.NumLayers() != 1 {
+		t.Fatalf("NumLayers = %d", tr.NumLayers())
+	}
+}
+
+func TestPhaseSelection(t *testing.T) {
+	tr := sampleTrace()
+	fwd := tr.OpsInPhase(Forward)
+	if len(fwd) != 1 || tr.Ops[fwd[0]].Name != "conv2d" {
+		t.Fatalf("forward ops = %v", fwd)
+	}
+	bwd := tr.OpsInPhase(Backward)
+	if len(bwd) != 1 || tr.Ops[bwd[0]].Name != "conv2d_bwd" {
+		t.Fatalf("backward ops = %v", bwd)
+	}
+	if len(tr.OpsInPhase(Optimizer)) != 1 {
+		t.Fatal("optimizer ops missing")
+	}
+}
+
+func TestCategoryByteSums(t *testing.T) {
+	tr := sampleTrace()
+	wantGrad := int64(16 * 3 * 3 * 3 * 4)
+	if got := tr.GradientBytes(); got != wantGrad {
+		t.Fatalf("GradientBytes = %d, want %d", got, wantGrad)
+	}
+	if got := tr.WeightBytes(); got != wantGrad {
+		t.Fatalf("WeightBytes = %d, want %d", got, wantGrad)
+	}
+	wantIn := int64(128 * 3 * 8 * 8 * 4)
+	if got := tr.InputBytes(); got != wantIn {
+		t.Fatalf("InputBytes = %d, want %d", got, wantIn)
+	}
+}
+
+func TestOpByteAccessors(t *testing.T) {
+	tr := sampleTrace()
+	op := &tr.Ops[0]
+	wantIn := int64(128*3*8*8*4 + 16*3*3*3*4)
+	if got := op.BytesIn(tr.Tensors); got != wantIn {
+		t.Fatalf("BytesIn = %d, want %d", got, wantIn)
+	}
+	wantOut := int64(128 * 16 * 8 * 8 * 4)
+	if got := op.BytesOut(tr.Tensors); got != wantOut {
+		t.Fatalf("BytesOut = %d, want %d", got, wantOut)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	bad := sampleTrace()
+	bad.Ops[1].Inputs = append(bad.Ops[1].Inputs, 9999)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown tensor reference not caught")
+	}
+
+	bad2 := sampleTrace()
+	bad2.Ops[0].Time = -1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative time not caught")
+	}
+
+	bad3 := sampleTrace()
+	bad3.Ops[0].Seq = 5
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("bad seq not caught")
+	}
+
+	bad4 := sampleTrace()
+	bad4.Ops[0].FLOPs = -3
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("negative FLOPs not caught")
+	}
+
+	bad5 := sampleTrace()
+	bad5.Ops[2].Outputs = []tensor.ID{4242}
+	if err := bad5.Validate(); err == nil {
+		t.Fatal("unknown output tensor not caught")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != tr.Model || back.Device != tr.Device ||
+		back.BatchSize != tr.BatchSize {
+		t.Fatal("metadata not preserved")
+	}
+	if len(back.Ops) != len(tr.Ops) {
+		t.Fatalf("op count %d, want %d", len(back.Ops), len(tr.Ops))
+	}
+	for i := range tr.Ops {
+		a, b := &tr.Ops[i], &back.Ops[i]
+		if a.Name != b.Name || a.Time != b.Time || a.FLOPs != b.FLOPs ||
+			a.Phase != b.Phase || a.Layer != b.Layer ||
+			a.Parallelizable != b.Parallelizable {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+			t.Fatalf("op %d tensor lists differ", i)
+		}
+	}
+	if back.Tensors.Len() != tr.Tensors.Len() {
+		t.Fatal("tensor table size differs")
+	}
+	for _, tn := range tr.Tensors.All() {
+		bt := back.Tensors.Get(tn.ID)
+		if bt == nil || bt.Bytes() != tn.Bytes() || bt.Category != tn.Category ||
+			bt.BatchDim != tn.BatchDim {
+			t.Fatalf("tensor %d differs", tn.ID)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalTime() != tr.TotalTime() {
+		t.Fatal("file round trip changed total time")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(strings.NewReader(
+		`{"ops":[{"phase":"sideways"}],"tensors":[]}`)); err == nil {
+		t.Fatal("bad phase accepted")
+	}
+	if _, err := Decode(strings.NewReader(
+		`{"ops":[],"tensors":[{"id":1,"dims":[1],"dtype":"quux","category":"input"}]}`)); err == nil {
+		t.Fatal("bad dtype accepted")
+	}
+	if _, err := Decode(strings.NewReader(
+		`{"ops":[],"tensors":[{"id":1,"dims":[1],"dtype":"float32","category":"quux"}]}`)); err == nil {
+		t.Fatal("bad category accepted")
+	}
+}
+
+func TestPhaseRoundTrip(t *testing.T) {
+	for p := Forward; p <= Optimizer; p++ {
+		got, err := ParsePhase(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePhase(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePhase("nope"); err == nil {
+		t.Error("ParsePhase should reject unknown names")
+	}
+}

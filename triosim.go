@@ -1,0 +1,150 @@
+// Package triosim is the public API of the TrioSim reproduction: a
+// lightweight, trace-driven simulator for large-scale DNN training on
+// multi-GPU systems (Li et al., ISCA 2025).
+//
+// TrioSim takes an operator-level trace collected on a single GPU and
+// extrapolates it to a multi-GPU configuration under a chosen parallelism
+// strategy (data, distributed-data, tensor, or pipeline parallelism),
+// pricing computation with a linear-regression operator performance model
+// (Li's Model) and communication with a flow-based network model.
+//
+// Quickstart:
+//
+//	platform := triosim.P2() // 4×A100, NVLink
+//	res, err := triosim.Simulate(triosim.Config{
+//		Model:       "resnet50",
+//		Platform:    platform,
+//		Parallelism: triosim.DDP,
+//		TraceBatch:  128,
+//	})
+//	fmt.Println(res.PerIteration, res.CommTime, res.ComputeTime)
+//
+// The reproduction ships its own tracer substitute (an analytic model zoo
+// stamped by a reference hardware emulator), so no GPU is needed; supply
+// your own Trace to simulate measured workloads instead.
+package triosim
+
+import (
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+	"triosim/internal/models"
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/trace"
+)
+
+// Config describes one simulation; see the field docs in internal/core.
+type Config = core.Config
+
+// Result is the simulator's output: total/per-iteration time, the
+// communication/computation breakdown, the timeline, and the simulator's
+// own wall-clock cost.
+type Result = core.Result
+
+// Comparison is a predicted-vs-hardware validation pair.
+type Comparison = core.Comparison
+
+// Parallelism selects the training strategy.
+type Parallelism = core.Parallelism
+
+// Parallelism strategies.
+const (
+	SingleGPU = core.Single
+	DP        = core.DP
+	DDP       = core.DDP
+	TP        = core.TP
+	PP        = core.PP
+	DPPP      = core.DPPP  // hybrid: data-parallel pipeline replicas
+	DPTP      = core.DPTP  // hybrid: data-parallel tensor-parallel replicas
+	ZeRO1     = core.ZeRO1 // ZeRO stage-1 optimizer-state sharding
+)
+
+// VTime is virtual time in seconds.
+type VTime = sim.VTime
+
+// Trace is an operator-level single-GPU execution trace.
+type Trace = trace.Trace
+
+// Platform describes a multi-GPU system (GPUs + interconnect).
+type Platform = gpu.Platform
+
+// Topology is an interconnect graph for custom network configurations.
+type Topology = network.Topology
+
+// Simulate predicts the multi-GPU execution time of the configured
+// workload: TrioSim's main entry point.
+func Simulate(cfg Config) (*Result, error) { return core.Simulate(cfg) }
+
+// GroundTruth runs the reference hardware emulator (the stand-in for the
+// paper's physical platforms) on the same configuration.
+func GroundTruth(cfg Config) (*Result, error) { return core.GroundTruth(cfg) }
+
+// Validate runs both paths and reports the prediction error.
+func Validate(cfg Config) (*Comparison, error) { return core.Validate(cfg) }
+
+// MemoryReport is a per-GPU peak-memory estimate.
+type MemoryReport = core.MemoryReport
+
+// MemoryFootprint estimates whether the configured run fits in GPU memory.
+func MemoryFootprint(cfg Config) (*MemoryReport, error) {
+	return core.MemoryFootprint(cfg)
+}
+
+// Candidate is one evaluated deployment strategy.
+type Candidate = core.Candidate
+
+// Advise simulates every applicable parallelism strategy for the workload
+// and platform, checks memory feasibility, and returns candidates sorted
+// fastest-feasible-first (the paper's §8.3 design-space exploration).
+func Advise(cfg Config) ([]Candidate, error) { return core.Advise(cfg) }
+
+// CollectTrace produces a stamped single-GPU trace for a model-zoo workload
+// on the named GPU ("A40", "A100", "H100") — the tracer-substitute pipeline.
+func CollectTrace(model string, batch int, gpuName string) (*Trace, error) {
+	spec, err := gpu.SpecByName(gpuName)
+	if err != nil {
+		return nil, err
+	}
+	return hwsim.CollectTrace(model, batch, spec)
+}
+
+// ReadTrace loads a JSON trace from disk.
+func ReadTrace(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// Models returns every workload the model zoo can build.
+func Models() []string { return models.List() }
+
+// CNNModels returns the image-classification workloads.
+func CNNModels() []string { return models.CNNs() }
+
+// TransformerModels returns the NLP workloads.
+func TransformerModels() []string { return models.Transformers() }
+
+// P1 returns the paper's platform P1: 2×A40 connected with PCIe.
+func P1() *Platform { p := gpu.P1; return &p }
+
+// P2 returns the paper's platform P2: 4×A100 connected with NVLink.
+func P2() *Platform { p := gpu.P2; return &p }
+
+// P3 returns the paper's platform P3: 8×H100 connected with NVLink.
+func P3() *Platform { p := gpu.P3; return &p }
+
+// PlatformByName looks up P1/P2/P3.
+func PlatformByName(name string) (*Platform, error) {
+	return gpu.PlatformByName(name)
+}
+
+// NetworkConfig parameterizes the topology builders.
+type NetworkConfig = network.Config
+
+// Topology builders for custom interconnects. GPUs are the first nodes;
+// a host node provides the input-staging path.
+var (
+	RingTopology       = network.Ring
+	SwitchTopology     = network.Switch
+	PCIeTreeTopology   = network.PCIeTree
+	MeshTopology       = network.Mesh
+	DoubleRingTopology = network.DoubleRing
+	ChordRingTopology  = network.RingWithChords
+)

@@ -1,0 +1,99 @@
+package triosim
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	res, err := Simulate(Config{
+		Model:       "resnet18",
+		Platform:    P2(),
+		Parallelism: DDP,
+		TraceBatch:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerIteration <= 0 || res.ComputeTime <= 0 || res.CommTime <= 0 {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+}
+
+func TestFacadeValidate(t *testing.T) {
+	cmp, err := Validate(Config{
+		Model:       "resnet18",
+		Platform:    P1(),
+		Parallelism: DDP,
+		TraceBatch:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Error > 0.2 {
+		t.Fatalf("error %.1f%% out of band", cmp.Error*100)
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	tr, err := CollectTrace("vgg11", 16, "A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the loaded trace straight into a simulation.
+	res, err := Simulate(Config{
+		Trace:       back,
+		Platform:    P1(),
+		Parallelism: DP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerIteration <= 0 {
+		t.Fatal("no time")
+	}
+}
+
+func TestFacadeLists(t *testing.T) {
+	if len(Models()) != 18 {
+		t.Fatalf("Models() = %d", len(Models()))
+	}
+	if len(CNNModels()) != 13 || len(TransformerModels()) != 5 {
+		t.Fatal("model lists wrong")
+	}
+	for _, name := range []string{"P1", "P2", "P3"} {
+		p, err := PlatformByName(name)
+		if err != nil || p == nil {
+			t.Fatalf("PlatformByName(%s): %v", name, err)
+		}
+	}
+}
+
+func TestFacadeCustomTopology(t *testing.T) {
+	topo := RingTopology(NetworkConfig{
+		NumGPUs:       4,
+		LinkBandwidth: 100e9,
+		HostBandwidth: 20e9,
+	})
+	res, err := Simulate(Config{
+		Model:       "resnet18",
+		Platform:    P2(),
+		Topology:    topo,
+		Parallelism: DDP,
+		TraceBatch:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerIteration <= 0 {
+		t.Fatal("ring topology run failed")
+	}
+}

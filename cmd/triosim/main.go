@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"triosim"
 	"triosim/internal/config"
@@ -100,6 +101,9 @@ func main() {
 func runAndReport(cfg triosim.Config, validate, memCheck bool,
 	timelineOut, timelineHTML string) {
 	plat := cfg.Platform
+	// The sim core never reads the host clock (triosimvet: no-wallclock);
+	// the WallClock metric is opt-in from the boundary.
+	cfg.Clock = time.Now
 	res, err := triosim.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)

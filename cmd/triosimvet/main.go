@@ -1,0 +1,141 @@
+// Command triosimvet is TrioSim's determinism gate. By default it runs the
+// internal/lint static analyzers over the whole module and reports every
+// violation of the simulator's determinism contract (wall-clock reads,
+// unseeded randomness, order-dependent map iteration, goroutines in the
+// serial engine's domain, raw VTime comparisons) with file:line positions.
+//
+//	triosimvet ./...            # analyze the module containing the cwd
+//	triosimvet -json ./...      # machine-readable findings
+//	triosimvet -replay          # runtime gate: run a workload twice and
+//	                            # compare event-schedule digests
+//
+// Exit status: 0 clean, 1 findings or replay divergence, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+	"triosim/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		replay  = flag.Bool("replay", false,
+			"run the replay-digest determinism check instead of static analysis")
+		replayModel = flag.String("replay-model", "resnet18",
+			"model zoo workload for -replay")
+		replayRuns = flag.Int("replay-runs", 2, "simulation repetitions for -replay")
+	)
+	flag.Parse()
+
+	if *replay {
+		os.Exit(runReplay(*replayModel, *replayRuns))
+	}
+	os.Exit(runLint(*jsonOut))
+}
+
+func runLint(jsonOut bool) int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet:", err)
+		return 2
+	}
+	findings := lint.Run(mod)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "triosimvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(root, f.File); err == nil {
+				rel.File = r
+			}
+			fmt.Println(rel)
+		}
+	}
+	if len(findings) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "triosimvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// runReplay is the runtime half of the determinism gate: the same
+// configuration simulated repeatedly must dispatch a byte-identical event
+// schedule (same FNV-1a digest) and predict the same time.
+func runReplay(model string, runs int) int {
+	if runs < 2 {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-runs must be >= 2")
+		return 2
+	}
+	p1 := gpu.P1
+	cfg := core.Config{
+		Model:       model,
+		Platform:    &p1,
+		Parallelism: core.DDP,
+		TraceBatch:  32,
+	}
+	var first *core.Result
+	for i := 0; i < runs; i++ {
+		res, err := core.Simulate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "triosimvet: -replay:", err)
+			return 2
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.EventDigest != first.EventDigest ||
+			res.Events != first.Events ||
+			res.TotalTime != first.TotalTime {
+			fmt.Fprintf(os.Stderr,
+				"triosimvet: replay divergence on run %d: digest %#x (%d events, %v) vs %#x (%d events, %v)\n",
+				i+1, res.EventDigest, res.Events, res.TotalTime,
+				first.EventDigest, first.Events, first.TotalTime)
+			return 1
+		}
+	}
+	fmt.Printf("replay ok: %s ×%d runs, digest %#x, %d events, %v simulated\n",
+		model, runs, first.EventDigest, first.Events, first.TotalTime)
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the enclosing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

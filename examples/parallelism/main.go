@@ -47,7 +47,7 @@ func main() {
 			log.Fatal(err)
 		}
 		entries[i].res = res
-		if best == 0 || res.PerIteration < best {
+		if best == 0 || res.PerIteration.Before(best) {
 			best = res.PerIteration
 		}
 	}

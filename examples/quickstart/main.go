@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"triosim"
 )
@@ -15,7 +16,8 @@ func main() {
 		Model:       "resnet50",
 		Platform:    triosim.P2(), // 4×A100, NVLink
 		Parallelism: triosim.DDP,
-		TraceBatch:  128, // the single-GPU trace TrioSim extrapolates from
+		TraceBatch:  128,      // the single-GPU trace TrioSim extrapolates from
+		Clock:       time.Now, // opt-in wall-clock metric (res.WallClock)
 	}
 
 	res, err := triosim.Simulate(cfg)

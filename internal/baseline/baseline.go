@@ -110,7 +110,7 @@ func Predict(cfg Config) (sim.VTime, error) {
 		// Perfectly overlapped bucketed AllReduce.
 		comm := ringAllReduceTime(grad, n, cfg.LinkBandwidth)
 		overlap := bwd
-		if comm > overlap {
+		if comm.After(overlap) {
 			overlap = comm
 		}
 		return fwd + overlap + opt, nil

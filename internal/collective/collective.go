@@ -53,7 +53,7 @@ func steps(g *task.Graph, ring []network.NodeID, nSteps int,
 			}
 			g.AddDep(send, barrier)
 		}
-		if opt.StepDelay > 0 {
+		if opt.StepDelay.After(0) {
 			d := g.AddDelay(opt.StepDelay,
 				fmt.Sprintf("%s-step%d-proto", opt.Label, s))
 			g.AddDep(barrier, d)
@@ -152,7 +152,7 @@ func Broadcast(g *task.Graph, ring []network.NodeID, bytes float64,
 			if prevChunk != nil {
 				g.AddDep(prevChunk, send) // one chunk at a time per link
 			}
-			if opt.StepDelay > 0 && c == 0 {
+			if opt.StepDelay.After(0) && c == 0 {
 				d := g.AddDelay(opt.StepDelay,
 					fmt.Sprintf("%s-hop%d-proto", opt.Label, hop))
 				g.AddDep(d, send)

@@ -60,7 +60,7 @@ func TreeAllReduce(g *task.Graph, ranks []network.NodeID, bytes float64,
 			if prevChunk != nil {
 				g.AddDep(prevChunk, send) // link serialization
 			}
-			if opt.StepDelay > 0 && c == 0 {
+			if opt.StepDelay.After(0) && c == 0 {
 				d := g.AddDelay(opt.StepDelay,
 					fmt.Sprintf("%s-up-n%d-proto", opt.Label, i))
 				g.AddDep(d, send)
@@ -105,7 +105,7 @@ func TreeAllReduce(g *task.Graph, ranks []network.NodeID, bytes float64,
 				if prevSendOf[i] != nil {
 					g.AddDep(prevSendOf[i], send)
 				}
-				if opt.StepDelay > 0 && c == 0 {
+				if opt.StepDelay.After(0) && c == 0 {
 					d := g.AddDelay(opt.StepDelay,
 						fmt.Sprintf("%s-down-n%d-proto", opt.Label, ch))
 					g.AddDep(d, send)

@@ -88,7 +88,7 @@ func Advise(cfg Config) ([]Candidate, error) {
 		if out[i].Feasible != out[j].Feasible {
 			return out[i].Feasible
 		}
-		return out[i].PerIteration < out[j].PerIteration
+		return out[i].PerIteration.Before(out[j].PerIteration)
 	})
 	return out, nil
 }

@@ -86,6 +86,12 @@ type Config struct {
 	// device roofline), or "hybrid" (Li where the per-type fit is size-
 	// diverse, roofline otherwise — §8.2's alternative-model integration).
 	ComputeModel string
+	// Clock supplies wall-clock readings for Result.WallClock (the paper's
+	// Fig 14 simulator-runtime metric). The sim core never reads the host
+	// clock itself — triosimvet's no-wallclock analyzer enforces that — so
+	// callers that want the metric pass time.Now here. Nil leaves WallClock
+	// zero.
+	Clock func() time.Time
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -131,8 +137,13 @@ type Result struct {
 	// Events is the number of engine events dispatched.
 	Events uint64
 	// WallClock is how long the simulation itself took to run (the paper's
-	// Fig 14 metric).
+	// Fig 14 metric). Zero unless Config.Clock was set.
 	WallClock time.Duration
+	// EventDigest is the FNV-1a digest of the dispatched event schedule
+	// (time, handler, sequence). Identical configurations must produce
+	// identical digests; triosimvet -replay uses this as its runtime
+	// determinism gate.
+	EventDigest uint64
 }
 
 // BuildTopology constructs the platform's default interconnect.
@@ -222,8 +233,13 @@ func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
 func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	rampBytes float64) (*Result, error) {
 
-	start := time.Now()
+	var start time.Time
+	if cfg.Clock != nil {
+		start = cfg.Clock()
+	}
 	eng := sim.NewSerialEngine()
+	digest := sim.NewDigestHook()
+	eng.RegisterHook(digest)
 	net := network.NewFlowNetwork(eng, topo)
 	net.RampBytes = rampBytes
 	tl := timeline.New()
@@ -240,7 +256,10 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 		Timeline:     tl,
 		Tasks:        res.Graph.Len(),
 		Events:       eng.EventCount(),
-		WallClock:    time.Since(start),
+		EventDigest:  digest.Sum64(),
+	}
+	if cfg.Clock != nil {
+		out.WallClock = cfg.Clock().Sub(start)
 	}
 	return out, nil
 }

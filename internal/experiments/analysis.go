@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"triosim/internal/core"
 	"triosim/internal/gpu"
@@ -105,6 +106,9 @@ func Fig14(quick bool) (*Figure, error) {
 		res, err := core.Simulate(core.Config{
 			Model: m, Platform: &p2, Parallelism: core.DDP,
 			TraceBatch: traceBatchFor(m), Iterations: 3,
+			// Fig 14 measures the simulator itself, so this experiment —
+			// outside the no-wallclock boundary — injects the host clock.
+			Clock: time.Now,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig14/%s: %w", m, err)

@@ -65,7 +65,7 @@ func (b *builder) stdDPIteration(scale float64, gate *task.Task,
 
 	// Per-layer dispatch delays (standard DP only, hardware runs only).
 	var dispatch map[int]*task.Task
-	if b.cfg.Effects.DPDispatchPerLayer > 0 {
+	if b.cfg.Effects.DPDispatchPerLayer.After(0) {
 		dispatch = map[int]*task.Task{}
 		prev := gate
 		for l := 0; l < b.tr.NumLayers(); l++ {

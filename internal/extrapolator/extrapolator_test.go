@@ -2,6 +2,7 @@ package extrapolator
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -438,7 +439,7 @@ func TestPartitionStagesProperties(t *testing.T) {
 		used := float64(len(sums))
 		return maxSum >= total/used-1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }

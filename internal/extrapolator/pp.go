@@ -179,7 +179,7 @@ func (b *builder) ppForwardBackward(gate *task.Task, suffix string,
 			b.g.AddDep(d, entry)
 		}
 		start := entry
-		if cpu > 0 {
+		if cpu.After(0) {
 			d := b.g.AddDelay(cpu, label+"-cpusched")
 			b.g.AddDep(entry, d)
 			if prevCPU[stage] != nil {

@@ -98,7 +98,7 @@ func (b *builder) tpLayers(groups []layerGroup, scale, shard float64,
 			coll = collective.RingAllReduce(b.g, b.ringNodes(), boundary,
 				b.permuteGates(lastOps), opts)
 		}
-		if b.cfg.Effects.TPSyncPerLayer > 0 {
+		if b.cfg.Effects.TPSyncPerLayer.After(0) {
 			d := b.g.AddDelay(b.cfg.Effects.TPSyncPerLayer,
 				fmt.Sprintf("tp-sync-l%d-%s%s", grp.layer, phase, suffix))
 			b.g.AddDep(coll, d)

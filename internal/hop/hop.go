@@ -168,7 +168,7 @@ func Run(cfg Config) (*Result, error) {
 				w.id, w.iter)
 		}
 		out.FinishTimes = append(out.FinishTimes, w.finishTime)
-		if w.finishTime > out.TotalTime {
+		if w.finishTime.After(out.TotalTime) {
 			out.TotalTime = w.finishTime
 		}
 	}

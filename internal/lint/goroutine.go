@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoGoroutineInSim forbids goroutines and sync primitives inside the serial
+// engine's domain. SerialEngine's contract (internal/sim/engine.go) is that
+// every simulated component runs in the single goroutine that calls Run, so
+// components need no locking; a go statement there either races with the
+// engine or silently depends on scheduler timing, and a sync.Mutex is a sign
+// some component believes the contract is broken. Concurrency belongs at the
+// boundary (cmd/, internal/monitor's HTTP surface), not in the models.
+var NoGoroutineInSim = &Analyzer{
+	Name: "no-goroutine-in-sim",
+	Doc: "forbid go statements, select, and sync imports inside the serial " +
+		"simulation packages; the engine is single-goroutine by contract",
+	Run: func(pass *Pass) {
+		if !isSimPackage(pass.RelPath) {
+			return
+		}
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "sync" || path == "sync/atomic" {
+					pass.Reportf("no-goroutine-in-sim", imp.Pos(),
+						"import of %q in simulation package %s; the serial "+
+							"engine contract makes sync primitives dead "+
+							"weight or a race", path, pass.RelPath)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf("no-goroutine-in-sim", n.Pos(),
+						"go statement in simulation package %s; all simulated "+
+							"work must run via engine events in one goroutine",
+						pass.RelPath)
+				case *ast.SelectStmt:
+					pass.Reportf("no-goroutine-in-sim", n.Pos(),
+						"select statement in simulation package %s; channel "+
+							"scheduling is nondeterministic by design",
+						pass.RelPath)
+				}
+				return true
+			})
+		}
+	},
+}

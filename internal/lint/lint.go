@@ -1,0 +1,237 @@
+// Package lint implements triosimvet, TrioSim's determinism and
+// simulator-invariant static-analysis suite. The discrete-event core
+// (internal/sim.SerialEngine) promises that two runs of the same trace
+// produce byte-identical schedules; that promise is only as strong as the
+// absence of wall-clock reads, unseeded randomness, unordered map iteration
+// on result paths, stray goroutines in the serial engine's domain, and ad-hoc
+// float comparisons on virtual time. Each analyzer machine-checks one of
+// those properties over the whole module using only the standard library's
+// go/ast, go/parser and go/types.
+//
+// Findings can be suppressed per line with a trailing or preceding comment:
+//
+//	//triosim:nolint <analyzer...> -- reason
+//
+// An empty analyzer list suppresses every analyzer on that line. The reason
+// after "--" is mandatory by convention (the comment is for the reviewer).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col,
+		f.Analyzer, f.Message)
+}
+
+// Analyzer is one static check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and nolint directives.
+	Name string
+	// Doc is a one-paragraph description of the rule and its rationale.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass presents one loaded package to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// PkgPath is the import path (e.g. "triosim/internal/sim").
+	PkgPath string
+	// RelPath is the module-relative directory ("internal/sim", "" for the
+	// module root package).
+	RelPath string
+	// Files are the package's non-test files, fully type-checked.
+	Files []*ast.File
+	// TestFiles are the package's _test.go files (including external
+	// package_test files), parsed but not type-checked. Analyzers that apply
+	// to tests must work from the AST alone.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+
+	findings *[]Finding
+	nolint   map[string]map[int][]string // file → line → analyzer names
+}
+
+// Reportf records a finding unless a nolint directive suppresses it.
+func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(analyzer, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: analyzer,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(analyzer string, pos token.Position) bool {
+	lines := p.nolint[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nolintPrefix introduces a suppression comment.
+const nolintPrefix = "//triosim:nolint"
+
+// collectNolint indexes every nolint directive in the file by line. A
+// directive names the analyzers it silences before an optional "-- reason";
+// no names means all analyzers.
+func collectNolint(fset *token.FileSet, file *ast.File, into map[string]map[int][]string) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, nolintPrefix)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //triosim:nolintish
+			}
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			names := strings.Fields(rest)
+			if len(names) == 0 {
+				names = []string{""} // suppress everything
+			}
+			pos := fset.Position(c.Pos())
+			byLine := into[pos.Filename]
+			if byLine == nil {
+				byLine = map[int][]string{}
+				into[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], names...)
+		}
+	}
+}
+
+// simPackages are the module-relative directories covered by the serial-
+// engine determinism contract: everything that runs inside (or computes
+// inputs to) SerialEngine.Run. cmd/ and _test.go files are exempt.
+var simPackages = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/network",
+	"internal/collective",
+	"internal/extrapolator",
+	"internal/hwsim",
+}
+
+// isSimPackage reports whether relPath is under the determinism contract.
+func isSimPackage(relPath string) bool {
+	for _, p := range simPackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns every triosimvet analyzer in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoWallclock,
+		NoUnseededRand,
+		MapRangeOrder,
+		NoGoroutineInSim,
+		VTimeCompare,
+	}
+}
+
+// Run executes every analyzer over every package of a loaded module and
+// returns the findings sorted by position.
+func Run(mod *Module) []Finding {
+	return RunAnalyzers(mod, Analyzers())
+}
+
+// RunAnalyzers executes the given analyzers over a loaded module.
+func RunAnalyzers(mod *Module, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range mod.Packages {
+		pkg.findings = &findings
+		for _, a := range analyzers {
+			a.Run(pkg)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		if findings[i].Col != findings[j].Col {
+			return findings[i].Col < findings[j].Col
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings
+}
+
+// pkgFunc returns the package-level function an expression calls, or nil.
+// Methods (receiver != nil) are excluded: rng.Intn is fine, rand.Intn is not.
+func pkgFunc(info *types.Info, fun ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// importName returns the local name a file binds the given import path to
+// ("" when the file does not import it). A dot import returns ".".
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

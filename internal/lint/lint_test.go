@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtures loads the testdata mini-module (its own go.mod with module
+// path "triosim" plus a stub internal/sim, so every analyzer type-checks
+// against the package paths it matches in the real tree).
+func loadFixtures(t *testing.T) []Finding {
+	t.Helper()
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("LoadModule(testdata/src): %v", err)
+	}
+	return Run(mod)
+}
+
+func findingsFor(findings []Finding, analyzer string) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Analyzer == analyzer {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func base(f Finding) string { return filepath.Base(f.File) }
+
+func TestFixtureFindings(t *testing.T) {
+	findings := loadFixtures(t)
+
+	want := map[string]struct {
+		count int
+		file  string
+	}{
+		"no-wallclock":        {2, "bad_wallclock.go"},
+		"no-goroutine-in-sim": {2, "bad_goroutine.go"},
+		"vtime-compare":       {1, "bad_vtime.go"},
+		"map-range-order":     {3, "bad_maprange.go"},
+	}
+	for analyzer, w := range want {
+		got := findingsFor(findings, analyzer)
+		if len(got) != w.count {
+			t.Errorf("%s: %d findings, want %d: %v", analyzer, len(got), w.count, got)
+			continue
+		}
+		for _, f := range got {
+			if base(f) != w.file {
+				t.Errorf("%s: finding in %s, want all in %s", analyzer, base(f), w.file)
+			}
+		}
+	}
+
+	// no-unseeded-rand fires in both the source fixture (typed) and the test
+	// fixture (AST-only).
+	randFindings := findingsFor(findings, "no-unseeded-rand")
+	byFile := map[string]int{}
+	for _, f := range randFindings {
+		byFile[base(f)]++
+	}
+	if byFile["bad_rand.go"] != 2 || byFile["bad_rand_test.go"] != 2 {
+		t.Errorf("no-unseeded-rand by file = %v, want bad_rand.go:2 bad_rand_test.go:2",
+			byFile)
+	}
+
+	// Clean and suppressed fixtures must stay silent.
+	for _, f := range findings {
+		switch {
+		case strings.Contains(f.File, "good"):
+			t.Errorf("finding in clean fixture: %v", f)
+		case base(f) == "nolint.go":
+			t.Errorf("nolint directive did not suppress: %v", f)
+		case base(f) == "sim.go":
+			t.Errorf("finding in the stub sim package: %v", f)
+		}
+	}
+}
+
+func TestFixtureTreeIsDirty(t *testing.T) {
+	// The driver's contract: non-zero exit on the bad fixtures.
+	if len(loadFixtures(t)) == 0 {
+		t.Fatal("fixture tree produced no findings; the analyzers are dead")
+	}
+}
+
+// TestRealTreeIsClean is the self-hosting check the CI gate relies on:
+// triosimvet must exit zero on the repository itself.
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule(repo root): %v", err)
+	}
+	if len(mod.Packages) < 20 {
+		t.Fatalf("loaded only %d packages; module walk is broken", len(mod.Packages))
+	}
+	findings := Run(mod)
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %v", f)
+	}
+}
+
+func TestNolintParsing(t *testing.T) {
+	cases := []struct {
+		comment  string
+		analyzer string
+		want     bool
+	}{
+		{"//triosim:nolint no-wallclock -- reason", "no-wallclock", true},
+		{"//triosim:nolint no-wallclock -- reason", "vtime-compare", false},
+		{"//triosim:nolint -- silence all", "vtime-compare", true},
+		{"//triosim:nolint a b -- two", "b", true},
+		{"//triosim:nolintish", "no-wallclock", false},
+		{"// plain comment", "no-wallclock", false},
+	}
+	for _, c := range cases {
+		src := "package p\n\nvar X = 1 " + c.comment + "\n"
+		mod := parseSingleFile(t, src)
+		pass := mod.Packages[0]
+		var got []Finding
+		pass.findings = &got
+		// Report at the declaration sharing the comment's line.
+		decls := pass.Files[0].Decls
+		pass.Reportf(c.analyzer, decls[len(decls)-1].Pos(), "probe")
+		suppressed := len(got) == 0
+		if suppressed != c.want {
+			t.Errorf("%q vs %s: suppressed=%v, want %v",
+				c.comment, c.analyzer, suppressed, c.want)
+		}
+	}
+}
+
+// parseSingleFile builds a throwaway one-file module in a temp dir.
+func parseSingleFile(t *testing.T, src string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module probe\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "p.go"), src)
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return mod
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a parsed and type-checked module tree, ready for analysis.
+type Module struct {
+	// Root is the directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	Fset *token.FileSet
+	// Packages holds one Pass per package directory, in deterministic
+	// (sorted relative-path) order.
+	Packages []*Pass
+}
+
+// loader type-checks module packages with a custom importer: module-internal
+// imports resolve directly against the module tree, everything else (the
+// standard library) goes through the stdlib source importer. No toolchain
+// export data or third-party loader is involved.
+type loader struct {
+	root    string
+	modpath string
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	cache   map[string]*entry
+	nolint  map[string]map[int][]string
+}
+
+type entry struct {
+	pass *Pass
+	err  error
+}
+
+var _ types.ImporterFrom = (*loader)(nil)
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom resolves an import encountered while type-checking.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if rel, ok := l.moduleRel(path); ok {
+		p, err := l.load(rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// moduleRel maps an import path inside the module to its relative directory.
+func (l *loader) moduleRel(path string) (string, bool) {
+	if path == l.modpath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modpath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// load parses and type-checks the package in the module-relative directory,
+// memoized so shared dependencies are checked once.
+func (l *loader) load(rel string) (*Pass, error) {
+	if e, ok := l.cache[rel]; ok {
+		return e.pass, e.err
+	}
+	// Mark in-progress to turn import cycles into errors instead of stack
+	// overflows.
+	l.cache[rel] = &entry{err: fmt.Errorf("lint: import cycle through %q", rel)}
+	pass, err := l.check(rel)
+	l.cache[rel] = &entry{pass: pass, err: err}
+	return pass, err
+}
+
+func (l *loader) check(rel string) (*Pass, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files, testFiles []*ast.File
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		collectNolint(l.fset, f, l.nolint)
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 && len(testFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	pkgPath := l.modpath
+	if rel != "." {
+		pkgPath = l.modpath + "/" + filepath.ToSlash(rel)
+	}
+	relPath := ""
+	if rel != "." {
+		relPath = filepath.ToSlash(rel)
+	}
+	pass := &Pass{
+		Fset:      l.fset,
+		PkgPath:   pkgPath,
+		RelPath:   relPath,
+		Files:     files,
+		TestFiles: testFiles,
+		nolint:    l.nolint,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	if len(files) == 0 {
+		// Test-only directory: nothing to type-check, AST analyzers still run.
+		pass.Pkg = types.NewPackage(pkgPath, "test")
+		return pass, nil
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(pkgPath, l.fset, files, pass.Info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	pass.Pkg = pkg
+	return pass, nil
+}
+
+// LoadModule parses go.mod at root, then loads and type-checks every package
+// directory in the module (skipping testdata, hidden, and vendored trees).
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	// The stdlib source importer honors build.Default; cgo would make it
+	// shell out to the cgo tool, so force the pure-Go stdlib variants.
+	build.Default.CgoEnabled = false
+
+	fset := token.NewFileSet()
+	l := &loader{
+		root:    root,
+		modpath: modpath,
+		fset:    fset,
+		cache:   map[string]*entry{},
+		nolint:  map[string]map[int][]string{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modpath, Fset: fset}
+	for _, rel := range dirs {
+		pass, err := l.load(rel)
+		if err != nil {
+			return nil, err
+		}
+		mod.Packages = append(mod.Packages, pass)
+	}
+	return mod, nil
+}
+
+// packageDirs returns the module-relative directories containing Go files,
+// sorted for deterministic analysis order.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			// Nested modules are separate worlds.
+			if path != root {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") ||
+			strings.HasPrefix(d.Name(), ".") || strings.HasPrefix(d.Name(), "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// WalkDir visits lexically, but re-dedup after sorting to be safe.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module path in %s", gomod)
+}

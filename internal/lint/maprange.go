@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRangeOrder flags ranging over a map where the body's effects depend on
+// iteration order: scheduling engine events, appending to slices, writing
+// output, or accumulating floats into variables declared outside the loop.
+// Go randomizes map iteration order per run, so each of these turns a map
+// range into a nondeterminism source. Order-independent bodies (writing a
+// map keyed by the loop variable, mutating the loop value itself) pass, and
+// the collect-keys-then-sort idiom is recognized: a body that only appends
+// is fine when every appended slice is sorted before further use.
+var MapRangeOrder = &Analyzer{
+	Name: "map-range-order",
+	Doc: "flag map iteration whose body schedules events, appends, writes " +
+		"output, or accumulates floats; sort the keys first",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			siblings := stmtSiblings(file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, rs, siblings)
+				return true
+			})
+		}
+	},
+}
+
+// effect is one order-dependent action found in a range body.
+type effect struct {
+	pos  token.Pos
+	kind string
+	// target is the appended-to expression (append effects only), rendered
+	// with types.ExprString for comparison against later sort calls.
+	target string
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, siblings map[ast.Stmt]stmtPos) {
+	loopVars := rangeVars(pass, rs)
+	var effects []effect
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if e, ok := callEffect(pass, node); ok {
+				effects = append(effects, e)
+			}
+		case *ast.AssignStmt:
+			effects = append(effects, assignEffects(pass, node, rs, loopVars)...)
+		}
+		return true
+	})
+	if len(effects) == 0 {
+		return
+	}
+
+	// Exemption: a body that only appends, where every appended slice is
+	// sorted right after the loop, is the canonical sorted-keys idiom.
+	onlyAppends := true
+	targets := map[string]bool{}
+	for _, e := range effects {
+		if e.kind != "appends" {
+			onlyAppends = false
+			break
+		}
+		targets[e.target] = true
+	}
+	if onlyAppends && allSortedAfter(pass, rs, siblings, targets) {
+		return
+	}
+
+	kinds := map[string]bool{}
+	var desc []string
+	for _, e := range effects {
+		if !kinds[e.kind] {
+			kinds[e.kind] = true
+			desc = append(desc, e.kind)
+		}
+	}
+	pass.Reportf("map-range-order", rs.Pos(),
+		"map iteration %s in randomized order; iterate sorted keys instead",
+		strings.Join(desc, ", "))
+}
+
+// rangeVars collects the loop's key/value variable objects; effects confined
+// to them are order-independent.
+func rangeVars(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, expr := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := expr.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// schedulingMethods are method names that feed the event engine.
+var schedulingMethods = map[string]bool{"Schedule": true, "Send": true}
+
+// outputMethods are writer methods whose call order is visible in output.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func callEffect(pass *Pass, call *ast.CallExpr) (effect, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Builtin append is handled by assignEffects, which knows the target.
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if fn := pkgFunc(pass.Info, fun); fn != nil {
+			if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Print") ||
+				strings.HasPrefix(name, "Fprint")) {
+				return effect{pos: call.Pos(), kind: "writes output"}, true
+			}
+			return effect{}, false
+		}
+		if schedulingMethods[name] {
+			return effect{pos: call.Pos(), kind: "schedules events"}, true
+		}
+		if outputMethods[name] {
+			return effect{pos: call.Pos(), kind: "writes output"}, true
+		}
+	}
+	return effect{}, false
+}
+
+// assignEffects inspects one assignment inside the body for appends into
+// outer slices and float accumulation into outer variables. Targets rooted
+// in the loop variables or in variables declared inside the body are
+// order-free: each iteration touches its own state.
+func assignEffects(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt,
+	loopVars map[types.Object]bool) []effect {
+
+	var out []effect
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || !isBuiltinAppend(pass, id) {
+				continue
+			}
+			if i < len(as.Lhs) && !orderFree(pass, as.Lhs[i], rs, loopVars) {
+				out = append(out, effect{
+					pos:    as.Pos(),
+					kind:   "appends",
+					target: types.ExprString(as.Lhs[i]),
+				})
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		tv, ok := pass.Info.Types[lhs]
+		if !ok {
+			return out
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 {
+			return out
+		}
+		if orderFree(pass, lhs, rs, loopVars) {
+			return out
+		}
+		out = append(out, effect{pos: as.Pos(), kind: "accumulates floats"})
+	}
+	return out
+}
+
+// isBuiltinAppend reports whether the identifier resolves to the builtin
+// append (go/types records builtins as *types.Builtin in Uses).
+func isBuiltinAppend(pass *Pass, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved in a partially-checked file: assume builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// orderFree reports whether assigning through the expression cannot depend
+// on iteration order: its base identifier is a loop variable (f.remaining
+// where f is the range value) or is declared inside the loop body (a per-key
+// local later stored by key).
+func orderFree(pass *Pass, expr ast.Expr, rs *ast.RangeStmt,
+	vars map[types.Object]bool) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(e)
+			if obj == nil {
+				return false
+			}
+			if vars[obj] {
+				return true
+			}
+			return obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End()
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// stmtPos locates a statement within its enclosing statement list.
+type stmtPos struct {
+	list  []ast.Stmt
+	index int
+}
+
+// stmtSiblings maps every statement to its position in its enclosing block,
+// so an analyzer can look at what follows a loop.
+func stmtSiblings(file *ast.File) map[ast.Stmt]stmtPos {
+	out := map[ast.Stmt]stmtPos{}
+	record := func(list []ast.Stmt) {
+		for i, s := range list {
+			out[s] = stmtPos{list: list, index: i}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BlockStmt:
+			record(node.List)
+		case *ast.CaseClause:
+			record(node.Body)
+		case *ast.CommClause:
+			record(node.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// sortFuncs are the sort/slices package functions that impose an order.
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Slice": true,
+	"SliceStable": true, "Stable": true, "Sort": true, "SortFunc": true,
+	"SortStableFunc": true,
+}
+
+// allSortedAfter reports whether every appended-to target is passed to a
+// sort call in a statement following the range within the same block.
+func allSortedAfter(pass *Pass, rs *ast.RangeStmt, siblings map[ast.Stmt]stmtPos,
+	targets map[string]bool) bool {
+
+	sp, ok := siblings[ast.Stmt(rs)]
+	if !ok {
+		return false
+	}
+	sorted := map[string]bool{}
+	for _, stmt := range sp.list[sp.index+1:] {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !sortFuncs[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			fn := pkgFunc(pass.Info, sel)
+			if fn == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			sorted[types.ExprString(call.Args[0])] = true
+			return true
+		})
+	}
+	for t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

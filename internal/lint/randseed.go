@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// randTopLevel are the math/rand package-level functions backed by the
+// shared, time-seeded global source. Methods on an explicit *rand.Rand are
+// fine — the point is that every random stream must trace back to a seed the
+// configuration controls.
+var randTopLevel = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "N": true,
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// NoUnseededRand forbids randomness that cannot be reproduced: the global
+// math/rand source (seeded from the clock at process start), rand sources
+// seeded from the wall clock, and testing/quick runs without an explicit
+// Rand. It applies everywhere, including _test.go files: a failing seed that
+// cannot be replayed is a failure report nobody can act on.
+var NoUnseededRand = &Analyzer{
+	Name: "no-unseeded-rand",
+	Doc: "forbid the global math/rand source, wall-clock-derived seeds, and " +
+		"unseeded testing/quick configs; every random stream must come from " +
+		"an explicit constant or config-derived seed",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			checkRandTyped(pass, file)
+			checkQuickAST(pass, file)
+		}
+		for _, file := range pass.TestFiles {
+			checkRandAST(pass, file)
+			checkQuickAST(pass, file)
+		}
+	},
+}
+
+// checkRandTyped uses full type information on non-test files.
+func checkRandTyped(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFunc(pass.Info, call.Fun)
+		if fn == nil || !isRandPath(fn.Pkg().Path()) {
+			return true
+		}
+		switch name := fn.Name(); {
+		case name == "New" || name == "NewZipf":
+			// Seeding is judged at the NewSource/NewPCG call.
+		case name == "NewSource" || name == "NewPCG" || name == "NewChaCha8":
+			for _, arg := range call.Args {
+				if wallClockInExpr(pass, arg) {
+					pass.Reportf("no-unseeded-rand", call.Pos(),
+						"rand.%s seeded from the wall clock; use a constant "+
+							"or config-derived seed so runs reproduce", name)
+					break
+				}
+			}
+		case randTopLevel[name]:
+			pass.Reportf("no-unseeded-rand", call.Pos(),
+				"rand.%s uses the global time-seeded source; use "+
+					"rand.New(rand.NewSource(seed)) with an explicit seed", name)
+		}
+		return true
+	})
+}
+
+// wallClockInExpr reports whether the expression's subtree calls into
+// package time (e.g. time.Now().UnixNano()).
+func wallClockInExpr(pass *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgFunc(pass.Info, sel); fn != nil && fn.Pkg().Path() == "time" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRandAST is the type-info-free variant for _test.go files: it matches
+// selector calls against the file's local import name for math/rand.
+func checkRandAST(pass *Pass, file *ast.File) {
+	randName := importName(file, "math/rand")
+	if randName == "" {
+		randName = importName(file, "math/rand/v2")
+	}
+	if randName == "" || randName == "." || randName == "_" {
+		return
+	}
+	timeName := importName(file, "time")
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || pkgID.Name != randName {
+			return true
+		}
+		switch name := sel.Sel.Name; {
+		case name == "NewSource" || name == "NewPCG" || name == "NewChaCha8":
+			if timeName == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if astCallsPackage(arg, timeName) {
+					pass.Reportf("no-unseeded-rand", call.Pos(),
+						"rand.%s seeded from the wall clock; use a constant "+
+							"seed so test failures reproduce", name)
+					break
+				}
+			}
+		case randTopLevel[name]:
+			pass.Reportf("no-unseeded-rand", call.Pos(),
+				"rand.%s uses the global time-seeded source; use "+
+					"rand.New(rand.NewSource(seed)) so test failures reproduce",
+				name)
+		}
+		return true
+	})
+}
+
+// astCallsPackage reports whether the subtree contains a pkgName.X(...) call.
+func astCallsPackage(expr ast.Expr, pkgName string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkgName {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkQuickAST flags testing/quick runs whose Config carries no explicit
+// Rand: quick's default source is seeded from the clock, so a property
+// failure prints a counterexample no one can regenerate.
+func checkQuickAST(pass *Pass, file *ast.File) {
+	quickName := importName(file, "testing/quick")
+	if quickName == "" || quickName == "." || quickName == "_" {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || pkgID.Name != quickName {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Check" && name != "CheckEqual" || len(call.Args) == 0 {
+			return true
+		}
+		cfg := call.Args[len(call.Args)-1]
+		if !quickConfigSeeded(cfg) {
+			pass.Reportf("no-unseeded-rand", call.Pos(),
+				"quick.%s without an explicit Config.Rand draws a clock seed; "+
+					"set Rand: rand.New(rand.NewSource(...)) so failures reproduce",
+				name)
+		}
+		return true
+	})
+}
+
+// quickConfigSeeded accepts any config expression that sets a Rand field; a
+// nil config or a composite literal without Rand is unseeded. Configs built
+// elsewhere (plain identifiers) get the benefit of the doubt.
+func quickConfigSeeded(cfg ast.Expr) bool {
+	cfg = ast.Unparen(cfg)
+	if id, ok := cfg.(*ast.Ident); ok {
+		return id.Name != "nil"
+	}
+	lit := compositeLit(cfg)
+	if lit == nil {
+		return true
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Rand" {
+			return true
+		}
+	}
+	return false
+}
+
+func compositeLit(expr ast.Expr) *ast.CompositeLit {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return e
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok &&
+			strings.HasPrefix(e.Op.String(), "&") {
+			return lit
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module triosim
+
+go 1.22

@@ -1,0 +1,14 @@
+package core
+
+import "sync"
+
+// Race spawns a goroutine and takes a lock inside the serial engine's
+// domain: two no-goroutine-in-sim findings (the sync import and the go
+// statement).
+func Race() {
+	var mu sync.Mutex
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+	}()
+}

@@ -1,0 +1,13 @@
+package core
+
+import "triosim/internal/sim"
+
+// Later compares VTime with a raw operator: one vtime-compare finding.
+func Later(a, b sim.VTime) bool {
+	return a > b
+}
+
+// LaterHelper uses the ordering helper: clean.
+func LaterHelper(a, b sim.VTime) bool {
+	return a.After(b)
+}

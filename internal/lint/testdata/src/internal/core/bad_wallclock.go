@@ -1,0 +1,10 @@
+package core
+
+import "time"
+
+// Elapsed reads the host clock inside a sim package: two no-wallclock
+// findings (time.Now and time.Since).
+func Elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,9 @@
+package core
+
+import "time"
+
+// Suppressed demonstrates the nolint directive: no findings despite the
+// wall-clock read.
+func Suppressed() time.Time {
+	return time.Now() //triosim:nolint no-wallclock -- fixture for directive parsing
+}

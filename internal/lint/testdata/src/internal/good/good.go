@@ -1,0 +1,35 @@
+// Package good contains only clean patterns; the fixture test asserts no
+// analyzer reports anything here.
+package good
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"triosim/internal/sim"
+)
+
+// Deadline uses the VTime ordering helpers.
+func Deadline(now, limit sim.VTime) bool {
+	return now.AtOrBefore(limit)
+}
+
+// Shuffled draws from an explicitly seeded source.
+func Shuffled(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}
+
+// Report emits a map in sorted-key order.
+func Report(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counts[k])
+	}
+}

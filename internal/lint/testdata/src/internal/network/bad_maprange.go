@@ -1,0 +1,57 @@
+package network
+
+import (
+	"sort"
+
+	"triosim/internal/sim"
+)
+
+type ev struct{ t sim.VTime }
+
+func (e ev) Time() sim.VTime { return e.t }
+
+// ScheduleFromMap schedules events while ranging a map: one map-range-order
+// finding (same-timestamp events tie-break on scheduling sequence).
+func ScheduleFromMap(eng *sim.Engine, pending map[int]sim.VTime) {
+	for _, t := range pending {
+		eng.Schedule(ev{t: t})
+	}
+}
+
+// CollectUnsorted appends map keys without sorting: one map-range-order
+// finding.
+func CollectUnsorted(set map[string]bool) []string {
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSorted is the canonical idiom — append the keys, sort, then use:
+// clean.
+func CollectSorted(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerElementUpdate mutates the loop value's own state: order-free, clean.
+func PerElementUpdate(acc map[string]*struct{ Sum float64 }) {
+	for _, a := range acc {
+		a.Sum *= 0.5
+	}
+}
+
+// SumFloats accumulates into an outer float in map order: one
+// map-range-order finding (float addition is not associative).
+func SumFloats(values map[string]float64) float64 {
+	var total float64
+	for _, v := range values {
+		total += v
+	}
+	return total
+}

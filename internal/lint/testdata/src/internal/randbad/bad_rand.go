@@ -1,0 +1,23 @@
+// Package randbad exercises the no-unseeded-rand analyzer outside the sim
+// packages (the rule applies module-wide).
+package randbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalDraw uses the global time-seeded source: one finding.
+func GlobalDraw() int {
+	return rand.Intn(10)
+}
+
+// ClockSeeded derives the seed from the wall clock: one finding.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// WellSeeded uses an explicit seed: clean.
+func WellSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

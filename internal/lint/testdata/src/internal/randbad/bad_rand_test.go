@@ -1,0 +1,27 @@
+package randbad
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Test files are checked from the AST alone: the global source and an
+// unseeded quick config are each one finding; the seeded rng is clean.
+func TestUnseeded(t *testing.T) {
+	_ = rand.Intn(3)
+
+	f := func(x uint8) bool { return int(x) >= 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(3)
+
+	seeded := func(x uint8) bool { return int(x) >= 0 }
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(seeded, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package sim is a minimal stand-in for triosim/internal/sim so the lint
+// fixtures type-check against the same package path the analyzers match.
+package sim
+
+// VTime mirrors the real virtual-time type.
+type VTime float64
+
+// Before reports whether t is strictly earlier than u.
+func (t VTime) Before(u VTime) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t VTime) After(u VTime) bool { return t > u }
+
+// AtOrBefore reports whether t is no later than u.
+func (t VTime) AtOrBefore(u VTime) bool { return t <= u }
+
+// AtOrAfter reports whether t is no earlier than u.
+func (t VTime) AtOrAfter(u VTime) bool { return t >= u }
+
+// Event is the minimal event surface the fixtures need.
+type Event interface {
+	Time() VTime
+}
+
+// Engine is a stub engine with the Schedule method the map-range-order
+// analyzer treats as an ordered effect.
+type Engine struct{}
+
+// Schedule is a no-op.
+func (e *Engine) Schedule(ev Event) {}

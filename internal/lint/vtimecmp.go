@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// vtimePkgSuffix matches the package defining VTime in both the real module
+// ("triosim/internal/sim") and lint's own test fixtures.
+const vtimePkgSuffix = "internal/sim"
+
+// VTimeCompare flags raw relational operators on sim.VTime outside the sim
+// package itself. VTime is a float64 underneath, and the engine's total
+// order (time, secondary flag, sequence) is defined by its helpers; ad-hoc
+// `a < b` comparisons scattered through components are where subtle
+// tie-breaking and NaN/inf bugs hide, and they bypass any future change to
+// the ordering (e.g. epsilon comparison or integer ticks). Use Before /
+// After / AtOrBefore / AtOrAfter / Max / Min instead. Equality (== / !=)
+// stays allowed: it has no helper and no ordering subtlety.
+var VTimeCompare = &Analyzer{
+	Name: "vtime-compare",
+	Doc: "flag raw </>/<=/>= on sim.VTime outside internal/sim; use the " +
+		"ordering helpers (Before, After, AtOrBefore, AtOrAfter, Max, Min)",
+	Run: func(pass *Pass) {
+		if pass.RelPath == vtimePkgSuffix {
+			return // the defining package implements the helpers
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				default:
+					return true
+				}
+				if isVTime(pass, be.X) || isVTime(pass, be.Y) {
+					pass.Reportf("vtime-compare", be.Pos(),
+						"raw %s comparison on sim.VTime; use the ordering "+
+							"helpers (Before/After/AtOrBefore/AtOrAfter/Max/Min)",
+						be.Op)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isVTime reports whether the expression's type is the named type VTime from
+// an internal/sim package.
+func isVTime(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "VTime" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == vtimePkgSuffix ||
+		len(path) > len(vtimePkgSuffix) &&
+			path[len(path)-len(vtimePkgSuffix)-1] == '/' &&
+			path[len(path)-len(vtimePkgSuffix):] == vtimePkgSuffix
+}

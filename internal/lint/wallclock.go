@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the package time functions that read or wait on the
+// host clock. Types (time.Duration, time.Time) remain usable: only reading
+// the wall clock inside the simulation makes results run-dependent.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// NoWallclock forbids host-clock reads inside the simulation packages.
+// Virtual time must advance only through the event engine; a time.Now in a
+// model makes predictions depend on host load. cmd/ binaries and _test.go
+// files are exempt (they may measure the simulator itself), and sim code
+// that genuinely needs a wall-clock metric must take an injected clock from
+// its caller (see core.Config.Clock).
+var NoWallclock = &Analyzer{
+	Name: "no-wallclock",
+	Doc: "forbid time.Now/time.Since and friends in simulation packages; " +
+		"virtual time advances only through the event engine",
+	Run: func(pass *Pass) {
+		if !isSimPackage(pass.RelPath) {
+			return
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFunc(pass.Info, sel)
+				if fn == nil || fn.Pkg().Path() != "time" ||
+					!wallclockFuncs[fn.Name()] {
+					return true
+				}
+				pass.Reportf("no-wallclock", sel.Pos(),
+					"time.%s reads the host clock inside simulation package %s; "+
+						"inject a clock from cmd/ or derive time from the engine",
+					fn.Name(), pass.RelPath)
+				return true
+			})
+		}
+	},
+}

@@ -139,6 +139,20 @@ func (n *FlowNetwork) advance(now sim.VTime) {
 	n.lastUpdate = now
 }
 
+// sortedFlows returns the in-flight flows in ascending id order. Anything
+// that schedules events or produces output per flow must iterate this slice,
+// not the flows map: same-timestamp events tie-break on scheduling sequence,
+// so map iteration order would leak into the simulated schedule
+// (triosimvet: map-range-order).
+func (n *FlowNetwork) sortedFlows() []*flow {
+	out := make([]*flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // reallocate recomputes max-min fair rates and reschedules every flow's
 // delivery event.
 func (n *FlowNetwork) reallocate(now sim.VTime) {
@@ -148,7 +162,7 @@ func (n *FlowNetwork) reallocate(now sim.VTime) {
 	for _, f := range n.flows {
 		f.rate *= f.eff
 	}
-	for _, f := range n.flows {
+	for _, f := range n.sortedFlows() {
 		f.gen++
 		var doneAt sim.VTime
 		if f.rate <= 0 {
@@ -189,7 +203,7 @@ func (n *FlowNetwork) computeRates() {
 		flows []*flow
 	}
 	links := map[DirLink]*linkState{}
-	for _, f := range n.flows {
+	for _, f := range n.sortedFlows() {
 		f.rate = 0
 		for _, dl := range f.route {
 			st := links[dl]

@@ -94,7 +94,7 @@ func (n *PhotonicNetwork) trySend(now sim.VTime, src, dst NodeID,
 			// All ports busy: retry when the earliest circuit involving a
 			// saturated endpoint goes idle.
 			retry := n.earliestIdleTime(src, dst)
-			if retry <= now {
+			if retry.AtOrBefore(now) {
 				retry = now + n.DeliverLatency
 			}
 			n.eng.Schedule(sim.NewFuncEvent(retry, func(t sim.VTime) error {
@@ -146,10 +146,10 @@ func (n *PhotonicNetwork) longestIdleCircuit(now sim.VTime,
 		if c.key[0] != node && c.key[1] != node {
 			continue
 		}
-		if c.busyUntil > now {
+		if c.busyUntil.After(now) {
 			continue
 		}
-		if victim == nil || c.lastUsed < victim.lastUsed ||
+		if victim == nil || c.lastUsed.Before(victim.lastUsed) ||
 			(c.lastUsed == victim.lastUsed && less(c.key, victim.key)) {
 			victim = c
 		}
@@ -171,7 +171,7 @@ func (n *PhotonicNetwork) earliestIdleTime(src, dst NodeID) sim.VTime {
 	for _, c := range n.circuits {
 		touches := c.key[0] == src || c.key[1] == src ||
 			c.key[0] == dst || c.key[1] == dst
-		if touches && c.busyUntil < earliest {
+		if touches && c.busyUntil.Before(earliest) {
 			earliest = c.busyUntil
 		}
 	}

@@ -18,6 +18,7 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"triosim/internal/gpu"
 	"triosim/internal/sim"
@@ -56,7 +57,7 @@ func Fit(tr *trace.Trace) (*Model, error) {
 	byOp := map[string][]sample{}
 	for i := range tr.Ops {
 		op := &tr.Ops[i]
-		if op.Time <= 0 {
+		if op.Time.AtOrBefore(0) {
 			return nil, fmt.Errorf("perfmodel: op %d (%s) has no measured time",
 				i, op.Name)
 		}
@@ -184,9 +185,16 @@ func (m *Model) Predict(name string, flops, bytes float64) sim.VTime {
 	c := m.coeffs[name]
 	if c == nil {
 		// Unknown op: proportional to the closest global scale we have.
+		// Accumulate in sorted-key order: float addition is not associative,
+		// so map order would leak into the prediction (map-range-order).
+		names := make([]string, 0, len(m.coeffs))
+		for n := range m.coeffs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
 		var t float64
-		for _, cc := range m.coeffs {
-			t += cc.meanTime
+		for _, n := range names {
+			t += m.coeffs[n].meanTime
 		}
 		if len(m.coeffs) > 0 {
 			t /= float64(len(m.coeffs))
@@ -220,7 +228,7 @@ func (m *Model) Predict(name string, flops, bytes float64) sim.VTime {
 // it was resized or the model targets a different GPU.
 func (m *Model) OpTime(name string, flops, bytes float64,
 	traceTime sim.VTime, scaled bool) sim.VTime {
-	if !scaled && traceTime > 0 && !m.rescaled {
+	if !scaled && traceTime.After(0) && !m.rescaled {
 		return traceTime
 	}
 	return m.Predict(name, flops, bytes)
@@ -258,7 +266,7 @@ func (m *Model) MeanAbsErrOnTrace(tr *trace.Trace) float64 {
 	var n int
 	for i := range tr.Ops {
 		op := &tr.Ops[i]
-		if op.Time <= 0 {
+		if op.Time.AtOrBefore(0) {
 			continue
 		}
 		bytes := float64(op.BytesIn(tr.Tensors) + op.BytesOut(tr.Tensors))

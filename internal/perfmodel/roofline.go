@@ -36,7 +36,7 @@ func FitRoofline(tr *trace.Trace) (*RooflineModel, error) {
 	minT := math.Inf(1)
 	for i := range tr.Ops {
 		op := &tr.Ops[i]
-		if op.Time <= 0 {
+		if op.Time.AtOrBefore(0) {
 			return nil, fmt.Errorf("perfmodel: op %d (%s) has no measured time",
 				i, op.Name)
 		}
@@ -129,7 +129,7 @@ func (m *RooflineModel) Predict(flops, bytes float64) sim.VTime {
 // OpTime implements the extrapolator's OpTimer contract.
 func (m *RooflineModel) OpTime(name string, flops, bytes float64,
 	traceTime sim.VTime, scaled bool) sim.VTime {
-	if !scaled && traceTime > 0 {
+	if !scaled && traceTime.After(0) {
 		return traceTime
 	}
 	return m.Predict(flops, bytes)
@@ -189,7 +189,7 @@ func (h *HybridModel) Predict(name string, flops, bytes float64) sim.VTime {
 // OpTime implements the extrapolator's OpTimer contract.
 func (h *HybridModel) OpTime(name string, flops, bytes float64,
 	traceTime sim.VTime, scaled bool) sim.VTime {
-	if !scaled && traceTime > 0 && !h.Li.rescaled {
+	if !scaled && traceTime.After(0) && !h.Li.rescaled {
 		return traceTime
 	}
 	return h.Predict(name, flops, bytes)

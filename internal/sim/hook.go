@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // HookPos identifies where in the engine's dispatch loop a hook fires.
 type HookPos int
 
@@ -43,6 +45,28 @@ type Monitor struct {
 // NewMonitor returns a Monitor that tags events using nameOf (may be nil).
 func NewMonitor(nameOf func(e Event) string) *Monitor {
 	return &Monitor{ByHandler: map[string]uint64{}, NameOf: nameOf}
+}
+
+// HandlerCount is one named event-count entry of a Monitor report.
+type HandlerCount struct {
+	Name  string
+	Count uint64
+}
+
+// HandlerCounts returns the per-handler event counts in sorted name order.
+// ByHandler is a map; any code emitting it (reports, digests, logs) must go
+// through this accessor so output order does not depend on map iteration.
+func (m *Monitor) HandlerCounts() []HandlerCount {
+	names := make([]string, 0, len(m.ByHandler))
+	for name := range m.ByHandler {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]HandlerCount, 0, len(names))
+	for _, name := range names {
+		out = append(out, HandlerCount{Name: name, Count: m.ByHandler[name]})
+	}
+	return out
 }
 
 // Func implements Hook.

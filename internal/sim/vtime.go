@@ -40,6 +40,12 @@ func (t VTime) Before(u VTime) bool { return t < u }
 // After reports whether t is strictly later than u.
 func (t VTime) After(u VTime) bool { return t > u }
 
+// AtOrBefore reports whether t is no later than u.
+func (t VTime) AtOrBefore(u VTime) bool { return t <= u }
+
+// AtOrAfter reports whether t is no earlier than u.
+func (t VTime) AtOrAfter(u VTime) bool { return t >= u }
+
 // Max returns the later of t and u.
 func (t VTime) Max(u VTime) VTime {
 	if t > u {

@@ -130,7 +130,7 @@ func (x *Executor) startNextCompute(gpu int, now sim.VTime) {
 // complete resolves a finished task and releases its dependents.
 func (x *Executor) complete(t *Task, now sim.VTime) {
 	x.remaining--
-	if now > x.lastEnd {
+	if now.After(x.lastEnd) {
 		x.lastEnd = now
 	}
 	for _, depID := range t.dependents {

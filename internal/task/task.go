@@ -143,7 +143,7 @@ func (g *Graph) Validate() error {
 	for _, t := range g.Tasks {
 		switch t.Kind {
 		case Compute:
-			if t.Duration < 0 {
+			if t.Duration.Before(0) {
 				return fmt.Errorf("task %d (%s): negative duration",
 					t.ID, t.Label)
 			}
@@ -151,7 +151,7 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("task %d (%s): no GPU", t.ID, t.Label)
 			}
 		case Delay:
-			if t.Duration < 0 {
+			if t.Duration.Before(0) {
 				return fmt.Errorf("task %d (%s): negative delay",
 					t.ID, t.Label)
 			}
@@ -213,7 +213,7 @@ func (g *Graph) CriticalPathLength() sim.VTime {
 		t := g.Tasks[id]
 		var best sim.VTime
 		for _, d := range t.deps {
-			if v := longest(d); v > best {
+			if v := longest(d); v.After(best) {
 				best = v
 			}
 		}
@@ -222,7 +222,7 @@ func (g *Graph) CriticalPathLength() sim.VTime {
 	}
 	var best sim.VTime
 	for id := range g.Tasks {
-		if v := longest(id); v > best {
+		if v := longest(id); v.After(best) {
 			best = v
 		}
 	}

@@ -86,7 +86,7 @@ svg { background: white; border: 1px solid #ddd; }
 	ivs := make([]Interval, len(tl.Intervals))
 	copy(ivs, tl.Intervals)
 	sort.SliceStable(ivs, func(i, j int) bool {
-		return ivs[i].Start < ivs[j].Start
+		return ivs[i].Start.Before(ivs[j].Start)
 	})
 	for i := range ivs {
 		iv := &ivs[i]

@@ -53,10 +53,10 @@ func (tl *Timeline) Span() (start, end sim.VTime) {
 	start = sim.Infinity
 	for i := range tl.Intervals {
 		iv := &tl.Intervals[i]
-		if iv.Start < start {
+		if iv.Start.Before(start) {
 			start = iv.Start
 		}
-		if iv.End > end {
+		if iv.End.After(end) {
 			end = iv.End
 		}
 	}
@@ -87,14 +87,14 @@ func (tl *Timeline) UnionTime(match func(*Interval) bool) sim.VTime {
 	var edges []edge
 	for i := range tl.Intervals {
 		iv := &tl.Intervals[i]
-		if !match(iv) || iv.End <= iv.Start {
+		if !match(iv) || iv.End.AtOrBefore(iv.Start) {
 			continue
 		}
 		edges = append(edges, edge{iv.Start, +1}, edge{iv.End, -1})
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].t != edges[j].t {
-			return edges[i].t < edges[j].t
+			return edges[i].t.Before(edges[j].t)
 		}
 		return edges[i].delta > edges[j].delta
 	})

@@ -72,7 +72,7 @@ func (t *Trace) ComputeStats() Stats {
 	}
 	sort.Slice(s.ByOp, func(i, j int) bool {
 		if s.ByOp[i].Time != s.ByOp[j].Time {
-			return s.ByOp[i].Time > s.ByOp[j].Time
+			return s.ByOp[i].Time.After(s.ByOp[j].Time)
 		}
 		return s.ByOp[i].Name < s.ByOp[j].Name
 	})

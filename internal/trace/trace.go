@@ -184,7 +184,7 @@ func (t *Trace) Validate() error {
 		if op.Seq != i {
 			return fmt.Errorf("trace: op %d has seq %d", i, op.Seq)
 		}
-		if op.Time < 0 {
+		if op.Time.Before(0) {
 			return fmt.Errorf("trace: op %d (%s) has negative time", i, op.Name)
 		}
 		if op.FLOPs < 0 {

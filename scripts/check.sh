@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-2 gate: everything CI runs. Tier-1 (go build && go test) is a subset;
+# this adds the race detector, go vet, TrioSim's own determinism analyzers
+# (triosimvet), and the double-run replay-digest check.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> triosimvet (static determinism analyzers)"
+go run ./cmd/triosimvet ./...
+
+echo "==> triosimvet -replay (double-run event-digest check)"
+go run ./cmd/triosimvet -replay
+
+echo "==> all checks passed"

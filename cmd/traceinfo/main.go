@@ -1,6 +1,6 @@
 // Command traceinfo profiles a trace: per-operator-type time/FLOPs/bytes
-// breakdown, phase split, and parameter volumes — what to look at before
-// (or instead of) simulating.
+// breakdown, phase split, operator-category summary, and parameter volumes —
+// what to look at before (or instead of) simulating.
 //
 // Usage:
 //
@@ -10,10 +10,14 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"triosim"
+	"triosim/internal/telemetry"
+	"triosim/internal/trace"
 )
 
 func main() {
@@ -42,4 +46,54 @@ func main() {
 	}
 	stats := tr.ComputeStats()
 	stats.Print(os.Stdout)
+	printCategories(os.Stdout, tr)
+}
+
+// catAgg accumulates one operator category's per-phase time.
+type catAgg struct {
+	count int
+	total triosim.VTime
+	phase map[trace.Phase]triosim.VTime
+}
+
+// printCategories renders the per-category breakdown (conv, gemm, norm, …)
+// with the forward/backward/optimizer split, using the same categorization
+// the telemetry RunReport histograms use.
+func printCategories(w *os.File, tr *triosim.Trace) {
+	cats := map[string]*catAgg{}
+	var total triosim.VTime
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		c := telemetry.OpCategory(op.Name)
+		agg := cats[c]
+		if agg == nil {
+			agg = &catAgg{phase: map[trace.Phase]triosim.VTime{}}
+			cats[c] = agg
+		}
+		agg.count++
+		agg.total += op.Time
+		agg.phase[op.Phase] += op.Time
+		total += op.Time
+	}
+	names := make([]string, 0, len(cats))
+	for c := range cats {
+		names = append(names, c)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if cats[names[i]].total != cats[names[j]].total {
+			return cats[names[i]].total.After(cats[names[j]].total)
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(w, "  %-16s %6s %14s %8s %14s %14s %14s\n",
+		"category", "count", "time", "share", "forward", "backward",
+		"optimizer")
+	for _, c := range names {
+		agg := cats[c]
+		fmt.Fprintf(w, "  %-16s %6d %14v %7.1f%% %14v %14v %14v\n",
+			c, agg.count, agg.total,
+			100*float64(agg.total)/float64(total),
+			agg.phase[trace.Forward], agg.phase[trace.Backward],
+			agg.phase[trace.Optimizer])
+	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"triosim"
 	"triosim/internal/config"
+	"triosim/internal/monitor"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		memCheck     = flag.Bool("memory", false, "estimate per-GPU peak memory and capacity fit")
 		timelineOut  = flag.String("timeline", "", "write a Chrome-trace timeline JSON here")
 		timelineHTML = flag.String("timeline-html", "", "write a self-contained HTML timeline viewer here")
+		metricsOut   = flag.String("metrics-out", "", "write the telemetry RunReport JSON here")
+		monitorAddr  = flag.String("monitor", "", "serve live /status, /metrics, /healthz on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML)
+		runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
+			*metricsOut, *monitorAddr)
 		return
 	}
 
@@ -94,19 +98,41 @@ func main() {
 		log.Fatal("need -model or -trace (see -list-models)")
 	}
 
-	runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML)
+	runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
+		*metricsOut, *monitorAddr)
 }
 
 // runAndReport executes one simulation and prints the result block.
 func runAndReport(cfg triosim.Config, validate, memCheck bool,
-	timelineOut, timelineHTML string) {
+	timelineOut, timelineHTML, metricsOut, monitorAddr string) {
 	plat := cfg.Platform
 	// The sim core never reads the host clock (triosimvet: no-wallclock);
 	// the WallClock metric is opt-in from the boundary.
 	cfg.Clock = time.Now
+	if metricsOut != "" {
+		cfg.Telemetry = true
+	}
+	var mon *monitor.RTM
+	if monitorAddr != "" {
+		cfg.Metrics = triosim.NewMetricsRegistry()
+		mon = monitor.New()
+		mon.Registry = cfg.Metrics
+		mon.Clock = time.Now
+		cfg.Hooks = append(cfg.Hooks, mon.Hook())
+		go func() {
+			if err := mon.Serve(monitorAddr); err != nil {
+				log.Printf("monitor: %v", err)
+			}
+		}()
+		fmt.Printf("monitor:         http://%s/status (also /metrics, /healthz)\n",
+			monitorAddr)
+	}
 	res, err := triosim.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if mon != nil {
+		mon.MarkDone()
 	}
 	fmt.Printf("workload:        %s on %s (%d×%s, %s)\n",
 		cfg.Model, plat.Name, orDefault(cfg.NumGPUs, plat.NumGPUs),
@@ -120,6 +146,22 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 	fmt.Printf("host staging:    %v\n", res.HostLoadTime)
 	fmt.Printf("simulator:       %d tasks, %d events, %v wall clock\n",
 		res.Tasks, res.Events, res.WallClock)
+
+	if metricsOut != "" && res.Report != nil {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Report.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics:         %s (%s)\n", metricsOut,
+			res.Report.Schema)
+	}
 
 	if validate {
 		if cfg.Trace != nil {

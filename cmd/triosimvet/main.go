@@ -8,6 +8,8 @@
 //	triosimvet -json ./...      # machine-readable findings
 //	triosimvet -replay          # runtime gate: run a workload twice and
 //	                            # compare event-schedule digests
+//	triosimvet -report r.json   # validate a telemetry RunReport's schema
+//	                            # and accounting invariants
 //
 // Exit status: 0 clean, 1 findings or replay divergence, 2 operational error.
 package main
@@ -22,6 +24,7 @@ import (
 	"triosim/internal/core"
 	"triosim/internal/gpu"
 	"triosim/internal/lint"
+	"triosim/internal/telemetry"
 )
 
 func main() {
@@ -32,13 +35,42 @@ func main() {
 		replayModel = flag.String("replay-model", "resnet18",
 			"model zoo workload for -replay")
 		replayRuns = flag.Int("replay-runs", 2, "simulation repetitions for -replay")
+		reportPath = flag.String("report", "",
+			"validate a telemetry RunReport JSON file instead of static analysis")
 	)
 	flag.Parse()
 
+	if *reportPath != "" {
+		os.Exit(runReportCheck(*reportPath))
+	}
 	if *replay {
 		os.Exit(runReplay(*replayModel, *replayRuns))
 	}
 	os.Exit(runLint(*jsonOut))
+}
+
+// runReportCheck validates a RunReport file: schema tag, per-GPU time
+// accounting (compute + exposed comm + exposed host + idle = total), link
+// utilization bounds, and collective bandwidth sanity.
+func runReportCheck(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -report:", err)
+		return 2
+	}
+	rep, err := telemetry.ParseReport(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -report:", err)
+		return 1
+	}
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -report:", err)
+		return 1
+	}
+	fmt.Printf("report ok: %s %s/%s, %d GPUs, %d links, %d collectives, %v simulated\n",
+		rep.Model, rep.Platform, rep.Parallelism, len(rep.GPUs),
+		len(rep.Links), len(rep.Collectives), rep.TotalSec)
+	return 0
 }
 
 func runLint(jsonOut bool) int {
@@ -117,7 +149,22 @@ func runReplay(model string, runs int) int {
 			return 1
 		}
 	}
-	fmt.Printf("replay ok: %s ×%d runs, digest %#x, %d events, %v simulated\n",
+	// Telemetry must be observation-only: the same run with the collector
+	// attached dispatches a byte-identical event schedule.
+	tcfg := cfg
+	tcfg.Telemetry = true
+	tres, err := core.Simulate(tcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay:", err)
+		return 2
+	}
+	if tres.EventDigest != first.EventDigest || tres.Events != first.Events {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: telemetry perturbed the schedule: digest %#x (%d events) vs %#x (%d events)\n",
+			tres.EventDigest, tres.Events, first.EventDigest, first.Events)
+		return 1
+	}
+	fmt.Printf("replay ok: %s ×%d runs (+1 with telemetry), digest %#x, %d events, %v simulated\n",
 		model, runs, first.EventDigest, first.Events, first.TotalTime)
 	return 0
 }

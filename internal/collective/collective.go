@@ -19,6 +19,7 @@ import (
 	"triosim/internal/network"
 	"triosim/internal/sim"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 )
 
 // Options configures collective generation.
@@ -28,6 +29,9 @@ type Options struct {
 	StepDelay sim.VTime
 	// Label prefixes the generated task labels.
 	Label string
+	// Log optionally records per-collective metadata (algorithm, ranks,
+	// payload, bus factor) for telemetry. Nil disables recording.
+	Log *telemetry.CollectiveLog
 }
 
 // steps emits nSteps synchronized ring steps, each sending chunkBytes from
@@ -43,6 +47,7 @@ func steps(g *task.Graph, ring []network.NodeID, nSteps int,
 		for i := 0; i < n; i++ {
 			send := g.AddComm(ring[i], ring[(i+1)%n], chunkBytes,
 				fmt.Sprintf("%s-step%d-rank%d", opt.Label, s, i))
+			send.Collective = opt.Label
 			if s == 0 {
 				// A rank cannot start until its local data is ready.
 				if after != nil && after[i] != nil {
@@ -86,6 +91,8 @@ func RingAllReduce(g *task.Graph, ring []network.NodeID, bytes float64,
 	if n <= 1 {
 		return trivial(g, after, opt.Label)
 	}
+	opt.Log.Record(opt.Label, "ring-allreduce", n, bytes,
+		2*float64(n-1)/float64(n))
 	chunk := bytes / float64(n)
 	return steps(g, ring, 2*(n-1), chunk, after, opt)
 }
@@ -101,6 +108,8 @@ func RingReduceScatter(g *task.Graph, ring []network.NodeID, bytes float64,
 	if n <= 1 {
 		return trivial(g, after, opt.Label)
 	}
+	opt.Log.Record(opt.Label, "ring-reducescatter", n, bytes,
+		float64(n-1)/float64(n))
 	return steps(g, ring, n-1, bytes/float64(n), after, opt)
 }
 
@@ -115,6 +124,8 @@ func RingAllGather(g *task.Graph, ring []network.NodeID, bytes float64,
 	if n <= 1 {
 		return trivial(g, after, opt.Label)
 	}
+	opt.Log.Record(opt.Label, "ring-allgather", n, bytes,
+		float64(n-1)/float64(n))
 	return steps(g, ring, n-1, bytes/float64(n), after, opt)
 }
 
@@ -134,6 +145,7 @@ func Broadcast(g *task.Graph, ring []network.NodeID, bytes float64,
 		}
 		return done
 	}
+	opt.Log.Record(opt.Label, "ring-broadcast", n, bytes, 1)
 	const chunks = 8
 	chunkBytes := bytes / chunks
 	prevHop := make([]*task.Task, chunks) // chunk arrivals at previous hop
@@ -142,6 +154,7 @@ func Broadcast(g *task.Graph, ring []network.NodeID, bytes float64,
 		for c := 0; c < chunks; c++ {
 			send := g.AddComm(ring[hop], ring[hop+1], chunkBytes,
 				fmt.Sprintf("%s-hop%d-chunk%d", opt.Label, hop, c))
+			send.Collective = opt.Label
 			if hop == 0 {
 				if after != nil {
 					g.AddDep(after, send)
@@ -178,9 +191,14 @@ func GatherToRoot(g *task.Graph, ring []network.NodeID, shardBytes float64,
 		opt.Label = "gather"
 	}
 	done := g.AddBarrier(opt.Label + "-done")
+	if len(ring) > 1 {
+		opt.Log.Record(opt.Label, "gather", len(ring),
+			shardBytes*float64(len(ring)-1), 1)
+	}
 	for i := 1; i < len(ring); i++ {
 		send := g.AddComm(ring[i], ring[0], shardBytes,
 			fmt.Sprintf("%s-rank%d", opt.Label, i))
+		send.Collective = opt.Label
 		if after != nil && after[i] != nil {
 			g.AddDep(after[i], send)
 		}
@@ -200,9 +218,14 @@ func ScatterFromRoot(g *task.Graph, ring []network.NodeID, shardBytes float64,
 		opt.Label = "scatter"
 	}
 	done := g.AddBarrier(opt.Label + "-done")
+	if len(ring) > 1 {
+		opt.Log.Record(opt.Label, "scatter", len(ring),
+			shardBytes*float64(len(ring)-1), 1)
+	}
 	for i := 1; i < len(ring); i++ {
 		send := g.AddComm(ring[0], ring[i], shardBytes,
 			fmt.Sprintf("%s-rank%d", opt.Label, i))
+		send.Collective = opt.Label
 		if after != nil {
 			g.AddDep(after, send)
 		}

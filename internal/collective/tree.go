@@ -25,6 +25,8 @@ func TreeAllReduce(g *task.Graph, ranks []network.NodeID, bytes float64,
 	if n <= 1 {
 		return trivial(g, after, opt.Label)
 	}
+	opt.Log.Record(opt.Label, "tree-allreduce", n, bytes,
+		2*float64(n-1)/float64(n))
 
 	const chunks = 8
 	chunkBytes := bytes / chunks
@@ -49,6 +51,7 @@ func TreeAllReduce(g *task.Graph, ranks []network.NodeID, bytes float64,
 		for c := 0; c < chunks; c++ {
 			send := g.AddComm(ranks[i], ranks[parent], chunkBytes,
 				fmt.Sprintf("%s-up-n%d-c%d", opt.Label, i, c))
+			send.Collective = opt.Label
 			if gt := gateOf(i); gt != nil {
 				g.AddDep(gt, send)
 			}
@@ -101,6 +104,7 @@ func TreeAllReduce(g *task.Graph, ranks []network.NodeID, bytes float64,
 				}
 				send := g.AddComm(ranks[i], ranks[ch], chunkBytes,
 					fmt.Sprintf("%s-down-n%d-c%d", opt.Label, ch, c))
+				send.Collective = opt.Label
 				g.AddDep(haveChunk[i][c], send)
 				if prevSendOf[i] != nil {
 					g.AddDep(prevSendOf[i], send)

@@ -18,6 +18,7 @@ import (
 	"triosim/internal/perfmodel"
 	"triosim/internal/sim"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 	"triosim/internal/timeline"
 	"triosim/internal/trace"
 )
@@ -92,7 +93,22 @@ type Config struct {
 	// callers that want the metric pass time.Now here. Nil leaves WallClock
 	// zero.
 	Clock func() time.Time
+	// Telemetry enables the unified telemetry layer: a Collector observes
+	// task completions, network flows, and engine dispatch, and Result.Report
+	// carries the structured RunReport. Observation is side-effect-free, so
+	// Result.EventDigest is identical with or without it.
+	Telemetry bool
+	// Metrics optionally supplies the registry the Collector populates
+	// (implies Telemetry). Share one registry with a monitor.RTM to serve a
+	// live Prometheus /metrics surface.
+	Metrics *telemetry.Registry
+	// Hooks are extra engine hooks registered before the run (e.g. a
+	// monitor.RTM progress hook). Hooks must not schedule events.
+	Hooks []sim.Hook
 }
+
+// telemetryOn reports whether a Collector should run.
+func (c *Config) telemetryOn() bool { return c.Telemetry || c.Metrics != nil }
 
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
@@ -144,6 +160,9 @@ type Result struct {
 	// identical digests; triosimvet -replay uses this as its runtime
 	// determinism gate.
 	EventDigest uint64
+	// Report is the structured telemetry RunReport (nil unless
+	// Config.Telemetry or Config.Metrics enabled collection).
+	Report *telemetry.RunReport
 }
 
 // BuildTopology constructs the platform's default interconnect.
@@ -191,8 +210,8 @@ func collectTrace(cfg Config) (*trace.Trace, error) {
 
 // extrapolate builds the task graph for the configured parallelism.
 func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
-	timer extrapolator.OpTimer,
-	effects hwsim.Effects) (*extrapolator.Result, error) {
+	timer extrapolator.OpTimer, effects hwsim.Effects,
+	collLog *telemetry.CollectiveLog) (*extrapolator.Result, error) {
 
 	ecfg := extrapolator.Config{
 		Trace:        tr,
@@ -206,6 +225,7 @@ func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
 		Iterations:   cfg.Iterations,
 		Collective:   cfg.Collective,
 		ForwardOnly:  cfg.InferenceOnly,
+		Collectives:  collLog,
 	}
 	switch cfg.Parallelism {
 	case Single:
@@ -231,7 +251,7 @@ func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
 
 // execute runs a task graph over the platform network and packages results.
 func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
-	rampBytes float64) (*Result, error) {
+	rampBytes float64, collLog *telemetry.CollectiveLog) (*Result, error) {
 
 	var start time.Time
 	if cfg.Clock != nil {
@@ -243,7 +263,24 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	net := network.NewFlowNetwork(eng, topo)
 	net.RampBytes = rampBytes
 	tl := timeline.New()
-	makespan, err := task.NewExecutor(eng, net, res.Graph, tl).Run()
+	x := task.NewExecutor(eng, net, res.Graph, tl)
+
+	var coll *telemetry.Collector
+	if cfg.telemetryOn() {
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		coll = telemetry.NewCollector(reg, topo, collLog)
+		eng.RegisterHook(coll.EngineHook(eng.Pending))
+		net.Observer = coll
+		x.Observe(coll)
+	}
+	for _, h := range cfg.Hooks {
+		eng.RegisterHook(h)
+	}
+
+	makespan, err := x.Run()
 	if err != nil {
 		return nil, err
 	}
@@ -260,6 +297,30 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	}
 	if cfg.Clock != nil {
 		out.WallClock = cfg.Clock().Sub(start)
+	}
+	if coll != nil {
+		numGPUs := cfg.NumGPUs
+		if cfg.Parallelism == Single {
+			numGPUs = 1
+		}
+		out.Report = coll.Finalize(telemetry.RunInfo{
+			Model:           cfg.Model,
+			Platform:        cfg.Platform.Name,
+			Parallelism:     string(cfg.Parallelism),
+			NumGPUs:         numGPUs,
+			Iterations:      cfg.Iterations,
+			TotalSec:        makespan.Seconds(),
+			PerIterationSec: out.PerIteration.Seconds(),
+			Events:          out.Events,
+			NetTotalBytes:   net.TotalBytes,
+			NetTransfers:    net.TotalTransfers,
+			Parallel:        res.Meta,
+		})
+		if cfg.Clock != nil && out.WallClock > 0 {
+			out.Report.Engine.WallSeconds = out.WallClock.Seconds()
+			out.Report.Engine.EventsPerSecond =
+				float64(out.Events) / out.Report.Engine.WallSeconds
+		}
 	}
 	return out, nil
 }
@@ -322,11 +383,15 @@ func Simulate(cfg Config) (*Result, error) {
 	if topo == nil {
 		topo = BuildTopology(cfg.Platform)
 	}
-	eres, err := extrapolate(cfg, tr, topo, timer, hwsim.NoEffects)
+	var collLog *telemetry.CollectiveLog
+	if cfg.telemetryOn() {
+		collLog = telemetry.NewCollectiveLog()
+	}
+	eres, err := extrapolate(cfg, tr, topo, timer, hwsim.NoEffects, collLog)
 	if err != nil {
 		return nil, err
 	}
-	return execute(cfg, topo, eres, 0)
+	return execute(cfg, topo, eres, 0, collLog)
 }
 
 // GroundTruth is the reference-hardware path standing in for the paper's
@@ -359,11 +424,15 @@ func GroundTruth(cfg Config) (*Result, error) {
 	}
 	timer := hwsim.NewTimer(&cfg.Platform.GPU)
 	effects := hwsim.PlatformEffects(cfg.Platform)
-	eres, err := extrapolate(gcfg, tr, topo, timer, effects)
+	var collLog *telemetry.CollectiveLog
+	if gcfg.telemetryOn() {
+		collLog = telemetry.NewCollectiveLog()
+	}
+	eres, err := extrapolate(gcfg, tr, topo, timer, effects, collLog)
 	if err != nil {
 		return nil, err
 	}
-	return execute(gcfg, topo, eres, effects.CommRampBytes)
+	return execute(gcfg, topo, eres, effects.CommRampBytes, collLog)
 }
 
 func hybridGroups(cfg Config) int {

@@ -7,6 +7,7 @@ import (
 	"triosim/internal/network"
 	"triosim/internal/sim"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 	"triosim/internal/trace"
 )
 
@@ -37,7 +38,12 @@ func DataParallel(cfg Config, overlap bool) (*Result, error) {
 	perGPU := float64(cfg.GlobalBatch) / float64(n)
 	scale := perGPU / float64(b.tr.BatchSize)
 
-	res := &Result{Graph: b.g}
+	strategy := "dp"
+	if overlap {
+		strategy = "ddp"
+	}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: strategy, Replicas: n}}
 	gate := b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)
@@ -50,6 +56,7 @@ func DataParallel(cfg Config, overlap bool) (*Result, error) {
 		res.IterationEnds = append(res.IterationEnds, end)
 		gate = end
 	}
+	res.Meta.Buckets = b.lastBuckets
 	return res, nil
 }
 
@@ -108,6 +115,7 @@ func (b *builder) stdDPIteration(scale float64, gate *task.Task,
 		b.permuteGates(lastBwd), collective.Options{
 			StepDelay: b.cfg.Effects.CommStepLatency,
 			Label:     "allreduce" + suffix,
+			Log:       b.cfg.Collectives,
 		})
 	for i := 0; i < n; i++ {
 		opt := b.emitSeq(i, b.opt, scale, 1, ar, suffix)
@@ -167,6 +175,7 @@ func (b *builder) ddpIteration(scale float64, gate *task.Task,
 			collective.Options{
 				StepDelay: b.cfg.Effects.CommStepLatency,
 				Label:     fmt.Sprintf("allreduce-b%d%s", idx, suffix),
+				Log:       b.cfg.Collectives,
 			})
 		prevCollective = ar
 		allReduces = append(allReduces, ar)
@@ -191,6 +200,8 @@ func (b *builder) ddpIteration(scale float64, gate *task.Task,
 		}
 	}
 	flush(bucketIdx)
+
+	b.lastBuckets = len(allReduces)
 
 	// Optimizer waits for the final AllReduce and local backward.
 	end := b.g.AddBarrier("iter-done" + suffix)

@@ -18,6 +18,7 @@ import (
 	"triosim/internal/network"
 	"triosim/internal/sim"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 	"triosim/internal/tensor"
 	"triosim/internal/trace"
 )
@@ -64,6 +65,9 @@ type Config struct {
 	// hop a mesh neighbor on wafer-scale systems). It must be a
 	// permutation of [0, NumGPUs).
 	RingOrder []int
+	// Collectives optionally records per-collective metadata (algorithm,
+	// ranks, payload bytes) for telemetry. Nil disables recording.
+	Collectives *telemetry.CollectiveLog
 }
 
 func (c *Config) defaults() Config {
@@ -135,6 +139,9 @@ type builder struct {
 	// Hybrid parallelism runs the PP builder per data-parallel group with
 	// a window into the physical GPU range.
 	logMap []int
+	// lastBuckets is the DDP gradient-bucket count of the most recently
+	// emitted iteration (telemetry metadata).
+	lastBuckets int
 }
 
 // phys resolves a logical GPU index to its physical compute-resource index.
@@ -299,6 +306,9 @@ type Result struct {
 	Graph *task.Graph
 	// IterationEnds marks the completion task of each simulated iteration.
 	IterationEnds []*task.Task
+	// Meta describes the generated parallelism structure (strategy, replica
+	// and stage counts, DDP bucket count, layer→stage map) for telemetry.
+	Meta telemetry.ParallelStat
 }
 
 // SingleGPU replays the trace on one GPU, optionally rescaled to a new
@@ -311,7 +321,8 @@ func SingleGPU(cfg Config) (*Result, error) {
 	cfg = b.cfg
 	scale := float64(cfg.GlobalBatch) / float64(b.tr.BatchSize)
 
-	res := &Result{Graph: b.g}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "single", Replicas: 1}}
 	var gate *task.Task = b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)

@@ -6,6 +6,7 @@ import (
 	"triosim/internal/collective"
 	"triosim/internal/network"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 )
 
 // HybridDPPP extrapolates the trace to hybrid data + pipeline parallelism
@@ -38,7 +39,9 @@ func HybridDPPP(cfg Config, dpGroups int) (*Result, error) {
 	}
 	groupBatch := cfg.GlobalBatch / dpGroups
 
-	res := &Result{Graph: b.g}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "dp+pp", Replicas: dpGroups,
+			Stages: stages, StageOfLayer: StageAssignment(b.tr, stages)}}
 	gate := b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)
@@ -70,6 +73,7 @@ func HybridDPPP(cfg Config, dpGroups int) (*Result, error) {
 				phases[0].gradBytes[s], gates, collective.Options{
 					StepDelay: b.cfg.Effects.CommStepLatency,
 					Label:     fmt.Sprintf("hp-allreduce-s%d%s", s, suffix),
+					Log:       b.cfg.Collectives,
 				})
 		}
 
@@ -121,7 +125,8 @@ func HybridDPTP(cfg Config, dpGroups int) (*Result, error) {
 	// AllReduce moves that shard's gradients.
 	shardGradBytes := float64(b.tr.GradientBytes()) * shard
 
-	res := &Result{Graph: b.g}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "dp+tp", Replicas: dpGroups}}
 	gate := b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)
@@ -161,6 +166,7 @@ func HybridDPTP(cfg Config, dpGroups int) (*Result, error) {
 				gates, collective.Options{
 					StepDelay: b.cfg.Effects.CommStepLatency,
 					Label:     fmt.Sprintf("hp-allreduce-r%d%s", r, suffix),
+					Log:       b.cfg.Collectives,
 				})
 		}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 	"triosim/internal/trace"
 )
 
@@ -76,7 +77,9 @@ func PipelineParallel(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg = b.cfg
-	res := &Result{Graph: b.g}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "pp", Stages: cfg.NumGPUs,
+			StageOfLayer: StageAssignment(b.tr, cfg.NumGPUs)}}
 	gate := b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)

@@ -5,6 +5,7 @@ import (
 
 	"triosim/internal/collective"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 )
 
 // layerGroup is a run of consecutive same-layer op indices.
@@ -41,7 +42,8 @@ func TensorParallel(cfg Config) (*Result, error) {
 	scale := float64(cfg.GlobalBatch) / float64(b.tr.BatchSize)
 	shard := 1.0 / float64(n)
 
-	res := &Result{Graph: b.g}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "tp", Replicas: n}}
 	gate := b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)
@@ -89,6 +91,7 @@ func (b *builder) tpLayers(groups []layerGroup, scale, shard float64,
 			StepDelay: b.cfg.Effects.CommStepLatency,
 			Label: fmt.Sprintf("tp-%s-l%d%s", phase, grp.layer,
 				suffix),
+			Log: b.cfg.Collectives,
 		}
 		var coll *task.Task
 		if phase == "fwd" {

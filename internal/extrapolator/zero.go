@@ -5,6 +5,7 @@ import (
 
 	"triosim/internal/collective"
 	"triosim/internal/task"
+	"triosim/internal/telemetry"
 )
 
 // DataParallelZeRO extrapolates ZeRO stage-1 data parallelism (the
@@ -25,7 +26,8 @@ func DataParallelZeRO(cfg Config) (*Result, error) {
 	scale := float64(cfg.GlobalBatch) / float64(n) / float64(b.tr.BatchSize)
 	shard := 1.0 / float64(n)
 
-	res := &Result{Graph: b.g}
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "zero1", Replicas: n}}
 	gate := b.g.AddBarrier("start")
 	for it := 0; it < cfg.Iterations; it++ {
 		suffix := fmt.Sprintf("-it%d", it)
@@ -51,6 +53,7 @@ func DataParallelZeRO(cfg Config) (*Result, error) {
 
 		opts := collective.Options{
 			StepDelay: b.cfg.Effects.CommStepLatency,
+			Log:       b.cfg.Collectives,
 		}
 		// Reduce-scatter the gradients: each rank ends with its reduced
 		// shard.

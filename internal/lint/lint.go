@@ -142,6 +142,7 @@ var simPackages = []string{
 	"internal/collective",
 	"internal/extrapolator",
 	"internal/hwsim",
+	"internal/telemetry",
 }
 
 // isSimPackage reports whether relPath is under the determinism contract.

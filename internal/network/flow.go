@@ -15,14 +15,27 @@ type Network interface {
 	Send(src, dst NodeID, bytes float64, onDone func(now sim.VTime))
 }
 
+// FlowObserver is notified of flow-network activity. Observers may record
+// but must never schedule events — the event schedule (and the replay
+// digest) is identical with or without them.
+type FlowObserver interface {
+	// FlowFinished fires when a flow's last byte leaves the network, before
+	// the delivery latency. start is when Send admitted the flow.
+	FlowFinished(route []DirLink, bytes float64, start, end sim.VTime)
+	// RatesRecomputed fires after each max-min fair-share recomputation.
+	RatesRecomputed(flows int, now sim.VTime)
+}
+
 // flow is one in-flight message in the flow network.
 type flow struct {
 	id        int
 	route     []DirLink
 	remaining float64
+	bytes     float64 // original transfer size
 	rate      float64 // bytes/s currently achieved
 	eff       float64 // achieved fraction of the allocated share
 	latency   sim.VTime
+	start     sim.VTime
 	onDone    func(now sim.VTime)
 	gen       int // invalidates superseded delivery events
 }
@@ -56,6 +69,10 @@ type FlowNetwork struct {
 	// Stats.
 	TotalBytes     float64
 	TotalTransfers int
+
+	// Observer optionally receives flow-completion and rate-recompute
+	// notifications (telemetry). Set before the first Send.
+	Observer FlowObserver
 }
 
 // NewFlowNetwork builds a flow network over topo driven by eng.
@@ -100,8 +117,10 @@ func (n *FlowNetwork) Send(src, dst NodeID, bytes float64,
 		id:        n.nextID,
 		route:     route,
 		remaining: bytes,
+		bytes:     bytes,
 		eff:       eff,
 		latency:   n.topo.RouteLatency(route),
+		start:     now,
 		onDone:    onDone,
 	}
 	n.advance(now)
@@ -120,6 +139,9 @@ func (n *FlowNetwork) scheduleReallocate(now sim.VTime) {
 		n.recomputePending = false
 		n.advance(t)
 		n.reallocate(t)
+		if n.Observer != nil {
+			n.Observer.RatesRecomputed(len(n.flows), t)
+		}
 		return nil
 	}))
 }
@@ -186,6 +208,9 @@ func (n *FlowNetwork) completeFlow(f *flow, gen int, now sim.VTime) {
 	}
 	n.advance(now)
 	delete(n.flows, f.id)
+	if n.Observer != nil {
+		n.Observer.FlowFinished(f.route, f.bytes, f.start, now)
+	}
 	n.scheduleReallocate(now)
 	// The receiver observes the data one route-latency later.
 	n.eng.Schedule(sim.NewFuncEvent(now+f.latency, func(t sim.VTime) error {

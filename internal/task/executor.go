@@ -8,6 +8,14 @@ import (
 	"triosim/internal/timeline"
 )
 
+// Observer is notified when a resource-occupying task finishes. It must be
+// side-effect-free with respect to the event schedule: observers may record
+// but never call Schedule, so the dispatched schedule (and the replay
+// digest) is identical with or without them.
+type Observer interface {
+	TaskDone(t *Task, start, end sim.VTime)
+}
+
 // Executor runs a task graph on the event engine: compute tasks occupy their
 // GPU's compute stream serially (in ready order), communication tasks go to
 // the network model (which shares bandwidth among concurrent transfers), and
@@ -17,6 +25,7 @@ type Executor struct {
 	net   network.Network
 	graph *Graph
 	tl    *timeline.Timeline
+	obs   []Observer
 
 	indeg     []int
 	remaining int
@@ -37,6 +46,18 @@ func NewExecutor(eng sim.Engine, net network.Network, g *Graph,
 		tl:       tl,
 		gpuQueue: map[int][]*Task{},
 		gpuBusy:  map[int]bool{},
+	}
+}
+
+// Observe registers an observer; call before Run.
+func (x *Executor) Observe(o Observer) {
+	x.obs = append(x.obs, o)
+}
+
+// notify reports a finished resource-occupying task to every observer.
+func (x *Executor) notify(t *Task, start, end sim.VTime) {
+	for _, o := range x.obs {
+		o.TaskDone(t, start, end)
 	}
 }
 
@@ -95,6 +116,7 @@ func (x *Executor) ready(t *Task, now sim.VTime) {
 		start := now
 		x.net.Send(t.Src, t.Dst, t.Bytes, func(end sim.VTime) {
 			x.tl.Add("net", t.Label, phase, start, end)
+			x.notify(t, start, end)
 			x.complete(t, end)
 		})
 	case Barrier:
@@ -120,6 +142,7 @@ func (x *Executor) startNextCompute(gpu int, now sim.VTime) {
 	end := now + t.Duration
 	x.eng.Schedule(sim.NewFuncEvent(end, func(done sim.VTime) error {
 		x.tl.Add(fmt.Sprintf("gpu%d", gpu), t.Label, "compute", now, done)
+		x.notify(t, now, done)
 		x.gpuBusy[gpu] = false
 		x.complete(t, done)
 		x.startNextCompute(gpu, done)

@@ -64,6 +64,9 @@ type Task struct {
 	// Layer and MicroBatch tag the task for breakdowns and tests.
 	Layer      int
 	MicroBatch int
+	// Collective tags Comm tasks emitted by a collective generator with the
+	// collective instance's label, so telemetry can aggregate per collective.
+	Collective string
 
 	deps       []int
 	dependents []int

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ReportSchema versions the RunReport JSON layout. Consumers (triosimvet
+// -report, CI smoke checks, dashboards) key on it before parsing the rest.
+const ReportSchema = "triosim.runreport/v1"
+
+// RunReport is the structured end-of-run telemetry document: the quantitative
+// answer to "where did the simulated time go, and what did the simulator
+// itself do". It is emitted on core.Result and via triosim -metrics-out.
+//
+// All slices are sorted and all floats derive from virtual time, so two runs
+// of the same configuration marshal to byte-identical JSON (wall-clock
+// fields stay zero unless the caller injected a Clock).
+type RunReport struct {
+	Schema string `json:"schema"`
+
+	// Workload identification.
+	Model       string `json:"model,omitempty"`
+	Platform    string `json:"platform,omitempty"`
+	Parallelism string `json:"parallelism,omitempty"`
+	NumGPUs     int    `json:"num_gpus"`
+	Iterations  int    `json:"iterations"`
+
+	// Simulated-time outcome.
+	TotalSec        float64 `json:"total_sec"`
+	PerIterationSec float64 `json:"per_iteration_sec"`
+
+	GPUs        []GPUStat        `json:"gpus"`
+	Links       []LinkStat       `json:"links,omitempty"`
+	Network     NetStat          `json:"network"`
+	Collectives []CollectiveStat `json:"collectives,omitempty"`
+	Parallel    ParallelStat     `json:"parallel"`
+	Engine      EngineStat       `json:"engine"`
+
+	// Metrics is the raw registry dump backing the aggregates above.
+	Metrics []MetricPoint `json:"metrics,omitempty"`
+}
+
+// GPUStat is the per-GPU time breakdown. The four components partition the
+// run exactly: ComputeSec + ExposedCommSec + ExposedHostSec + IdleSec ==
+// TotalSec. Communication fully overlapped with this GPU's compute does not
+// appear (that is the point of exposed-comm accounting).
+type GPUStat struct {
+	GPU            int     `json:"gpu"`
+	ComputeSec     float64 `json:"compute_sec"`
+	ExposedCommSec float64 `json:"exposed_comm_sec"`
+	ExposedHostSec float64 `json:"exposed_host_sec"`
+	IdleSec        float64 `json:"idle_sec"`
+	ComputeTasks   int     `json:"compute_tasks"`
+}
+
+// LinkStat is one directed link's traffic accounting.
+type LinkStat struct {
+	// Link names the direction, e.g. "gpu0->nvswitch".
+	Link  string  `json:"link"`
+	Bytes float64 `json:"bytes"`
+	// Utilization is bytes / (bandwidth × makespan): the fraction of the
+	// link's capacity the run actually moved.
+	Utilization float64 `json:"utilization"`
+	Flows       int     `json:"flows"`
+}
+
+// NetStat aggregates the flow network.
+type NetStat struct {
+	TotalBytes     float64 `json:"total_bytes"`
+	Transfers      int     `json:"transfers"`
+	RateRecomputes int     `json:"rate_recomputes"`
+	// MaxLinkUtilization is the highest per-direction link utilization.
+	MaxLinkUtilization float64 `json:"max_link_utilization"`
+}
+
+// CollectiveStat is one collective operation instance (e.g. one DDP bucket's
+// AllReduce) with NCCL-style bandwidth accounting: AlgBwBytesPerSec is
+// payload/duration, BusBwBytesPerSec multiplies in the algorithm's traffic
+// factor (2(N−1)/N for allreduce, (N−1)/N for reduce-scatter/all-gather), and
+// Efficiency compares bus bandwidth to the bottleneck link on the routes the
+// collective actually used.
+type CollectiveStat struct {
+	Label            string  `json:"label"`
+	Algo             string  `json:"algo"`
+	Ranks            int     `json:"ranks"`
+	PayloadBytes     float64 `json:"payload_bytes"`
+	MovedBytes       float64 `json:"moved_bytes"`
+	StartSec         float64 `json:"start_sec"`
+	EndSec           float64 `json:"end_sec"`
+	AlgBwBytesPerSec float64 `json:"alg_bw_bytes_per_sec"`
+	BusBwBytesPerSec float64 `json:"bus_bw_bytes_per_sec"`
+	// IdealBwBytesPerSec is the minimum link bandwidth on the routes used.
+	IdealBwBytesPerSec float64 `json:"ideal_bw_bytes_per_sec"`
+	Efficiency         float64 `json:"efficiency"`
+}
+
+// ParallelStat describes the extrapolated parallelism structure.
+type ParallelStat struct {
+	Strategy string `json:"strategy,omitempty"`
+	Replicas int    `json:"replicas,omitempty"`
+	Stages   int    `json:"stages,omitempty"`
+	// Buckets is the DDP gradient-bucket count per iteration.
+	Buckets int `json:"buckets,omitempty"`
+	// StageOfLayer maps layer index → pipeline stage (PP only).
+	StageOfLayer []int `json:"stage_of_layer,omitempty"`
+}
+
+// EngineStat is the simulator self-profile.
+type EngineStat struct {
+	Events uint64 `json:"events"`
+	// ByKind counts dispatched events per event kind, sorted by kind.
+	ByKind []KindCount `json:"by_kind,omitempty"`
+	// QueueHighWater is the deepest the event queue got.
+	QueueHighWater int `json:"queue_high_water"`
+	// WallSeconds and EventsPerSecond are wall-clock derived and only set
+	// when the caller injected a Clock (zero in deterministic test runs).
+	WallSeconds     float64 `json:"wall_seconds,omitempty"`
+	EventsPerSecond float64 `json:"events_per_second,omitempty"`
+}
+
+// KindCount is one per-event-kind dispatch count.
+type KindCount struct {
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
+// WriteJSON writes the report as indented JSON. Field order is fixed by the
+// struct layout and slices are pre-sorted, so output is deterministic.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// sumTolerance is the relative float tolerance for the per-GPU partition
+// invariant check.
+const sumTolerance = 1e-6
+
+// Validate checks the report's internal invariants: schema tag, the exact
+// per-GPU time partition, utilization ranges, and collective sanity.
+func (r *RunReport) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("telemetry: schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.TotalSec < 0 || r.PerIterationSec < 0 {
+		return fmt.Errorf("telemetry: negative total time")
+	}
+	for _, g := range r.GPUs {
+		sum := g.ComputeSec + g.ExposedCommSec + g.ExposedHostSec + g.IdleSec
+		tol := sumTolerance * math.Max(1e-12, r.TotalSec)
+		if math.Abs(sum-r.TotalSec) > tol {
+			return fmt.Errorf("telemetry: gpu%d breakdown sums to %g, total is %g",
+				g.GPU, sum, r.TotalSec)
+		}
+		if g.ComputeSec < 0 || g.ExposedCommSec < 0 || g.ExposedHostSec < 0 ||
+			g.IdleSec < -tol {
+			return fmt.Errorf("telemetry: gpu%d has a negative component", g.GPU)
+		}
+	}
+	for _, l := range r.Links {
+		if l.Utilization < 0 || l.Utilization > 1+sumTolerance {
+			return fmt.Errorf("telemetry: link %s utilization %g out of [0,1]",
+				l.Link, l.Utilization)
+		}
+		if l.Bytes < 0 {
+			return fmt.Errorf("telemetry: link %s negative bytes", l.Link)
+		}
+	}
+	for _, c := range r.Collectives {
+		if c.EndSec < c.StartSec {
+			return fmt.Errorf("telemetry: collective %s ends before it starts",
+				c.Label)
+		}
+		if c.Ranks < 0 || c.PayloadBytes < 0 || c.MovedBytes < 0 {
+			return fmt.Errorf("telemetry: collective %s has negative fields",
+				c.Label)
+		}
+	}
+	return nil
+}
+
+// ParseReport decodes and validates a RunReport JSON document.
+func ParseReport(data []byte) (*RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: parse report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// opCategories maps operator-name substrings to breakdown categories, first
+// match wins. The names come from the model zoo / PyTorch-style traces.
+var opCategories = []struct{ substr, cat string }{
+	{"conv", "conv"},
+	{"linear", "gemm"},
+	{"matmul", "gemm"},
+	{"gemm", "gemm"},
+	{"attention", "gemm"},
+	{"attn", "gemm"},
+	{"embedding", "gemm"},
+	{"norm", "norm"},
+	{"pool", "pool"},
+	{"relu", "activation"},
+	{"gelu", "activation"},
+	{"sigmoid", "activation"},
+	{"tanh", "activation"},
+	{"softmax", "activation"},
+	{"dropout", "elementwise"},
+	{"add", "elementwise"},
+	{"mul", "elementwise"},
+	{"scale", "elementwise"},
+	{"sgd", "optimizer"},
+	{"adam", "optimizer"},
+	{"optimizer", "optimizer"},
+	{"step", "optimizer"},
+	{"loss", "loss"},
+	{"entropy", "loss"},
+}
+
+// OpCategory classifies an operator name into a coarse breakdown category
+// (conv, gemm, norm, pool, activation, elementwise, optimizer, loss, other).
+// Shared by the collector's op-duration histograms and cmd/traceinfo.
+func OpCategory(name string) string {
+	n := strings.ToLower(name)
+	for _, e := range opCategories {
+		if strings.Contains(n, e.substr) {
+			return e.cat
+		}
+	}
+	return "other"
+}

@@ -1,0 +1,156 @@
+package timeline
+
+import "sort"
+
+// ResourceBreakdown is one resource's per-phase accounting over the whole
+// timeline span. ComputeSec, ExposedCommSec, ExposedHostSec and IdleSec
+// partition the span exactly: communication or host staging overlapped by
+// compute is hidden (pipelined) and charged to compute, matching the paper's
+// exposed-communication notion.
+type ResourceBreakdown struct {
+	Resource string
+	// ComputeSec is the union time the resource spent computing.
+	ComputeSec float64
+	// CommSec is the union time the resource had communication in flight
+	// (overlap with compute included).
+	CommSec float64
+	// ExposedCommSec is communication time not hidden under compute.
+	ExposedCommSec float64
+	// HostLoadSec is the union time of host→device staging.
+	HostLoadSec float64
+	// ExposedHostSec is host staging hidden by neither compute nor comm.
+	ExposedHostSec float64
+	// IdleSec is the rest of the span.
+	IdleSec float64
+	// BusySec is the union of all recorded activity.
+	BusySec float64
+}
+
+// vspan is a half-open [s, e) float interval used by the sweep below.
+type vspan struct{ s, e float64 }
+
+// unionSpans sorts and merges overlapping spans.
+func unionSpans(in []vspan) []vspan {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].s < in[j].s })
+	out := in[:1]
+	for _, sp := range in[1:] {
+		last := &out[len(out)-1]
+		if sp.s <= last.e {
+			if sp.e > last.e {
+				last.e = sp.e
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// subtractSpans returns a minus b; both must be merged unions.
+func subtractSpans(a, b []vspan) []vspan {
+	var out []vspan
+	j := 0
+	for _, sp := range a {
+		cur := sp
+		for j < len(b) && b[j].e <= cur.s {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].s < cur.e {
+			if b[k].s > cur.s {
+				out = append(out, vspan{cur.s, b[k].s})
+			}
+			if b[k].e >= cur.e {
+				cur.s = cur.e
+				break
+			}
+			cur.s = b[k].e
+			k++
+		}
+		if cur.s < cur.e {
+			out = append(out, vspan{cur.s, cur.e})
+		}
+	}
+	return out
+}
+
+func spansLen(in []vspan) float64 {
+	var total float64
+	for _, sp := range in {
+		total += sp.e - sp.s
+	}
+	return total
+}
+
+// Breakdown computes the per-resource, per-phase accounting over the whole
+// timeline span, sorted by resource name. Overlap handling is exact: exposed
+// communication is comm∖compute, exposed host staging is
+// hostload∖(compute∪comm), and idle is whatever remains of the span.
+func (tl *Timeline) Breakdown() []ResourceBreakdown {
+	start, end := tl.Span()
+	total := float64(end - start)
+
+	byPhase := map[string]map[string][]vspan{} // resource → phase → spans
+	for i := range tl.Intervals {
+		iv := &tl.Intervals[i]
+		if iv.End.AtOrBefore(iv.Start) {
+			continue
+		}
+		m := byPhase[iv.Resource]
+		if m == nil {
+			m = map[string][]vspan{}
+			byPhase[iv.Resource] = m
+		}
+		m[iv.Phase] = append(m[iv.Phase],
+			vspan{float64(iv.Start), float64(iv.End)})
+	}
+
+	names := make([]string, 0, len(byPhase))
+	for r := range byPhase {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+
+	out := make([]ResourceBreakdown, 0, len(names))
+	for _, r := range names {
+		phases := byPhase[r]
+		compute := unionSpans(phases["compute"])
+		comm := unionSpans(phases["comm"])
+		host := unionSpans(phases["hostload"])
+		var all []vspan
+		for _, spans := range [][]vspan{compute, comm, host} {
+			all = append(all, spans...)
+		}
+		extra := make([]string, 0, len(phases))
+		for phase := range phases {
+			extra = append(extra, phase)
+		}
+		sort.Strings(extra)
+		for _, phase := range extra {
+			if phase != "compute" && phase != "comm" && phase != "hostload" {
+				all = append(all, phases[phase]...)
+			}
+		}
+		busy := unionSpans(all)
+		notHidden := subtractSpans(comm, compute)
+		hostExposed := subtractSpans(subtractSpans(host, compute), comm)
+		b := ResourceBreakdown{
+			Resource:       r,
+			ComputeSec:     spansLen(compute),
+			CommSec:        spansLen(comm),
+			ExposedCommSec: spansLen(notHidden),
+			HostLoadSec:    spansLen(host),
+			ExposedHostSec: spansLen(hostExposed),
+			BusySec:        spansLen(busy),
+		}
+		b.IdleSec = total - b.BusySec
+		if b.IdleSec < 0 {
+			b.IdleSec = 0
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package timeline
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBreakdownOverlapAware(t *testing.T) {
+	tl := New()
+	// gpu0: compute [0,4), comm [2,6) (2s hidden, 2s exposed),
+	// hostload [5,7) (1s under comm, 1s exposed). Span ends at 10.
+	tl.Add("gpu0", "op", "compute", 0, 4)
+	tl.Add("gpu0", "xfer", "comm", 2, 6)
+	tl.Add("gpu0", "stage", "hostload", 5, 7)
+	tl.Add("gpu1", "op", "compute", 0, 10)
+
+	bds := tl.Breakdown()
+	if len(bds) != 2 || bds[0].Resource != "gpu0" || bds[1].Resource != "gpu1" {
+		t.Fatalf("breakdown = %+v", bds)
+	}
+	b := bds[0]
+	approx := func(got, want float64) bool {
+		return math.Abs(got-want) < 1e-9
+	}
+	if !approx(b.ComputeSec, 4) || !approx(b.CommSec, 4) ||
+		!approx(b.ExposedCommSec, 2) {
+		t.Fatalf("gpu0 compute/comm/exposed = %v/%v/%v",
+			b.ComputeSec, b.CommSec, b.ExposedCommSec)
+	}
+	if !approx(b.HostLoadSec, 2) || !approx(b.ExposedHostSec, 1) {
+		t.Fatalf("gpu0 host/exposed = %v/%v", b.HostLoadSec, b.ExposedHostSec)
+	}
+	if !approx(b.BusySec, 7) || !approx(b.IdleSec, 3) {
+		t.Fatalf("gpu0 busy/idle = %v/%v", b.BusySec, b.IdleSec)
+	}
+	// Partition: compute + exposed comm + exposed host + idle = span.
+	sum := b.ComputeSec + b.ExposedCommSec + b.ExposedHostSec + b.IdleSec
+	if !approx(sum, 10) {
+		t.Fatalf("partition sums to %v, span 10", sum)
+	}
+	if g1 := bds[1]; !approx(g1.ComputeSec, 10) || !approx(g1.IdleSec, 0) {
+		t.Fatalf("gpu1 = %+v", g1)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	if got := New().Breakdown(); len(got) != 0 {
+		t.Fatalf("empty timeline breakdown = %+v", got)
+	}
+}
+
+func TestExportHTMLIncludesBreakdownTable(t *testing.T) {
+	tl := New()
+	tl.Add("gpu0", "op", "compute", 0, 1)
+	tl.Add("gpu0", "xfer", "comm", 0.5, 2)
+	var buf bytes.Buffer
+	if err := tl.ExportHTML(&buf, "t"); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		`<table class="breakdown">`,
+		"<th>exposed comm (s)</th>",
+		"<td>gpu0</td>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+	if strings.Index(html, "<table") > strings.Index(html, "<svg") {
+		t.Fatal("breakdown table should precede the SVG lanes")
+	}
+}

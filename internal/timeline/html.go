@@ -48,6 +48,9 @@ svg { background: white; border: 1px solid #ddd; }
 .lane-label { font-size: 12px; fill: #333; }
 .axis { font-size: 10px; fill: #777; }
 .legend { font-size: 12px; }
+table.breakdown { border-collapse: collapse; font-size: 12px; margin-bottom: 12px; }
+table.breakdown th, table.breakdown td { border: 1px solid #ddd; padding: 3px 8px; text-align: right; }
+table.breakdown th:first-child, table.breakdown td:first-child { text-align: left; }
 </style></head><body>
 <h2>%s</h2>
 <p class="legend">
@@ -55,10 +58,30 @@ svg { background: white; border: 1px solid #ddd; }
 <span style="color:%s">&#9632;</span> communication&nbsp;
 <span style="color:%s">&#9632;</span> host load
 — span %s</p>
-<svg width="%.0f" height="%.0f">
 `, html.EscapeString(title), html.EscapeString(title),
 		colors["compute"], colors["comm"], colors["hostload"],
-		(end - start).String(), width, height); err != nil {
+		(end-start).String()); err != nil {
+		return err
+	}
+
+	// Per-resource breakdown summary above the lanes.
+	fmt.Fprint(w, `<table class="breakdown">
+<tr><th>resource</th><th>compute (s)</th><th>comm (s)</th><th>exposed comm (s)</th><th>host load (s)</th><th>idle (s)</th><th>busy %</th></tr>
+`)
+	for _, b := range tl.Breakdown() {
+		busyPct := 0.0
+		if span > 0 {
+			busyPct = b.BusySec / span * 100
+		}
+		fmt.Fprintf(w,
+			"<tr><td>%s</td><td>%.6g</td><td>%.6g</td><td>%.6g</td><td>%.6g</td><td>%.6g</td><td>%.1f</td></tr>\n",
+			html.EscapeString(b.Resource), b.ComputeSec, b.CommSec,
+			b.ExposedCommSec, b.HostLoadSec, b.IdleSec, busyPct)
+	}
+	fmt.Fprint(w, "</table>\n")
+
+	if _, err := fmt.Fprintf(w, `<svg width="%.0f" height="%.0f">
+`, width, height); err != nil {
 		return err
 	}
 

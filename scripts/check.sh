@@ -22,4 +22,14 @@ go run ./cmd/triosimvet ./...
 echo "==> triosimvet -replay (double-run event-digest check)"
 go run ./cmd/triosimvet -replay
 
+echo "==> telemetry smoke (-metrics-out + RunReport schema validation)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/triosim -model resnet50 -platform P2 -parallelism ddp \
+  -trace-batch 32 -metrics-out "$tmpdir/report.json" >/dev/null
+go run ./cmd/triosimvet -report "$tmpdir/report.json"
+
+echo "==> bench smoke (compile + one iteration of every benchmark)"
+go test -run '^$' -bench . -benchtime 1x . >/dev/null
+
 echo "==> all checks passed"

@@ -31,6 +31,7 @@ import (
 	"triosim/internal/models"
 	"triosim/internal/network"
 	"triosim/internal/sim"
+	"triosim/internal/telemetry"
 	"triosim/internal/trace"
 )
 
@@ -44,6 +45,18 @@ type Result = core.Result
 
 // Comparison is a predicted-vs-hardware validation pair.
 type Comparison = core.Comparison
+
+// RunReport is the structured telemetry report produced when
+// Config.Telemetry is enabled; see internal/telemetry and
+// docs/OBSERVABILITY.md.
+type RunReport = telemetry.RunReport
+
+// MetricsRegistry is the deterministic virtual-time metrics registry. Share
+// one between Config.Metrics and a monitor to serve live /metrics.
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Parallelism selects the training strategy.
 type Parallelism = core.Parallelism

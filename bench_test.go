@@ -10,6 +10,7 @@ package triosim
 // collectives, trace collection, model fitting).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"triosim/internal/network"
 	"triosim/internal/perfmodel"
 	"triosim/internal/sim"
+	"triosim/internal/sweep"
 	"triosim/internal/task"
 	"triosim/internal/timeline"
 )
@@ -349,6 +351,40 @@ func BenchmarkAblationRingVsTree(b *testing.B) {
 				})
 		}
 	}
+}
+
+// ---- Sweep harness benches ----
+
+// Pure pool overhead: dispatch + ordered collection of trivial jobs, no
+// simulation. This is the fixed cost internal/sweep adds per scenario.
+func BenchmarkSweepPoolOverhead(b *testing.B) {
+	b.ReportAllocs()
+	jobs := make([]sweep.Job[int], 256)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i, nil }
+	}
+	for n := 0; n < b.N; n++ {
+		res := sweep.Run(sweep.Options{}, jobs)
+		if len(res) != 256 || res[255].Value != 255 {
+			b.Fatal("bad results")
+		}
+	}
+}
+
+// The same figure grid serially and fanned across the pool: the pair
+// BENCH_*.json tracks over time to keep the parallel path's advantage
+// honest (on a single-core machine the two should be within noise).
+func BenchmarkSweepFig7Serial(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig7Opts(true, experiments.Serial)
+	})
+}
+
+func BenchmarkSweepFig7Parallel(b *testing.B) {
+	benchFigure(b, func() (*experiments.Figure, error) {
+		return experiments.Fig7Opts(true, experiments.Options{})
+	})
 }
 
 // ---- Substrate micro-benches ----

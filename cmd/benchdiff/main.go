@@ -1,0 +1,251 @@
+// Command benchdiff records and gates benchmark results, seeding the
+// repo's performance trajectory: scripts/bench.sh pipes `go test -bench`
+// output through `-out` to snapshot name → ns/op, allocs/op into a
+// BENCH_<date>.json, and `-old`/`-new` compares two snapshots with a
+// tolerance gate.
+//
+// The allocation gate is strict (allocs/op is deterministic at any
+// -benchtime, so a pooling or hot-path regression shows up exactly); the
+// ns/op gate is off by default because the fixed `-benchtime 1x` runs in
+// CI are too noisy for wall-clock comparisons — enable it with
+// -max-ns-ratio for dedicated perf runs at longer benchtimes.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . > bench.txt
+//	benchdiff -out BENCH_2026-08-05.json bench.txt
+//	benchdiff -old BENCH_2026-07-01.json -new BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// entry is one benchmark's recorded result.
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// snapshot is the BENCH_<date>.json schema.
+type snapshot struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines:
+//
+//	BenchmarkName-8   12  3456 ns/op  789 B/op  10 allocs/op
+//
+// The trailing -N is the GOMAXPROCS suffix the testing package appends; it
+// is stripped so snapshots compare across machines with different core
+// counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseBench(r io.Reader) (map[string]entry, error) {
+	type sum struct {
+		e entry
+		n int
+	}
+	acc := map[string]*sum{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[3]
+		fields := splitFields(rest)
+		var e entry
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		s := acc[name]
+		if s == nil {
+			s = &sum{}
+			acc[name] = s
+		}
+		s.e.NsPerOp += e.NsPerOp
+		s.e.BytesPerOp += e.BytesPerOp
+		s.e.AllocsPerOp += e.AllocsPerOp
+		s.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]entry{}
+	for name, s := range acc {
+		out[name] = entry{
+			NsPerOp:     s.e.NsPerOp / float64(s.n),
+			BytesPerOp:  s.e.BytesPerOp / float64(s.n),
+			AllocsPerOp: s.e.AllocsPerOp / float64(s.n),
+		}
+	}
+	return out, nil
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ' ' && s[i] != '\t' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, s[start:i])
+			start = -1
+		}
+	}
+	return out
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func emit(path string, benches map[string]entry) error {
+	out, err := json.MarshalIndent(&snapshot{Benchmarks: benches}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// compare gates new against old. Returns the number of failures.
+func compare(w io.Writer, old, cand *snapshot,
+	allocRatio, allocSlack, nsRatio float64) int {
+
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	added := 0
+	for name := range cand.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			added++
+		}
+	}
+	for _, name := range names {
+		o := old.Benchmarks[name]
+		n, ok := cand.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %s: missing from new run (regenerate the "+
+				"baseline if the benchmark was intentionally removed)\n", name)
+			failures++
+			continue
+		}
+		if limit := o.AllocsPerOp*allocRatio + allocSlack; n.AllocsPerOp > limit {
+			fmt.Fprintf(w, "FAIL %s: allocs/op %.0f exceeds %.0f "+
+				"(baseline %.0f, ratio %.2f + slack %.0f)\n",
+				name, n.AllocsPerOp, limit, o.AllocsPerOp, allocRatio,
+				allocSlack)
+			failures++
+		}
+		if nsRatio > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*nsRatio {
+			fmt.Fprintf(w, "FAIL %s: ns/op %.0f exceeds %.0f "+
+				"(baseline %.0f, ratio %.2f)\n",
+				name, n.NsPerOp, o.NsPerOp*nsRatio, o.NsPerOp, nsRatio)
+			failures++
+		}
+	}
+	fmt.Fprintf(w, "benchdiff: %d compared, %d new, %d failed\n",
+		len(names), added, failures)
+	return failures
+}
+
+func main() {
+	out := flag.String("out", "",
+		"parse `go test -bench` output (args or stdin) into this JSON snapshot")
+	oldPath := flag.String("old", "", "baseline snapshot for compare mode")
+	newPath := flag.String("new", "", "candidate snapshot for compare mode")
+	allocRatio := flag.Float64("max-alloc-ratio", 1.25,
+		"fail when allocs/op exceeds baseline*ratio+slack")
+	allocSlack := flag.Float64("alloc-slack", 128,
+		"absolute allocs/op headroom added to the ratio gate")
+	nsRatio := flag.Float64("max-ns-ratio", 0,
+		"fail when ns/op exceeds baseline*ratio (0 disables; -benchtime 1x "+
+			"runs are too noisy for this gate)")
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		var in io.Reader = os.Stdin
+		if flag.NArg() > 0 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			in = f
+		}
+		benches, err := parseBench(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(benches) == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
+			os.Exit(2)
+		}
+		if err := emit(*out, benches); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(benches), *out)
+	case *oldPath != "" && *newPath != "":
+		old, err := readSnapshot(*oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cand, err := readSnapshot(*newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if compare(os.Stdout, old, cand,
+			*allocRatio, *allocSlack, *nsRatio) > 0 {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr,
+			"usage: benchdiff -out SNAP.json [bench.txt] |"+
+				" benchdiff -old OLD.json -new NEW.json")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: triosim
+BenchmarkEventEngine-8             	     100	    120000 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkAblationFairShare/maxmin-8	      50	    240000 ns/op	    8192 B/op	      24 allocs/op
+BenchmarkAblationBucketSize/25MB-8 	      10	   1000000 ns/op	         12.5 simulated-ms/iter	   16384 B/op	     100 allocs/op
+BenchmarkEventEngine-8             	     100	    140000 ns/op	    4096 B/op	      14 allocs/op
+PASS
+ok  	triosim	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %v", len(benches), benches)
+	}
+	// The GOMAXPROCS suffix is stripped; duplicate runs are averaged.
+	e, ok := benches["BenchmarkEventEngine"]
+	if !ok {
+		t.Fatalf("missing BenchmarkEventEngine (suffix not stripped?): %v",
+			benches)
+	}
+	if e.NsPerOp != 130000 || e.AllocsPerOp != 13 {
+		t.Fatalf("duplicate runs not averaged: %+v", e)
+	}
+	// Sub-benchmark names keep their path; custom metrics are ignored.
+	e, ok = benches["BenchmarkAblationBucketSize/25MB"]
+	if !ok || e.AllocsPerOp != 100 || e.BytesPerOp != 16384 {
+		t.Fatalf("sub-benchmark with custom metric misparsed: %+v (ok=%v)",
+			e, ok)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	old := &snapshot{Benchmarks: map[string]entry{
+		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 1000},
+		"BenchmarkB":    {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkGone": {NsPerOp: 1, AllocsPerOp: 1},
+	}}
+	cand := &snapshot{Benchmarks: map[string]entry{
+		// 2000 > 1000*1.25+128: alloc regression.
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 2000},
+		// 20 <= 10*1.25+128: inside the absolute slack, fine. The 10x ns/op
+		// jump must NOT fail while the ns gate is disabled.
+		"BenchmarkB": {NsPerOp: 10000, AllocsPerOp: 20},
+		// New benchmarks are allowed.
+		"BenchmarkNew": {NsPerOp: 5, AllocsPerOp: 5},
+	}}
+	var buf strings.Builder
+	got := compare(&buf, old, cand, 1.25, 128, 0)
+	// BenchmarkA alloc regression + BenchmarkGone missing = 2 failures.
+	if got != 2 {
+		t.Fatalf("got %d failures, want 2:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BenchmarkA: allocs/op") {
+		t.Errorf("missing alloc failure:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "BenchmarkGone: missing") {
+		t.Errorf("missing removed-benchmark failure:\n%s", buf.String())
+	}
+
+	// Enabling the ns gate catches BenchmarkB's 10x jump.
+	buf.Reset()
+	if got := compare(&buf, old, cand, 1.25, 128, 2); got != 3 {
+		t.Fatalf("with ns gate: got %d failures, want 3:\n%s",
+			got, buf.String())
+	}
+}

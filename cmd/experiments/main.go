@@ -2,9 +2,14 @@
 // figure prints the rows the paper reports (predicted vs hardware times and
 // errors, ratios, speedups), produced entirely inside the simulator stack.
 //
+// Figures fan their scenario grids across a worker pool (internal/sweep);
+// the output is byte-identical at any worker count, so -workers only
+// changes wall-clock time.
+//
 // Usage:
 //
-//	experiments [-quick] [-only fig8,fig10] [-markdown]
+//	experiments [-quick] [-only fig8,fig10] [-markdown] [-workers N]
+//	            [-scenario-timeout 2m]
 package main
 
 import (
@@ -20,6 +25,10 @@ func main() {
 	quick := flag.Bool("quick", false, "trim workload lists for a fast run")
 	only := flag.String("only", "", "comma-separated figure ids (e.g. fig8)")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
+	workers := flag.Int("workers", 0,
+		"scenario sweep workers (0 = all cores, 1 = serial)")
+	timeout := flag.Duration("scenario-timeout", 0,
+		"per-scenario simulation timeout (0 = unbounded)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -28,8 +37,9 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+	opts := experiments.Options{Workers: *workers, Timeout: *timeout}
 	failed := false
-	for _, r := range experiments.All(*quick) {
+	for _, r := range experiments.AllOpts(*quick, opts) {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}

@@ -1,8 +1,9 @@
 // Batchsweep demonstrates TrioSim's single-trace capability: one trace
 // collected at batch 128 predicts training times at any other batch size
 // (the feature prior simulators like AstraSim and vTrain lack, and the
-// setting of the paper's Fig 6). The sweep reports per-iteration time and
-// throughput to expose the amortization knee.
+// setting of the paper's Fig 6). The batch points are independent
+// simulations, so they fan out across cores on the sweep worker pool —
+// results come back in batch order regardless of which finishes first.
 package main
 
 import (
@@ -10,14 +11,13 @@ import (
 	"log"
 
 	"triosim"
+	"triosim/internal/sweep"
 )
 
 func main() {
 	const model = "resnet50"
-	platform := triosim.P2()
-	platform.NumGPUs = 1
 
-	// One trace, collected once.
+	// One trace, collected once. The scenarios only read it.
 	tr, err := triosim.CollectTrace(model, 128, "A100")
 	if err != nil {
 		log.Fatal(err)
@@ -25,19 +25,36 @@ func main() {
 	fmt.Printf("trace: %s on A100 at batch 128 (%d ops, iteration %v)\n\n",
 		model, len(tr.Ops), tr.TotalTime())
 
-	fmt.Printf("%8s %16s %16s\n", "batch", "iter time", "images/s")
-	for _, batch := range []int{16, 32, 64, 128, 256, 512} {
-		res, err := triosim.Simulate(triosim.Config{
-			Trace:       tr,
-			Platform:    platform,
-			Parallelism: triosim.SingleGPU,
-			GlobalBatch: batch,
-		})
-		if err != nil {
-			log.Fatal(err)
+	batches := []int{16, 32, 64, 128, 256, 512}
+	scenarios := make([]sweep.Scenario, len(batches))
+	for i, batch := range batches {
+		batch := batch
+		scenarios[i] = sweep.Scenario{
+			Name: fmt.Sprintf("batch-%d", batch),
+			Build: func() triosim.Config {
+				// The platform is built per scenario: nothing mutable is
+				// shared between workers.
+				platform := triosim.P2()
+				platform.NumGPUs = 1
+				return triosim.Config{
+					Trace:       tr,
+					Platform:    platform,
+					Parallelism: triosim.SingleGPU,
+					GlobalBatch: batch,
+				}
+			},
 		}
-		throughput := float64(batch) / res.PerIteration.Seconds()
-		fmt.Printf("%8d %16v %16.0f\n", batch, res.PerIteration, throughput)
+	}
+	results, err := sweep.Values(sweep.Simulate(sweep.Options{}, scenarios))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%8s %16s %16s\n", "batch", "iter time", "images/s")
+	for i, r := range results {
+		throughput := float64(batches[i]) / r.Res.PerIteration.Seconds()
+		fmt.Printf("%8d %16v %16.0f\n", batches[i], r.Res.PerIteration,
+			throughput)
 	}
 	fmt.Println("\nThroughput rises with batch size as fixed overheads",
 		"amortize — all from the one batch-128 trace.")

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -105,6 +106,11 @@ type Config struct {
 	// Hooks are extra engine hooks registered before the run (e.g. a
 	// monitor.RTM progress hook). Hooks must not schedule events.
 	Hooks []sim.Hook
+	// Context optionally bounds the simulation: the engine polls ctx.Err()
+	// periodically during dispatch and terminates early, and the run returns
+	// the context's error. internal/sweep uses this for per-scenario timeouts
+	// and sweep-wide cancellation. Nil means no cancellation.
+	Context context.Context
 }
 
 // telemetryOn reports whether a Collector should run.
@@ -279,9 +285,33 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	for _, h := range cfg.Hooks {
 		eng.RegisterHook(h)
 	}
+	if ctx := cfg.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: simulation canceled: %w", err)
+		}
+		// Poll the context every 1024 dispatches: ctx.Err() is a mutex
+		// acquisition, too expensive per event, and cancellation latency of
+		// ~1k events is fine for sweep timeouts.
+		var dispatched uint64
+		eng.RegisterHook(sim.HookFunc(func(hc sim.HookCtx) {
+			if hc.Pos != sim.HookPosAfterEvent {
+				return
+			}
+			dispatched++
+			if dispatched&1023 == 0 && ctx.Err() != nil {
+				eng.Terminate()
+			}
+		}))
+	}
 
 	makespan, err := x.Run()
 	if err != nil {
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			// Terminate left the executor mid-graph; the context error is
+			// the cause, not the "stalled" symptom.
+			return nil, fmt.Errorf("core: simulation canceled: %w",
+				cfg.Context.Err())
+		}
 		return nil, err
 	}
 	out := &Result{

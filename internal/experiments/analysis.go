@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"triosim/internal/core"
 	"triosim/internal/gpu"
+	"triosim/internal/sweep"
 )
 
 // Fig12 — comparing data, tensor, and pipeline parallelism on P2 with a
@@ -13,13 +15,15 @@ import (
 // (2 chunks). The reproduction target is relative ordering: DP wins for a
 // constant total workload; TP is competitive only on transformers; TrioSim
 // ranks TP vs PP per model the same way the hardware does.
-func Fig12(quick bool) (*Figure, error) {
+func Fig12(quick bool) (*Figure, error) { return Fig12Opts(quick, Serial) }
+
+// Fig12Opts is Fig12 with sweep options.
+func Fig12Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig12",
 		Title:   "DP vs TP vs PP on P2 (total batch 128, micro-batch 64)",
 		Columns: []string{"predicted_s", "hardware_s", "error_pct"},
 	}
-	p2 := gpu.P2
 	type parCfg struct {
 		par    core.Parallelism
 		chunks int
@@ -28,29 +32,55 @@ func Fig12(quick bool) (*Figure, error) {
 	pars := []parCfg{{core.DDP, 0, "dp"}, {core.TP, 0, "tp"},
 		{core.PP, 2, "pp"}}
 
-	agreements, comparisons := 0, 0
+	type cellID struct {
+		model string
+		pc    parCfg
+	}
+	var grid []cellID
 	for _, m := range mixedList(quick) {
-		times := map[string][2]float64{} // name → {pred, actual}
 		for _, pc := range pars {
-			cmp, err := core.Validate(core.Config{
-				Model: m, Platform: &p2, Parallelism: pc.par,
-				TraceBatch:  traceBatchFor(m),
-				GlobalBatch: 128, MicroBatches: pc.chunks,
+			grid = append(grid, cellID{m, pc})
+		}
+	}
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(ctx context.Context) (vals, error) {
+			v, err := validateCell(ctx, core.Config{
+				Model: c.model, Platform: p2Copy(), Parallelism: c.pc.par,
+				TraceBatch:  traceBatchFor(c.model),
+				GlobalBatch: 128, MicroBatches: c.pc.chunks,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("fig12/%s/%s: %w", m, pc.name, err)
+				return nil, fmt.Errorf("fig12/%s/%s: %w", c.model,
+					c.pc.name, err)
 			}
-			times[pc.name] = [2]float64{float64(cmp.Predicted),
-				float64(cmp.Actual)}
-			f.Add(m, pc.name, map[string]float64{
-				"predicted_s": float64(cmp.Predicted),
-				"hardware_s":  float64(cmp.Actual),
-				"error_pct":   cmp.Error * 100,
-			})
+			return vals{
+				"predicted_s": v["predicted_s"],
+				"hardware_s":  v["hardware_s"],
+				"error_pct":   v["error_pct"],
+			}, nil
 		}
-		// Does TrioSim rank TP vs PP the same way the hardware does?
-		predTPFaster := times["tp"][0] < times["pp"][0]
-		hwTPFaster := times["tp"][1] < times["pp"][1]
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	agreements, comparisons := 0, 0
+	times := map[string]map[string][2]float64{} // model → name → {pred, act}
+	for i, c := range grid {
+		f.Add(c.model, c.pc.name, out[i])
+		if times[c.model] == nil {
+			times[c.model] = map[string][2]float64{}
+		}
+		times[c.model][c.pc.name] = [2]float64{out[i]["predicted_s"],
+			out[i]["hardware_s"]}
+	}
+	// Does TrioSim rank TP vs PP the same way the hardware does?
+	for _, m := range mixedList(quick) {
+		t := times[m]
+		predTPFaster := t["tp"][0] < t["pp"][0]
+		hwTPFaster := t["tp"][1] < t["pp"][1]
 		comparisons++
 		if predTPFaster == hwTPFaster {
 			agreements++
@@ -61,31 +91,55 @@ func Fig12(quick bool) (*Figure, error) {
 	return f, nil
 }
 
+// p2Copy returns a private copy of the P2 platform for one cell.
+func p2Copy() *gpu.Platform { p := gpu.P2; return &p }
+
 // Fig13 — communication/computation time ratio for TP vs DDP on P1. The
 // reproduction target: TP's communication share exceeds DDP's.
-func Fig13(quick bool) (*Figure, error) {
+func Fig13(quick bool) (*Figure, error) { return Fig13Opts(quick, Serial) }
+
+// Fig13Opts is Fig13 with sweep options.
+func Fig13Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig13",
 		Title:   "Communication/computation ratio, TP vs DDP on P1",
 		Columns: []string{"comm_s", "compute_s", "comm_ratio"},
 	}
-	p1 := gpu.P1
+	type cellID struct {
+		par   core.Parallelism
+		model string
+	}
+	var grid []cellID
 	for _, par := range []core.Parallelism{core.TP, core.DDP} {
 		for _, m := range mixedList(quick) {
+			grid = append(grid, cellID{par, m})
+		}
+	}
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(ctx context.Context) (vals, error) {
+			p1 := gpu.P1
 			res, err := core.Simulate(core.Config{
-				Model: m, Platform: &p1, Parallelism: par,
-				TraceBatch: traceBatchFor(m),
+				Model: c.model, Platform: &p1, Parallelism: c.par,
+				TraceBatch: traceBatchFor(c.model), Context: ctx,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("fig13/%s/%s: %w", m, par, err)
+				return nil, fmt.Errorf("fig13/%s/%s: %w", c.model, c.par, err)
 			}
-			ratio := float64(res.CommTime) / float64(res.TotalTime)
-			f.Add(m, string(par), map[string]float64{
+			return vals{
 				"comm_s":     float64(res.CommTime),
 				"compute_s":  float64(res.ComputeTime),
-				"comm_ratio": ratio,
-			})
+				"comm_ratio": float64(res.CommTime) / float64(res.TotalTime),
+			}, nil
 		}
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		f.Add(c.model, string(c.par), out[i])
 	}
 	f.Note("avg comm ratio TP: %.3f, DDP: %.3f (TP > DDP expected)",
 		f.MeanValue("comm_ratio", "tp"), f.MeanValue("comm_ratio", "ddp"))
@@ -95,6 +149,10 @@ func Fig13(quick bool) (*Figure, error) {
 // Fig14 — the simulator's own execution time (wall clock) when modeling
 // DDP on P2, per model. (Paper: seconds, log scale; grows with trace size
 // and GPU count.)
+//
+// Fig14 deliberately stays serial regardless of sweep options: it measures
+// each simulation's wall clock, and concurrent siblings contending for
+// cores would inflate exactly the quantity being reported.
 func Fig14(quick bool) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig14",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"triosim/internal/extrapolator"
@@ -10,6 +11,7 @@ import (
 	"triosim/internal/network"
 	"triosim/internal/perfmodel"
 	"triosim/internal/sim"
+	"triosim/internal/sweep"
 	"triosim/internal/task"
 	"triosim/internal/timeline"
 )
@@ -103,7 +105,10 @@ func waferModels(quick bool) []string {
 // Passage-style photonic circuits. Reproduction targets: communication
 // dominates on the electrical network (≈90%+ for VGG-19) and the optical
 // network cuts communication time by roughly half.
-func Fig15(quick bool) (*Figure, error) {
+func Fig15(quick bool) (*Figure, error) { return Fig15Opts(quick, Serial) }
+
+// Fig15Opts is Fig15 with sweep options.
+func Fig15Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig15",
 		Title:   "Wafer-scale 84-GPU DP: electrical mesh vs photonic",
@@ -115,37 +120,49 @@ func Fig15(quick bool) (*Figure, error) {
 		HostBandwidth: 30e9,
 		HostLatency:   5 * sim.USec,
 	}
+	type cellID struct{ model, variant string }
+	var grid []cellID
 	for _, m := range waferModels(quick) {
-		// Electrical: flow network over the mesh.
-		topoE := network.Mesh(waferRows, waferCols, meshCfg)
-		engE := sim.NewSerialEngine()
-		netE := network.NewFlowNetwork(engE, topoE)
-		totalE, commE, err := runWafer(m, topoE, netE, engE,
-			snakeOrder(waferRows, waferCols))
-		if err != nil {
-			return nil, fmt.Errorf("fig15/%s/electrical: %w", m, err)
+		grid = append(grid, cellID{m, "electrical"}, cellID{m, "photonic"})
+	}
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(context.Context) (vals, error) {
+			// Engine, topology (route cache!), and network are all private
+			// to the cell.
+			topo := network.Mesh(waferRows, waferCols, meshCfg)
+			eng := sim.NewSerialEngine()
+			var net network.Network
+			var ringOrder []int
+			if c.variant == "electrical" {
+				// Electrical: flow network over the mesh.
+				net = network.NewFlowNetwork(eng, topo)
+				ringOrder = snakeOrder(waferRows, waferCols)
+			} else {
+				// Photonic: same workload graph, circuit-switching network.
+				// The mesh topology still provides node IDs and the host
+				// staging path; inter-GPU transfers ride photonic circuits.
+				net = newHybridPhotonic(eng, topo)
+			}
+			total, comm, err := runWafer(c.model, topo, net, eng, ringOrder)
+			if err != nil {
+				return nil, fmt.Errorf("fig15/%s/%s: %w", c.model,
+					c.variant, err)
+			}
+			return vals{
+				"total_s":    float64(total),
+				"comm_s":     float64(comm),
+				"comm_ratio": float64(comm) / float64(total),
+			}, nil
 		}
-		f.Add(m, "electrical", map[string]float64{
-			"total_s":    float64(totalE),
-			"comm_s":     float64(commE),
-			"comm_ratio": float64(commE) / float64(totalE),
-		})
-
-		// Photonic: same workload graph, circuit-switching network. The
-		// mesh topology still provides node IDs and the host staging path;
-		// inter-GPU transfers ride photonic circuits.
-		topoP := network.Mesh(waferRows, waferCols, meshCfg)
-		engP := sim.NewSerialEngine()
-		netP := newHybridPhotonic(engP, topoP)
-		totalP, commP, err := runWafer(m, topoP, netP, engP, nil)
-		if err != nil {
-			return nil, fmt.Errorf("fig15/%s/photonic: %w", m, err)
-		}
-		f.Add(m, "photonic", map[string]float64{
-			"total_s":    float64(totalP),
-			"comm_s":     float64(commP),
-			"comm_ratio": float64(commP) / float64(totalP),
-		})
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		f.Add(c.model, c.variant, out[i])
 	}
 	f.Note("avg comm ratio electrical: %.3f, photonic: %.3f",
 		f.MeanValue("comm_ratio", "electrical"),
@@ -188,13 +205,18 @@ func (h *hybridPhotonic) Send(src, dst network.NodeID, bytes float64,
 // Fig16 — Hop heterogeneous training: speedup from one backup worker across
 // 8 random slowdown scenarios on ring-with-chords and double-ring graphs of
 // 8 A100 GPUs running VGG-11 at batch 128.
-func Fig16(quick bool) (*Figure, error) {
+func Fig16(quick bool) (*Figure, error) { return Fig16Opts(quick, Serial) }
+
+// Fig16Opts is Fig16 with sweep options.
+func Fig16Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig16",
 		Title:   "Hop: backup-worker speedup across slowdown scenarios",
 		Columns: []string{"speedup"},
 	}
 	// VGG-11 local step time and update volume from a single-GPU A100 trace.
+	// The trace is reduced to two scalars here, so nothing mutable is shared
+	// with the cells below.
 	tr, err := hwsim.CollectTrace("vgg11", 128, &gpu.A100)
 	if err != nil {
 		return nil, err
@@ -219,8 +241,21 @@ func Fig16(quick bool) (*Figure, error) {
 		{"ring", network.RingWithChords},
 		{"double-ring", network.DoubleRing},
 	}
-	for _, g := range graphs {
+	type cellID struct {
+		graph int
+		seed  int
+	}
+	var grid []cellID
+	for gi := range graphs {
 		for seed := 1; seed <= scenarios; seed++ {
+			grid = append(grid, cellID{gi, seed})
+		}
+	}
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(context.Context) (vals, error) {
+			g := graphs[c.graph]
 			cfg := hop.Config{
 				Topo:         g.build(netCfg),
 				Workers:      8,
@@ -228,16 +263,25 @@ func Fig16(quick bool) (*Figure, error) {
 				UpdateBytes:  updateBytes,
 				MaxStaleness: 2,
 				Iterations:   10,
-				Slowdowns:    hop.RandomSlowdowns(8, int64(seed)),
+				Slowdowns:    hop.RandomSlowdowns(8, int64(c.seed)),
 			}
 			sp, err := hop.Speedup(cfg, 1)
 			if err != nil {
-				return nil, fmt.Errorf("fig16/%s/seed%d: %w", g.name, seed,
-					err)
+				return nil, fmt.Errorf("fig16/%s/seed%d: %w", g.name,
+					c.seed, err)
 			}
-			f.Add(fmt.Sprintf("scenario%d", seed), g.name,
-				map[string]float64{"speedup": sp})
+			return vals{"speedup": sp}, nil
 		}
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		f.Add(fmt.Sprintf("scenario%d", c.seed), graphs[c.graph].name,
+			out[i])
+	}
+	for _, g := range graphs {
 		f.Note("avg speedup on %s: %.3f", g.name,
 			f.MeanValue("speedup", g.name))
 	}

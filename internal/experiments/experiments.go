@@ -153,22 +153,28 @@ type Runner struct {
 	Run func() (*Figure, error)
 }
 
-// All returns every figure generator in paper order. quick trims workload
-// lists for fast smoke runs.
-func All(quick bool) []Runner {
+// All returns every figure generator in paper order, running serially.
+// quick trims workload lists for fast smoke runs.
+func All(quick bool) []Runner { return AllOpts(quick, Serial) }
+
+// AllOpts is All with sweep options: each figure fans its scenario grid
+// across the worker pool and produces output byte-identical to the serial
+// run. Fig14 ignores the options — it measures per-simulation wall clock,
+// which parallel contention would distort.
+func AllOpts(quick bool, opts Options) []Runner {
 	return []Runner{
-		{"table1", func() (*Figure, error) { return Table1(quick) }},
-		{"fig6", func() (*Figure, error) { return Fig6(quick) }},
-		{"fig7", func() (*Figure, error) { return Fig7(quick) }},
-		{"fig8", func() (*Figure, error) { return Fig8(quick) }},
-		{"fig9", func() (*Figure, error) { return Fig9(quick) }},
-		{"fig10", func() (*Figure, error) { return Fig10(quick) }},
-		{"fig11", func() (*Figure, error) { return Fig11(quick) }},
-		{"fig12", func() (*Figure, error) { return Fig12(quick) }},
-		{"fig13", func() (*Figure, error) { return Fig13(quick) }},
+		{"table1", func() (*Figure, error) { return Table1Opts(quick, opts) }},
+		{"fig6", func() (*Figure, error) { return Fig6Opts(quick, opts) }},
+		{"fig7", func() (*Figure, error) { return Fig7Opts(quick, opts) }},
+		{"fig8", func() (*Figure, error) { return Fig8Opts(quick, opts) }},
+		{"fig9", func() (*Figure, error) { return Fig9Opts(quick, opts) }},
+		{"fig10", func() (*Figure, error) { return Fig10Opts(quick, opts) }},
+		{"fig11", func() (*Figure, error) { return Fig11Opts(quick, opts) }},
+		{"fig12", func() (*Figure, error) { return Fig12Opts(quick, opts) }},
+		{"fig13", func() (*Figure, error) { return Fig13Opts(quick, opts) }},
 		{"fig14", func() (*Figure, error) { return Fig14(quick) }},
-		{"fig15", func() (*Figure, error) { return Fig15(quick) }},
-		{"fig16", func() (*Figure, error) { return Fig16(quick) }},
+		{"fig15", func() (*Figure, error) { return Fig15Opts(quick, opts) }},
+		{"fig16", func() (*Figure, error) { return Fig16Opts(quick, opts) }},
 	}
 }
 

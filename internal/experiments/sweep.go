@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"triosim/internal/core"
+	"triosim/internal/sweep"
+)
+
+// Options controls how a figure generator executes its scenario grid. Every
+// figure is a set of independent cells (one workload under one
+// configuration); the cells fan out on the sweep worker pool and their rows
+// are merged back in grid order, so the figure's output is byte-identical
+// at any worker count (the golden tests pin this).
+type Options struct {
+	// Workers is the sweep pool size: 0 = GOMAXPROCS, 1 = serial.
+	Workers int
+	// Timeout bounds each cell's simulations (0 = unbounded).
+	Timeout time.Duration
+	// Context cancels the remaining cells of a figure.
+	Context context.Context
+}
+
+// Serial runs every cell sequentially on the calling goroutine — the
+// configuration benchmarks use for a stable baseline, and the reference the
+// parallel path is compared against.
+var Serial = Options{Workers: 1}
+
+func (o Options) sweep() sweep.Options {
+	return sweep.Options{Workers: o.Workers, Timeout: o.Timeout,
+		Context: o.Context}
+}
+
+// vals is one cell's named numeric outputs (a Row's Values).
+type vals = map[string]float64
+
+// runCells executes the cells on the sweep pool, returning outputs in cell
+// order (first error aborts the figure).
+func runCells[T any](o Options, cells []sweep.Job[T]) ([]T, error) {
+	return sweep.Values(sweep.Run(o.sweep(), cells))
+}
+
+// validateCell runs prediction vs ground truth under ctx and returns the
+// standard validation row values.
+func validateCell(ctx context.Context, cfg core.Config) (vals, error) {
+	cfg.Context = ctx
+	cmp, err := core.Validate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return vals{
+		"predicted_s": float64(cmp.Predicted),
+		"hardware_s":  float64(cmp.Actual),
+		"normalized":  cmp.Normalized,
+		"error_pct":   cmp.Error * 100,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"triosim/internal/core"
 	"triosim/internal/gpu"
 	"triosim/internal/hwsim"
+	"triosim/internal/sweep"
 )
 
 // Table1 — the paper's Table 1 contrasts TrioSim with analytical
@@ -17,7 +19,10 @@ import (
 // that row quantitative: both predictors are scored against the hardware
 // emulator on the stock (symmetric) P2 and on P2 with one NVLink degraded
 // 4× — an asymmetry the closed-form model cannot express.
-func Table1(quick bool) (*Figure, error) {
+func Table1(quick bool) (*Figure, error) { return Table1Opts(quick, Serial) }
+
+// Table1Opts is Table1 with sweep options.
+func Table1Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:    "table1",
 		Title: "TrioSim vs analytical baseline, symmetric vs asymmetric P2",
@@ -28,24 +33,41 @@ func Table1(quick bool) (*Figure, error) {
 	if !quick {
 		modelsList = append(modelsList, "gpt2", "bert")
 	}
-	p2 := gpu.P2
-	for _, variant := range []string{"symmetric", "asymmetric"} {
-		topo := core.BuildTopology(&p2)
-		if variant == "asymmetric" {
-			topo.SetLinkBandwidth(0, p2.LinkBandwidth/4)
-		}
+	variants := []string{"symmetric", "asymmetric"}
+
+	type cellID struct{ variant, model string }
+	var grid []cellID
+	for _, variant := range variants {
 		for _, m := range modelsList {
-			cfg := core.Config{Model: m, Platform: &p2, Topology: topo,
-				Parallelism: core.DDP, TraceBatch: traceBatchFor(m)}
+			grid = append(grid, cellID{variant, m})
+		}
+	}
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(ctx context.Context) (vals, error) {
+			// The topology (with its route cache) is built inside the cell:
+			// nothing with unsynchronized state crosses workers.
+			p2 := gpu.P2
+			topo := core.BuildTopology(&p2)
+			if c.variant == "asymmetric" {
+				topo.SetLinkBandwidth(0, p2.LinkBandwidth/4)
+			}
+			cfg := core.Config{Model: c.model, Platform: &p2, Topology: topo,
+				Parallelism: core.DDP, TraceBatch: traceBatchFor(c.model),
+				Context: ctx}
 			truth, err := core.GroundTruth(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("table1/%s/%s: %w", m, variant, err)
+				return nil, fmt.Errorf("table1/%s/%s: %w", c.model,
+					c.variant, err)
 			}
 			trio, err := core.Simulate(cfg)
 			if err != nil {
-				return nil, fmt.Errorf("table1/%s/%s: %w", m, variant, err)
+				return nil, fmt.Errorf("table1/%s/%s: %w", c.model,
+					c.variant, err)
 			}
-			tr, err := hwsim.CollectTrace(m, traceBatchFor(m), &p2.GPU)
+			tr, err := hwsim.CollectTrace(c.model, traceBatchFor(c.model),
+				&p2.GPU)
 			if err != nil {
 				return nil, err
 			}
@@ -61,12 +83,21 @@ func Table1(quick bool) (*Figure, error) {
 			actual := float64(truth.PerIteration)
 			trioErr := math.Abs(float64(trio.PerIteration)-actual) / actual
 			baseErr := math.Abs(float64(base)-actual) / actual
-			f.Add(m, variant, map[string]float64{
+			return vals{
 				"hardware_s":         actual,
 				"triosim_err_pct":    trioErr * 100,
 				"analytical_err_pct": baseErr * 100,
-			})
+			}, nil
 		}
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		f.Add(c.model, c.variant, out[i])
+	}
+	for _, variant := range variants {
 		f.Note("%s: TrioSim avg %.2f%%, analytical avg %.2f%%", variant,
 			f.MeanValue("triosim_err_pct", variant),
 			f.MeanValue("analytical_err_pct", variant))

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"triosim/internal/core"
 	"triosim/internal/gpu"
 	"triosim/internal/models"
+	"triosim/internal/sweep"
 )
 
 func allCNNs() []string         { return models.CNNs() }
@@ -20,55 +22,82 @@ func traceBatchFor(model string) int {
 	return 128
 }
 
-// validateInto runs prediction vs ground truth and appends a row with
-// predicted/actual seconds and relative error.
-func validateInto(f *Figure, cfg core.Config, label string) error {
-	cmp, err := core.Validate(cfg)
-	if err != nil {
-		return fmt.Errorf("%s/%s/%s: %w", f.ID, cfg.Model, label, err)
-	}
-	f.Add(cfg.Model, label, map[string]float64{
-		"predicted_s": float64(cmp.Predicted),
-		"hardware_s":  float64(cmp.Actual),
-		"normalized":  cmp.Normalized,
-		"error_pct":   cmp.Error * 100,
-	})
-	return nil
-}
-
 var valColumns = []string{"predicted_s", "hardware_s", "normalized",
 	"error_pct"}
+
+// valCell is one prediction-vs-hardware cell of a validation figure. cfg
+// runs on the worker goroutine, so per-cell state (platforms, topologies)
+// is constructed there.
+type valCell struct {
+	model string
+	label string
+	cfg   func() core.Config
+}
+
+// runValidation fans the cells out and appends one row per cell, in cell
+// order.
+func runValidation(f *Figure, opts Options, grid []valCell) error {
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(ctx context.Context) (vals, error) {
+			v, err := validateCell(ctx, c.cfg())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", f.ID, c.label, err)
+			}
+			return v, nil
+		}
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return err
+	}
+	for i, c := range grid {
+		f.Add(c.model, c.label, out[i])
+	}
+	return nil
+}
 
 // Fig6 — single-GPU validation: predict batch-256 iteration time from a
 // batch-128 trace, on A40 and A100. (Paper: avg error 1.10% on A40, 3.25%
 // on A100; transformers excluded — they OOM at 256 on real hardware.)
-func Fig6(quick bool) (*Figure, error) {
+func Fig6(quick bool) (*Figure, error) { return Fig6Opts(quick, Serial) }
+
+// Fig6Opts is Fig6 with sweep options.
+func Fig6Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig6",
 		Title:   "Single-GPU batch-256 prediction from batch-128 traces",
 		Columns: valColumns,
 	}
-	for _, gpuName := range []string{"A40", "A100"} {
+	gpuNames := []string{"A40", "A100"}
+	var grid []valCell
+	for _, gpuName := range gpuNames {
 		spec, err := gpu.SpecByName(gpuName)
 		if err != nil {
 			return nil, err
 		}
-		plat := gpu.Platform{
-			Name: "single-" + gpuName, GPU: *spec, NumGPUs: 1,
-			Topology:      gpu.TopoNVSwitch,
-			LinkBandwidth: 1, // unused with 1 GPU
-			HostBandwidth: gpu.P2.HostBandwidth,
-			HostLatency:   gpu.P2.HostLatency,
-		}
 		for _, m := range cnnList(quick) {
-			err := validateInto(f, core.Config{
-				Model: m, Platform: &plat, Parallelism: core.Single,
-				TraceBatch: 128, GlobalBatch: 256,
-			}, gpuName)
-			if err != nil {
-				return nil, err
-			}
+			gpuName, spec, m := gpuName, spec, m
+			grid = append(grid, valCell{m, gpuName, func() core.Config {
+				plat := gpu.Platform{
+					Name: "single-" + gpuName, GPU: *spec, NumGPUs: 1,
+					Topology:      gpu.TopoNVSwitch,
+					LinkBandwidth: 1, // unused with 1 GPU
+					HostBandwidth: gpu.P2.HostBandwidth,
+					HostLatency:   gpu.P2.HostLatency,
+				}
+				return core.Config{
+					Model: m, Platform: &plat, Parallelism: core.Single,
+					TraceBatch: 128, GlobalBatch: 256,
+				}
+			}})
 		}
+	}
+	if err := runValidation(f, opts, grid); err != nil {
+		return nil, err
+	}
+	for _, gpuName := range gpuNames {
 		f.Note("avg error on %s: %.2f%%", gpuName,
 			f.MeanValue("error_pct", gpuName))
 	}
@@ -76,106 +105,123 @@ func Fig6(quick bool) (*Figure, error) {
 }
 
 // Fig7 — standard data parallelism on P1. (Paper: avg error 7.39%.)
-func Fig7(quick bool) (*Figure, error) {
+func Fig7(quick bool) (*Figure, error) { return Fig7Opts(quick, Serial) }
+
+// Fig7Opts is Fig7 with sweep options.
+func Fig7Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig7",
 		Title:   "Standard DataParallel on P1 (2×A40, PCIe)",
 		Columns: valColumns,
 	}
-	p1 := gpu.P1
+	var grid []valCell
 	for _, m := range mixedList(quick) {
-		err := validateInto(f, core.Config{
-			Model: m, Platform: &p1, Parallelism: core.DP,
-			TraceBatch: traceBatchFor(m),
-		}, "P1-DP")
-		if err != nil {
-			return nil, err
-		}
+		m := m
+		grid = append(grid, valCell{m, "P1-DP", func() core.Config {
+			p1 := gpu.P1
+			return core.Config{
+				Model: m, Platform: &p1, Parallelism: core.DP,
+				TraceBatch: traceBatchFor(m),
+			}
+		}})
+	}
+	if err := runValidation(f, opts, grid); err != nil {
+		return nil, err
 	}
 	f.Note("avg error: %.2f%% (paper: 7.39%%)", f.MeanValue("error_pct", ""))
 	return f, nil
 }
 
 // Fig8 — DistributedDataParallel on P1 and P2. (Paper: 2.91% / 2.73%.)
-func Fig8(quick bool) (*Figure, error) {
-	f := &Figure{
-		ID:      "fig8",
-		Title:   "DistributedDataParallel on P1 and P2",
-		Columns: valColumns,
-	}
-	for _, platName := range []string{"P1", "P2"} {
-		plat, err := gpu.PlatformByName(platName)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range mixedList(quick) {
-			err := validateInto(f, core.Config{
-				Model: m, Platform: plat, Parallelism: core.DDP,
-				TraceBatch: traceBatchFor(m),
-			}, platName+"-DDP")
-			if err != nil {
-				return nil, err
-			}
-		}
-		f.Note("avg error on %s: %.2f%% (paper: %s)", platName,
-			f.MeanValue("error_pct", platName+"-DDP"),
-			map[string]string{"P1": "2.91%", "P2": "2.73%"}[platName])
-	}
-	return f, nil
+func Fig8(quick bool) (*Figure, error) { return Fig8Opts(quick, Serial) }
+
+// Fig8Opts is Fig8 with sweep options.
+func Fig8Opts(quick bool, opts Options) (*Figure, error) {
+	return platformSweep(quick, opts, "fig8",
+		"DistributedDataParallel on P1 and P2", core.DDP, "DDP",
+		map[string]string{"P1": "2.91%", "P2": "2.73%"})
 }
 
 // Fig9 — tensor parallelism on P1 and P2. (Paper: 4.54% / 11.24%.)
-func Fig9(quick bool) (*Figure, error) {
-	f := &Figure{
-		ID:      "fig9",
-		Title:   "Tensor parallelism on P1 and P2",
-		Columns: valColumns,
-	}
-	for _, platName := range []string{"P1", "P2"} {
-		plat, err := gpu.PlatformByName(platName)
-		if err != nil {
+func Fig9(quick bool) (*Figure, error) { return Fig9Opts(quick, Serial) }
+
+// Fig9Opts is Fig9 with sweep options.
+func Fig9Opts(quick bool, opts Options) (*Figure, error) {
+	return platformSweep(quick, opts, "fig9",
+		"Tensor parallelism on P1 and P2", core.TP, "TP",
+		map[string]string{"P1": "4.54%", "P2": "11.24%"})
+}
+
+// platformSweep runs one parallelism across the mixed workload list on P1
+// and P2 (the shared shape of Fig8 and Fig9).
+func platformSweep(quick bool, opts Options, id, title string,
+	par core.Parallelism, parName string,
+	paperErr map[string]string) (*Figure, error) {
+
+	f := &Figure{ID: id, Title: title, Columns: valColumns}
+	platNames := []string{"P1", "P2"}
+	var grid []valCell
+	for _, platName := range platNames {
+		if _, err := gpu.PlatformByName(platName); err != nil {
 			return nil, err
 		}
 		for _, m := range mixedList(quick) {
-			err := validateInto(f, core.Config{
-				Model: m, Platform: plat, Parallelism: core.TP,
-				TraceBatch: traceBatchFor(m),
-			}, platName+"-TP")
-			if err != nil {
-				return nil, err
-			}
+			platName, m := platName, m
+			grid = append(grid, valCell{m, platName + "-" + parName,
+				func() core.Config {
+					plat, _ := gpu.PlatformByName(platName)
+					return core.Config{
+						Model: m, Platform: plat, Parallelism: par,
+						TraceBatch: traceBatchFor(m),
+					}
+				}})
 		}
+	}
+	if err := runValidation(f, opts, grid); err != nil {
+		return nil, err
+	}
+	for _, platName := range platNames {
 		f.Note("avg error on %s: %.2f%% (paper: %s)", platName,
-			f.MeanValue("error_pct", platName+"-TP"),
-			map[string]string{"P1": "4.54%", "P2": "11.24%"}[platName])
+			f.MeanValue("error_pct", platName+"-"+parName),
+			paperErr[platName])
 	}
 	return f, nil
 }
 
 // Fig10 — pipeline parallelism on 2 and 4 A100 GPUs with 1/2/4 chunks.
 // (Paper: avg errors 6.82/6.58/15.10% on 2 GPUs, 5.14/8.96/8.18% on 4.)
-func Fig10(quick bool) (*Figure, error) {
+func Fig10(quick bool) (*Figure, error) { return Fig10Opts(quick, Serial) }
+
+// Fig10Opts is Fig10 with sweep options.
+func Fig10Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig10",
 		Title:   "GPipe pipeline parallelism on 2/4×A100, 1/2/4 chunks",
 		Columns: valColumns,
 	}
+	var grid []valCell
+	var labels []string
 	for _, nGPU := range []int{2, 4} {
-		plat := gpu.P2.WithGPUs(nGPU)
 		for _, chunks := range []int{1, 2, 4} {
 			label := fmt.Sprintf("%dxA100-%dchunk", nGPU, chunks)
+			labels = append(labels, label)
 			for _, m := range cnnList(quick) {
-				err := validateInto(f, core.Config{
-					Model: m, Platform: &plat, Parallelism: core.PP,
-					TraceBatch: 128, MicroBatches: chunks,
-				}, label)
-				if err != nil {
-					return nil, err
-				}
+				nGPU, chunks, m := nGPU, chunks, m
+				grid = append(grid, valCell{m, label, func() core.Config {
+					plat := gpu.P2.WithGPUs(nGPU)
+					return core.Config{
+						Model: m, Platform: &plat, Parallelism: core.PP,
+						TraceBatch: 128, MicroBatches: chunks,
+					}
+				}})
 			}
-			f.Note("avg error %s: %.2f%%", label,
-				f.MeanValue("error_pct", label))
 		}
+	}
+	if err := runValidation(f, opts, grid); err != nil {
+		return nil, err
+	}
+	for _, label := range labels {
+		f.Note("avg error %s: %.2f%%", label, f.MeanValue("error_pct", label))
 	}
 	return f, nil
 }
@@ -184,13 +230,15 @@ func Fig10(quick bool) (*Figure, error) {
 // from a single A40 and a single A100 at batch 128 (cross-GPU + batch
 // rescaling); case 2 uses a native H100 batch-256 trace. (Paper: case-1
 // errors 9.09% DDP / 9.07% TP / 5.65–16.28% PP; case 2 slightly lower.)
-func Fig11(quick bool) (*Figure, error) {
+func Fig11(quick bool) (*Figure, error) { return Fig11Opts(quick, Serial) }
+
+// Fig11Opts is Fig11 with sweep options.
+func Fig11Opts(quick bool, opts Options) (*Figure, error) {
 	f := &Figure{
 		ID:      "fig11",
 		Title:   "New-GPU prediction: A40/A100 traces → 8×H100 @ batch 256",
 		Columns: valColumns,
 	}
-	p3 := gpu.P3
 	type variant struct {
 		label      string
 		traceGPU   string
@@ -211,23 +259,31 @@ func Fig11(quick bool) (*Figure, error) {
 	if quick {
 		pars = []parCfg{{core.DDP, 0, "ddp"}, {core.TP, 0, "tp"}}
 	}
+	var grid []valCell
+	var labels []string
 	for _, v := range variants {
 		for _, pc := range pars {
 			label := v.label + "-" + pc.name
+			labels = append(labels, label)
 			for _, m := range cnnList(quick) {
-				err := validateInto(f, core.Config{
-					Model: m, Platform: &p3, Parallelism: pc.par,
-					TraceBatch: v.traceBatch, TraceGPU: v.traceGPU,
-					GlobalBatch:  256,
-					MicroBatches: pc.chunks,
-				}, label)
-				if err != nil {
-					return nil, err
-				}
+				v, pc, m := v, pc, m
+				grid = append(grid, valCell{m, label, func() core.Config {
+					p3 := gpu.P3
+					return core.Config{
+						Model: m, Platform: &p3, Parallelism: pc.par,
+						TraceBatch: v.traceBatch, TraceGPU: v.traceGPU,
+						GlobalBatch:  256,
+						MicroBatches: pc.chunks,
+					}
+				}})
 			}
-			f.Note("avg error %s: %.2f%%", label,
-				f.MeanValue("error_pct", label))
 		}
+	}
+	if err := runValidation(f, opts, grid); err != nil {
+		return nil, err
+	}
+	for _, label := range labels {
+		f.Note("avg error %s: %.2f%%", label, f.MeanValue("error_pct", label))
 	}
 	return f, nil
 }

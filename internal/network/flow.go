@@ -37,7 +37,24 @@ type flow struct {
 	latency   sim.VTime
 	start     sim.VTime
 	onDone    func(now sim.VTime)
-	gen       int // invalidates superseded delivery events
+	// gen invalidates superseded delivery events. It is NEVER reset when the
+	// flow object is recycled through the free list: stale delivery events
+	// from a previous life still hold this object, and only the monotonic
+	// generation distinguishes them from the current life's events.
+	gen int
+	// mark is the computeRates solve generation that froze this flow's rate
+	// (scratch state replacing a per-solve "unassigned" set).
+	mark int
+}
+
+// linkState is the per-directed-link allocator state. flows is maintained
+// incrementally across Send/complete instead of being rebuilt on every
+// max-min solve; cap and active are scratch fields valid only inside one
+// computeRates call.
+type linkState struct {
+	cap    float64 // scratch: remaining capacity during a solve
+	active int     // scratch: unassigned crossing flows during a solve
+	flows  []*flow // in-flight flows crossing this link, ascending id
 }
 
 // FlowNetwork is the flow-based packet-switching model: shortest-path
@@ -57,7 +74,14 @@ type FlowNetwork struct {
 	// sizes").
 	RampBytes float64
 
-	flows      map[int]*flow
+	flows map[int]*flow
+	// ordered holds the in-flight flows in ascending id order. Anything that
+	// schedules events or produces output per flow must iterate this slice,
+	// not the flows map: same-timestamp events tie-break on scheduling
+	// sequence, so map iteration order would leak into the simulated
+	// schedule (triosimvet: map-range-order). ids are assigned
+	// monotonically, so appends keep it sorted without re-sorting.
+	ordered    []*flow
 	nextID     int
 	lastUpdate sim.VTime
 	// recomputePending coalesces same-timestamp flow arrivals/departures
@@ -65,6 +89,19 @@ type FlowNetwork struct {
 	// step triggers one recompute instead of 84. Virtual-time semantics are
 	// unchanged: no time passes between the individual changes.
 	recomputePending bool
+
+	// Incremental allocator state: the per-link crossing-flow sets and the
+	// sorted key slice persist across solves. links grows to the set of
+	// directed links ever crossed (bounded by 2× the topology's link count);
+	// linkKeys is rebuilt only when a new directed link first appears.
+	links     map[DirLink]*linkState
+	linkKeys  []DirLink
+	keysDirty bool
+	solveGen  int
+
+	// freeFlows recycles completed flow objects (see flow.gen for why the
+	// generation survives recycling).
+	freeFlows []*flow
 
 	// Stats.
 	TotalBytes     float64
@@ -77,7 +114,12 @@ type FlowNetwork struct {
 
 // NewFlowNetwork builds a flow network over topo driven by eng.
 func NewFlowNetwork(eng sim.Engine, topo *Topology) *FlowNetwork {
-	return &FlowNetwork{eng: eng, topo: topo, flows: map[int]*flow{}}
+	return &FlowNetwork{
+		eng:   eng,
+		topo:  topo,
+		flows: map[int]*flow{},
+		links: map[DirLink]*linkState{},
+	}
 }
 
 var _ Network = (*FlowNetwork)(nil)
@@ -97,10 +139,10 @@ func (n *FlowNetwork) Send(src, dst NodeID, bytes float64,
 	n.TotalTransfers++
 	n.TotalBytes += bytes
 	if src == dst || bytes <= 0 {
-		n.eng.Schedule(sim.NewFuncEvent(now, func(t sim.VTime) error {
+		sim.ScheduleFunc(n.eng, now, func(t sim.VTime) error {
 			onDone(t)
 			return nil
-		}))
+		})
 		return
 	}
 
@@ -113,19 +155,79 @@ func (n *FlowNetwork) Send(src, dst NodeID, bytes float64,
 	if n.RampBytes > 0 {
 		eff = bytes / (bytes + n.RampBytes)
 	}
-	f := &flow{
-		id:        n.nextID,
-		route:     route,
-		remaining: bytes,
-		bytes:     bytes,
-		eff:       eff,
-		latency:   n.topo.RouteLatency(route),
-		start:     now,
-		onDone:    onDone,
-	}
+	f := n.acquireFlow()
+	f.id = n.nextID
+	f.route = route
+	f.remaining = bytes
+	f.bytes = bytes
+	f.rate = 0
+	f.eff = eff
+	f.latency = n.topo.RouteLatency(route)
+	f.start = now
+	f.onDone = onDone
 	n.advance(now)
 	n.flows[f.id] = f
+	n.ordered = append(n.ordered, f)
+	n.attachLinks(f)
 	n.scheduleReallocate(now)
+}
+
+// acquireFlow pops the free list or allocates. gen is deliberately left at
+// its previous-life value (see the flow.gen doc).
+func (n *FlowNetwork) acquireFlow() *flow {
+	if k := len(n.freeFlows); k > 0 {
+		f := n.freeFlows[k-1]
+		n.freeFlows[k-1] = nil
+		n.freeFlows = n.freeFlows[:k-1]
+		return f
+	}
+	return &flow{}
+}
+
+// releaseFlow drops the flow's external references and returns it to the
+// free list.
+func (n *FlowNetwork) releaseFlow(f *flow) {
+	f.onDone = nil
+	f.route = nil
+	n.freeFlows = append(n.freeFlows, f)
+}
+
+// attachLinks registers f on every directed link of its route. Flows are
+// admitted in ascending id order and removal preserves relative order, so
+// each linkState.flows slice stays sorted by id — the invariant the solve's
+// freeze loop relies on for deterministic (and bit-identical) allocation.
+func (n *FlowNetwork) attachLinks(f *flow) {
+	for _, dl := range f.route {
+		st := n.links[dl]
+		if st == nil {
+			st = &linkState{}
+			n.links[dl] = st
+			n.keysDirty = true
+		}
+		st.flows = append(st.flows, f)
+	}
+}
+
+// detachLinks removes f from its route's link sets and from the ordered
+// slice, preserving order.
+func (n *FlowNetwork) detachLinks(f *flow) {
+	for _, dl := range f.route {
+		st := n.links[dl]
+		st.flows = removeFlow(st.flows, f)
+	}
+	n.ordered = removeFlow(n.ordered, f)
+}
+
+// removeFlow deletes f from s, keeping the remaining order.
+func removeFlow(s []*flow, f *flow) []*flow {
+	for i, g := range s {
+		if g == f {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			return s[:len(s)-1]
+		}
+	}
+	return s
 }
 
 // scheduleReallocate defers the max-min recomputation to a secondary event
@@ -135,7 +237,7 @@ func (n *FlowNetwork) scheduleReallocate(now sim.VTime) {
 		return
 	}
 	n.recomputePending = true
-	n.eng.Schedule(sim.NewSecondaryFuncEvent(now, func(t sim.VTime) error {
+	sim.ScheduleSecondaryFunc(n.eng, now, func(t sim.VTime) error {
 		n.recomputePending = false
 		n.advance(t)
 		n.reallocate(t)
@@ -143,7 +245,7 @@ func (n *FlowNetwork) scheduleReallocate(now sim.VTime) {
 			n.Observer.RatesRecomputed(len(n.flows), t)
 		}
 		return nil
-	}))
+	})
 }
 
 // advance applies the elapsed time since the last reallocation to every
@@ -151,7 +253,7 @@ func (n *FlowNetwork) scheduleReallocate(now sim.VTime) {
 func (n *FlowNetwork) advance(now sim.VTime) {
 	dt := float64(now - n.lastUpdate)
 	if dt > 0 {
-		for _, f := range n.flows {
+		for _, f := range n.ordered {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				f.remaining = 0
@@ -161,41 +263,26 @@ func (n *FlowNetwork) advance(now sim.VTime) {
 	n.lastUpdate = now
 }
 
-// sortedFlows returns the in-flight flows in ascending id order. Anything
-// that schedules events or produces output per flow must iterate this slice,
-// not the flows map: same-timestamp events tie-break on scheduling sequence,
-// so map iteration order would leak into the simulated schedule
-// (triosimvet: map-range-order).
-func (n *FlowNetwork) sortedFlows() []*flow {
-	out := make([]*flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
-
 // reallocate recomputes max-min fair rates and reschedules every flow's
 // delivery event.
 func (n *FlowNetwork) reallocate(now sim.VTime) {
 	n.computeRates()
 	// Size-dependent achieved fraction: the unachieved share of a flow's
 	// allocation is protocol dead time, not reusable by other flows.
-	for _, f := range n.flows {
+	for _, f := range n.ordered {
 		f.rate *= f.eff
 	}
-	for _, f := range n.sortedFlows() {
+	for _, f := range n.ordered {
 		f.gen++
-		var doneAt sim.VTime
 		if f.rate <= 0 {
 			continue // starved flow: rescheduled when capacity frees up
 		}
-		doneAt = now + sim.VTime(f.remaining/f.rate)
+		doneAt := now + sim.VTime(f.remaining/f.rate)
 		fl, gen := f, f.gen
-		n.eng.Schedule(sim.NewFuncEvent(doneAt, func(t sim.VTime) error {
+		sim.ScheduleFunc(n.eng, doneAt, func(t sim.VTime) error {
 			n.completeFlow(fl, gen, t)
 			return nil
-		}))
+		})
 	}
 }
 
@@ -208,92 +295,97 @@ func (n *FlowNetwork) completeFlow(f *flow, gen int, now sim.VTime) {
 	}
 	n.advance(now)
 	delete(n.flows, f.id)
+	n.detachLinks(f)
 	if n.Observer != nil {
 		n.Observer.FlowFinished(f.route, f.bytes, f.start, now)
 	}
 	n.scheduleReallocate(now)
-	// The receiver observes the data one route-latency later.
-	n.eng.Schedule(sim.NewFuncEvent(now+f.latency, func(t sim.VTime) error {
-		f.onDone(t)
+	// The receiver observes the data one route-latency later. onDone is
+	// captured locally: the flow object goes back to the pool now, while
+	// the delivery event fires later.
+	onDone := f.onDone
+	sim.ScheduleFunc(n.eng, now+f.latency, func(t sim.VTime) error {
+		onDone(t)
 		return nil
-	}))
+	})
+	n.releaseFlow(f)
 }
 
 // computeRates assigns max-min fair rates: repeatedly find the most
 // constrained directed link (lowest capacity per crossing flow), freeze its
 // flows at that fair share, remove them, and continue (progressive filling).
+//
+// The solve reuses the incrementally maintained link→flows sets and sorted
+// key slice instead of rebuilding them per call, and tracks per-link
+// unassigned counts instead of re-scanning flow lists per filling round. The
+// arithmetic — capacity reset, fair-share division, freeze order, capacity
+// charging order — is exactly the from-scratch solve's, so the resulting
+// rates are bit-identical (TestMaxMinMatchesReferenceSolve pins this).
 func (n *FlowNetwork) computeRates() {
-	type linkState struct {
-		cap   float64
-		flows []*flow
+	if n.keysDirty {
+		n.linkKeys = n.linkKeys[:0]
+		for k := range n.links {
+			n.linkKeys = append(n.linkKeys, k)
+		}
+		sort.Slice(n.linkKeys, func(i, j int) bool {
+			if n.linkKeys[i].Link != n.linkKeys[j].Link {
+				return n.linkKeys[i].Link < n.linkKeys[j].Link
+			}
+			return n.linkKeys[i].Forward && !n.linkKeys[j].Forward
+		})
+		n.keysDirty = false
 	}
-	links := map[DirLink]*linkState{}
-	for _, f := range n.sortedFlows() {
+	n.solveGen++
+	gen := n.solveGen
+	for _, k := range n.linkKeys {
+		st := n.links[k]
+		// Capacity is re-read from the topology each solve so mid-run
+		// bandwidth changes (degradation experiments) keep taking effect.
+		st.cap = n.topo.Links[k.Link].Bandwidth
+		st.active = len(st.flows)
+	}
+	for _, f := range n.ordered {
 		f.rate = 0
-		for _, dl := range f.route {
-			st := links[dl]
-			if st == nil {
-				st = &linkState{cap: n.topo.Links[dl.Link].Bandwidth}
-				links[dl] = st
-			}
-			st.flows = append(st.flows, f)
-		}
-	}
-	unassigned := map[int]bool{}
-	for id := range n.flows {
-		unassigned[id] = true
 	}
 
-	// Deterministic iteration: sort link keys.
-	keys := make([]DirLink, 0, len(links))
-	for k := range links {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Link != keys[j].Link {
-			return keys[i].Link < keys[j].Link
-		}
-		return keys[i].Forward && !keys[j].Forward
-	})
-
-	for len(unassigned) > 0 {
+	assigned := 0
+	total := len(n.ordered)
+	for assigned < total {
 		// Find the bottleneck: min cap/activeCount over links with
-		// unassigned flows.
-		bottleneck := DirLink{Link: -1}
+		// unassigned flows, scanning keys in sorted order so ties resolve
+		// deterministically.
+		var bn *linkState
 		best := math.Inf(1)
-		for _, k := range keys {
-			st := links[k]
-			cnt := 0
-			for _, f := range st.flows {
-				if unassigned[f.id] {
-					cnt++
-				}
-			}
-			if cnt == 0 {
+		for _, k := range n.linkKeys {
+			st := n.links[k]
+			if st.active == 0 {
 				continue
 			}
-			fair := st.cap / float64(cnt)
+			fair := st.cap / float64(st.active)
 			if fair < best {
 				best = fair
-				bottleneck = k
+				bn = st
 			}
 		}
-		if bottleneck.Link == -1 {
+		if bn == nil {
 			break
 		}
 		// Freeze the bottleneck's unassigned flows at the fair share and
 		// charge their rate against every link they cross.
-		for _, f := range links[bottleneck].flows {
-			if !unassigned[f.id] {
+		for _, f := range bn.flows {
+			if f.mark == gen {
 				continue
 			}
 			f.rate = best
-			delete(unassigned, f.id)
+			f.mark = gen
+			assigned++
 			for _, dl := range f.route {
-				links[dl].cap -= best
-				if links[dl].cap < 0 {
-					links[dl].cap = 0
+				st := n.links[dl]
+				st.cap -= best
+				if st.cap < 0 {
+					st.cap = 0
 				}
+				st.active--
 			}
 		}
 	}
@@ -333,8 +425,8 @@ func (n *IdealNetwork) Send(src, dst NodeID, bytes float64,
 	if src != dst && bytes > 0 {
 		dur = n.Latency + sim.VTime(bytes/n.Bandwidth)
 	}
-	n.eng.Schedule(sim.NewFuncEvent(now+dur, func(t sim.VTime) error {
+	sim.ScheduleFunc(n.eng, now+dur, func(t sim.VTime) error {
 		onDone(t)
 		return nil
-	}))
+	})
 }

@@ -3,6 +3,7 @@ package network
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"triosim/internal/sim"
@@ -348,5 +349,170 @@ func TestIdealNetwork(t *testing.T) {
 	if local != d1 && local != 1*sim.Sec+1*sim.USec {
 		// local send completes at current time (when Run resumed).
 		t.Logf("local done at %v", local)
+	}
+}
+
+// referenceRates is a from-scratch max-min solve (the pre-incremental
+// algorithm): rebuild every per-link flow list from the current flow set,
+// then run progressive filling. The incremental allocator must match it
+// bit-for-bit — same capacity resets, same freeze order, same charge order —
+// so the comparison below uses ==, not a tolerance.
+func referenceRates(net *FlowNetwork) map[int]float64 {
+	type ls struct {
+		cap    float64
+		active int
+		flows  []*flow
+	}
+	links := map[DirLink]*ls{}
+	for _, f := range net.ordered { // ascending flow id
+		for _, dl := range f.route {
+			st := links[dl]
+			if st == nil {
+				st = &ls{}
+				links[dl] = st
+			}
+			st.flows = append(st.flows, f)
+		}
+	}
+	var keys []DirLink
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Link != keys[j].Link {
+			return keys[i].Link < keys[j].Link
+		}
+		return keys[i].Forward && !keys[j].Forward
+	})
+	for _, k := range keys {
+		st := links[k]
+		st.cap = net.topo.Links[k.Link].Bandwidth
+		st.active = len(st.flows)
+	}
+	rates := map[int]float64{}
+	for len(rates) < len(net.ordered) {
+		var bn *ls
+		best := math.Inf(1)
+		for _, k := range keys {
+			st := links[k]
+			if st.active == 0 {
+				continue
+			}
+			fair := st.cap / float64(st.active)
+			if fair < best {
+				best = fair
+				bn = st
+			}
+		}
+		if bn == nil {
+			break
+		}
+		for _, f := range bn.flows {
+			if _, done := rates[f.id]; done {
+				continue
+			}
+			rates[f.id] = best
+			for _, dl := range f.route {
+				st := links[dl]
+				st.cap -= best
+				if st.cap < 0 {
+					st.cap = 0
+				}
+				st.active--
+			}
+		}
+	}
+	return rates
+}
+
+// After an arbitrary add/complete history — which exercises attach/detach,
+// the persistent link sets, the order-preserving removals, and flow-object
+// recycling — the incremental solve must equal the from-scratch solve
+// exactly.
+func TestMaxMinMatchesReferenceSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		eng := sim.NewSerialEngine()
+		topo := Mesh(3, 3, Config{
+			LinkBandwidth: float64(10+rng.Intn(90)) * 1e9,
+			HostBandwidth: 10e9,
+		})
+		gpus := topo.GPUs()
+		net := NewFlowNetwork(eng, topo)
+
+		// Random traffic over random times: sends keep arriving while
+		// earlier flows complete, so the persistent link state sees plenty
+		// of attach/detach churn (and the free list sees reuse).
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			at := sim.VTime(rng.Float64()) * sim.Sec
+			bytes := float64(1+rng.Intn(100)) * 1e9
+			src := gpus[rng.Intn(len(gpus))]
+			dst := gpus[rng.Intn(len(gpus))]
+			for dst == src {
+				dst = gpus[rng.Intn(len(gpus))]
+			}
+			eng.Schedule(sim.NewFuncEvent(at, func(sim.VTime) error {
+				net.Send(src, dst, bytes, func(sim.VTime) {})
+				return nil
+			}))
+		}
+		// Stop at a random mid-run instant and compare solves over whatever
+		// is in flight.
+		stopAt := sim.VTime(rng.Float64()) * sim.Sec
+		eng.Schedule(sim.NewFuncEvent(stopAt, func(sim.VTime) error {
+			eng.Terminate()
+			return nil
+		}))
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		want := referenceRates(net)
+		net.computeRates()
+		if len(want) != len(net.flows) {
+			t.Fatalf("trial %d: reference solved %d flows, have %d",
+				trial, len(want), len(net.flows))
+		}
+		for _, f := range net.ordered {
+			if f.rate != want[f.id] {
+				t.Fatalf("trial %d: flow %d rate %g != reference %g",
+					trial, f.id, f.rate, want[f.id])
+			}
+		}
+	}
+}
+
+// Flow objects are recycled through the free list; a recycled object's
+// pending stale delivery events must never complete its next life early.
+func TestFlowPoolingReusesObjects(t *testing.T) {
+	eng := sim.NewSerialEngine()
+	topo, n := lineTopo()
+	net := NewFlowNetwork(eng, topo)
+	delivered := 0
+	// Chain: each completed transfer launches the next, so every flow after
+	// the first draws the same object from the free list.
+	var next func(k int) func(sim.VTime)
+	next = func(k int) func(sim.VTime) {
+		return func(sim.VTime) {
+			delivered++
+			if k > 0 {
+				net.Send(n[0], n[2], 10e9, next(k-1))
+			}
+		}
+	}
+	net.Send(n[0], n[2], 10e9, next(9))
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 10 {
+		t.Fatalf("delivered %d of 10 chained transfers", delivered)
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("%d flows leaked", net.InFlight())
+	}
+	if len(net.freeFlows) != 1 {
+		t.Fatalf("free list has %d objects, want 1 (reuse broken)",
+			len(net.freeFlows))
 	}
 }

@@ -75,6 +75,10 @@ type SerialEngine struct {
 	terminated bool
 	hooks      []Hook
 	started    bool
+	// free is the funcEvent recycling pool for ScheduleFunc. Single-goroutine
+	// by the engine contract, so a plain slice suffices (and a shared
+	// sync.Pool would violate no-goroutine-in-sim anyway).
+	free []*funcEvent
 }
 
 // NewSerialEngine returns an empty engine at virtual time 0.
@@ -92,6 +96,37 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 func (eng *SerialEngine) Schedule(e Event) {
 	eng.seq++
 	heap.Push(&eng.queue, queuedEvent{event: e, seq: eng.seq})
+}
+
+// schedulePooled enqueues fn wrapped in a recycled (or new) funcEvent. The
+// event returns to the free list after its dispatch completes.
+func (eng *SerialEngine) schedulePooled(t VTime, fn func(now VTime) error,
+	secondary bool) {
+
+	var fe *funcEvent
+	if n := len(eng.free); n > 0 {
+		fe = eng.free[n-1]
+		eng.free[n-1] = nil
+		eng.free = eng.free[:n-1]
+	} else {
+		fe = &funcEvent{}
+	}
+	fe.EventBase = EventBase{EventTime: t, Secondary: secondary}
+	fe.fn = fn
+	fe.pooled = true
+	eng.Schedule(fe)
+}
+
+// recycle returns a dispatched pooled event to the free list. Hooks have
+// already run; by contract neither hooks nor handlers retain the event.
+func (eng *SerialEngine) recycle(e Event) {
+	fe, ok := e.(*funcEvent)
+	if !ok || !fe.pooled {
+		return
+	}
+	fe.pooled = false
+	fe.fn = nil
+	eng.free = append(eng.free, fe)
 }
 
 // CurrentTime returns the time of the last dispatched event.
@@ -134,6 +169,7 @@ func (eng *SerialEngine) Run() error {
 		for _, h := range eng.hooks {
 			h.Func(HookCtx{Pos: HookPosAfterEvent, Now: eng.now, Item: e})
 		}
+		eng.recycle(e)
 	}
 	return nil
 }

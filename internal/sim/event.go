@@ -49,10 +49,14 @@ type HandlerFunc func(e Event) error
 // Handle calls f(e).
 func (f HandlerFunc) Handle(e Event) error { return f(e) }
 
-// funcEvent is an Event that calls a closure when it fires.
+// funcEvent is an Event that calls a closure when it fires. pooled marks
+// events drawn from a SerialEngine's free list (via ScheduleFunc); the engine
+// recycles those after dispatch, so nothing may retain them past the event's
+// own handler and hooks.
 type funcEvent struct {
 	EventBase
-	fn func(now VTime) error
+	fn     func(now VTime) error
+	pooled bool
 }
 
 func (e *funcEvent) Handler() Handler { return HandlerFunc(e.run) }
@@ -72,4 +76,27 @@ func NewSecondaryFuncEvent(t VTime, fn func(now VTime) error) Event {
 		EventBase: EventBase{EventTime: t, Secondary: true},
 		fn:        fn,
 	}
+}
+
+// ScheduleFunc schedules fn as a primary event at t, drawing the event object
+// from eng's free list when eng is a *SerialEngine (the engine recycles it
+// after dispatch). The pooled and unpooled paths schedule events of identical
+// dynamic type, so the event digest — and therefore the replay gate — is
+// byte-identical either way. Hot paths (the flow network, the task executor)
+// use this instead of NewFuncEvent to avoid one allocation per event.
+func ScheduleFunc(eng Engine, t VTime, fn func(now VTime) error) {
+	if se, ok := eng.(*SerialEngine); ok {
+		se.schedulePooled(t, fn, false)
+		return
+	}
+	eng.Schedule(NewFuncEvent(t, fn))
+}
+
+// ScheduleSecondaryFunc is ScheduleFunc for secondary events.
+func ScheduleSecondaryFunc(eng Engine, t VTime, fn func(now VTime) error) {
+	if se, ok := eng.(*SerialEngine); ok {
+		se.schedulePooled(t, fn, true)
+		return
+	}
+	eng.Schedule(NewSecondaryFuncEvent(t, fn))
 }

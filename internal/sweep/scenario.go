@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"context"
+
+	"triosim/internal/core"
+)
+
+// Scenario is one named simulation configuration in a sweep.
+type Scenario struct {
+	// Name labels the scenario in results and reports.
+	Name string
+	// Build returns the scenario's Config. It runs on the worker goroutine,
+	// so anything with unsynchronized internal state — notably
+	// *network.Topology and its route cache — must be constructed here, not
+	// captured from outside.
+	Build func() core.Config
+}
+
+// SimResult is one scenario's simulation outcome.
+type SimResult struct {
+	Name string
+	Res  *core.Result
+}
+
+// Simulate runs the scenarios through core.Simulate on the pool. Results are
+// in scenario order; a scenario's failure is confined to its own Result. The
+// sweep context (and per-job timeout) is threaded into each Config.Context,
+// so cancellation terminates in-flight engines. When telemetry is enabled on
+// a scenario's Config, its Result carries that scenario's own RunReport —
+// each run builds a private registry, so reports never mix across workers.
+func Simulate(opts Options, scenarios []Scenario) []Result[SimResult] {
+	jobs := make([]Job[SimResult], len(scenarios))
+	for i := range scenarios {
+		sc := scenarios[i]
+		jobs[i] = func(ctx context.Context) (SimResult, error) {
+			cfg := sc.Build()
+			if cfg.Context == nil {
+				cfg.Context = ctx
+			}
+			res, err := core.Simulate(cfg)
+			if err != nil {
+				return SimResult{Name: sc.Name}, err
+			}
+			return SimResult{Name: sc.Name, Res: res}, nil
+		}
+	}
+	return Run(opts, jobs)
+}

@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+)
+
+func quickScenario(name string, par core.Parallelism) Scenario {
+	return Scenario{
+		Name: name,
+		Build: func() core.Config {
+			p := gpu.P2
+			return core.Config{
+				Model: "resnet18", Platform: &p, Parallelism: par,
+				TraceBatch: 32, MicroBatches: 2,
+			}
+		},
+	}
+}
+
+// The parallel sweep must be bit-identical to the serial one: same
+// per-scenario event digests, same simulated times, same order.
+func TestSimulateParallelMatchesSerial(t *testing.T) {
+	scs := []Scenario{
+		quickScenario("dp", core.DP),
+		quickScenario("ddp", core.DDP),
+		quickScenario("tp", core.TP),
+		quickScenario("pp", core.PP),
+	}
+	serial := Simulate(Options{Workers: 1}, scs)
+	parallel := Simulate(Options{Workers: 8}, scs)
+	if err := FirstErr(serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(parallel); err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		s, p := serial[i].Value, parallel[i].Value
+		if s.Name != scs[i].Name || p.Name != scs[i].Name {
+			t.Fatalf("order broken at %d: %q vs %q", i, s.Name, p.Name)
+		}
+		if s.Res.EventDigest != p.Res.EventDigest {
+			t.Fatalf("%s: digest differs serial=%x parallel=%x",
+				s.Name, s.Res.EventDigest, p.Res.EventDigest)
+		}
+		if s.Res.TotalTime != p.Res.TotalTime {
+			t.Fatalf("%s: time differs serial=%v parallel=%v",
+				s.Name, s.Res.TotalTime, p.Res.TotalTime)
+		}
+	}
+}
+
+// Telemetry-enabled scenarios get private RunReports: each result carries
+// its own report with that scenario's parallelism, even when runs share
+// workers.
+func TestSimulatePerScenarioReports(t *testing.T) {
+	scs := make([]Scenario, 0, 4)
+	for _, par := range []core.Parallelism{core.DP, core.DDP, core.TP, core.PP} {
+		par := par
+		scs = append(scs, Scenario{
+			Name: string(par),
+			Build: func() core.Config {
+				p := gpu.P2
+				return core.Config{
+					Model: "resnet18", Platform: &p, Parallelism: par,
+					TraceBatch: 32, MicroBatches: 2, Telemetry: true,
+				}
+			},
+		})
+	}
+	res := Simulate(Options{Workers: 4}, scs)
+	if err := FirstErr(res); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		rep := r.Value.Res.Report
+		if rep == nil {
+			t.Fatalf("%s: no RunReport", scs[i].Name)
+		}
+		if rep.Parallelism != scs[i].Name {
+			t.Fatalf("report %d: parallelism %q, want %q",
+				i, rep.Parallelism, scs[i].Name)
+		}
+	}
+}
+
+// A pre-expired per-scenario timeout must cancel the simulation via
+// core.Config.Context without touching sibling scenarios.
+func TestSimulateTimeoutConfinedToScenario(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // scenario 1 gets an already-canceled context
+	scs := []Scenario{
+		quickScenario("ok-before", core.DP),
+		{
+			Name: "canceled",
+			Build: func() core.Config {
+				cfg := quickScenario("canceled", core.DP).Build()
+				cfg.Context = ctx
+				return cfg
+			},
+		},
+		quickScenario("ok-after", core.TP),
+	}
+	res := Simulate(Options{Workers: 2}, scs)
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("siblings failed: %v / %v", res[0].Err, res[2].Err)
+	}
+	if !errors.Is(res[1].Err, context.Canceled) {
+		t.Fatalf("canceled scenario error = %v", res[1].Err)
+	}
+}
+
+// A long simulation must be terminated by the per-job timeout through the
+// engine's context poll (not just the pre-run check).
+func TestSimulateTimeoutTerminatesEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	scs := []Scenario{{
+		Name: "long",
+		Build: func() core.Config {
+			p := gpu.P2
+			return core.Config{
+				Model: "resnet18", Platform: &p, Parallelism: core.DDP,
+				TraceBatch: 32, Iterations: 2000,
+			}
+		},
+	}}
+	start := time.Now()
+	res := Simulate(Options{Workers: 1, Timeout: 100 * time.Millisecond}, scs)
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v (elapsed %v)", res[0].Err, time.Since(start))
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

@@ -1,0 +1,167 @@
+// Package sweep fans independent simulation scenarios across OS threads.
+//
+// TrioSim's determinism contract keeps every simulation single-goroutine: one
+// SerialEngine, no locks, a byte-stable event schedule (see
+// docs/STATIC_ANALYSIS.md). Design-space exploration, however, is throughput
+// bound — a figure is dozens of independent scenarios — and those runs share
+// nothing. This package is the only sanctioned parallelism in the repo: a
+// worker pool where each job builds its own engine, network, and topology
+// inside the job closure, so the no-goroutine-in-sim analyzer contract is
+// untouched and per-scenario results are bit-identical to a serial run.
+//
+// Rules for job closures:
+//   - Construct everything the simulation touches inside the closure. In
+//     particular *network.Topology memoizes routes in an unsynchronized
+//     cache, so topologies must never be shared across scenarios.
+//   - Results are returned, not accumulated through shared state.
+//
+// Run preserves scenario order: result i is job i's outcome regardless of
+// which worker ran it or when it finished.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure a sweep.
+type Options struct {
+	// Workers is the pool size. 0 or negative means GOMAXPROCS(0); 1 runs
+	// the jobs serially on the calling goroutine (no pool), which is useful
+	// for golden-output comparisons against the parallel path.
+	Workers int
+	// Timeout bounds each job individually (0 = unbounded). The job's
+	// context expires after this long, which for simulation jobs terminates
+	// the engine (core.Config.Context).
+	Timeout time.Duration
+	// Context cancels the whole sweep: jobs not yet started return
+	// ctx.Err() without running, and running jobs see their child context
+	// canceled. Nil means context.Background().
+	Context context.Context
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// Job computes one scenario's value. The context carries sweep cancellation
+// and the per-job timeout; simulation jobs should thread it into
+// core.Config.Context.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Result is one job's outcome, tagged with its scenario index.
+type Result[T any] struct {
+	// Index is the job's position in the input slice; Run returns results
+	// in ascending Index order.
+	Index int
+	Value T
+	Err   error
+}
+
+// Run executes the jobs on a worker pool and returns one Result per job, in
+// input order. A failing (or panicking) job only marks its own Result — the
+// other jobs run to completion unaffected. Cancellation via Options.Context
+// stops jobs that have not started; their results carry the context error.
+func Run[T any](opts Options, jobs []Job[T]) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	for i := range results {
+		results[i].Index = i
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	ctx := opts.context()
+
+	if opts.workers() == 1 {
+		for i, job := range jobs {
+			results[i] = runOne(ctx, opts.Timeout, i, job)
+		}
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Disjoint indices: each slot is written by exactly one
+				// worker, so no lock is needed.
+				results[i] = runOne(ctx, opts.Timeout, i, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with panic isolation and the per-job timeout.
+func runOne[T any](ctx context.Context, timeout time.Duration, i int,
+	job Job[T]) (res Result[T]) {
+
+	res.Index = i
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("sweep: scenario %d not started: %w", i, err)
+		return res
+	}
+	jctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("sweep: scenario %d panicked: %v", i, r)
+		}
+	}()
+	res.Value, res.Err = job(jctx)
+	return res
+}
+
+// FirstErr returns the lowest-index error among the results, or nil. Use it
+// when a sweep is all-or-nothing; inspect individual Results to tolerate
+// partial failure.
+func FirstErr[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Values unwraps the result values in scenario order, returning the first
+// error if any job failed.
+func Values[T any](results []Result[T]) ([]T, error) {
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(results))
+	for i, r := range results {
+		out[i] = r.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i * i, nil }
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		res := Run(Options{Workers: workers}, jobs)
+		if len(res) != n {
+			t.Fatalf("workers=%d: got %d results", workers, len(res))
+		}
+		for i, r := range res {
+			if r.Index != i || r.Err != nil || r.Value != i*i {
+				t.Fatalf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+// One failing scenario must leave the other N-1 results intact and ordered —
+// the pool may not tear down siblings or shift indices.
+func TestErrorDoesNotPoisonSiblings(t *testing.T) {
+	const n, bad = 32, 13
+	boom := errors.New("boom")
+	jobs := make([]Job[string], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (string, error) {
+			if i == bad {
+				return "", boom
+			}
+			return fmt.Sprintf("scenario-%d", i), nil
+		}
+	}
+	res := Run(Options{Workers: 4}, jobs)
+	for i, r := range res {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if i == bad {
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("bad scenario error = %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != fmt.Sprintf("scenario-%d", i) {
+			t.Fatalf("sibling %d poisoned: %+v", i, r)
+		}
+	}
+	if err := FirstErr(res); !errors.Is(err, boom) {
+		t.Fatalf("FirstErr = %v", err)
+	}
+	if _, err := Values(res); !errors.Is(err, boom) {
+		t.Fatalf("Values err = %v", err)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { panic("kaboom") },
+		func(context.Context) (int, error) { return 3, nil },
+	}
+	res := Run(Options{Workers: 2}, jobs)
+	if res[0].Err != nil || res[0].Value != 1 {
+		t.Fatalf("result 0: %+v", res[0])
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %+v", res[1])
+	}
+	if res[2].Err != nil || res[2].Value != 3 {
+		t.Fatalf("result 2: %+v", res[2])
+	}
+}
+
+func TestValuesUnwraps(t *testing.T) {
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { return 10, nil },
+		func(context.Context) (int, error) { return 20, nil },
+	}
+	vals, err := Values(Run(Options{}, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 10 || vals[1] != 20 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+// Cancellation mid-sweep: started jobs observe the canceled context, jobs
+// that have not started fail fast without running.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var ran atomic.Int32
+	jobs := make([]Job[int], 16)
+	jobs[0] = func(jctx context.Context) (int, error) {
+		close(started)
+		<-jctx.Done()
+		return 0, jctx.Err()
+	}
+	for i := 1; i < len(jobs); i++ {
+		jobs[i] = func(jctx context.Context) (int, error) {
+			ran.Add(1)
+			<-jctx.Done()
+			return 0, jctx.Err()
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	res := Run(Options{Workers: 2, Context: ctx}, jobs)
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("result %d unexpectedly succeeded", i)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+	}
+	// Worker 2 may have started one sibling before cancel; the rest must be
+	// rejected without running.
+	if got := ran.Load(); got > 2 {
+		t.Fatalf("%d jobs ran after cancellation", got)
+	}
+}
+
+// Pool hammer: many more blocking jobs than workers, all bounded by the
+// per-job timeout. The sweep must terminate, keep order, and time out every
+// job individually (no shared-deadline bleed between jobs).
+func TestTimeoutHammersPool(t *testing.T) {
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(jctx context.Context) (int, error) {
+			<-jctx.Done() // park until the per-job timeout fires
+			return i, jctx.Err()
+		}
+	}
+	doneCh := make(chan []Result[int], 1)
+	go func() {
+		doneCh <- Run(Options{Workers: 8, Timeout: 5 * time.Millisecond}, jobs)
+	}()
+	select {
+	case res := <-doneCh:
+		for i, r := range res {
+			if r.Index != i {
+				t.Fatalf("result %d has index %d", i, r.Index)
+			}
+			if !errors.Is(r.Err, context.DeadlineExceeded) {
+				t.Fatalf("result %d: %v", i, r.Err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep deadlocked under timeout hammer")
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	if res := Run[int](Options{Workers: 4}, nil); len(res) != 0 {
+		t.Fatalf("got %d results for empty sweep", len(res))
+	}
+}

@@ -75,7 +75,7 @@ func (x *Executor) Run() (sim.VTime, error) {
 	x.startTime = x.eng.CurrentTime()
 	x.lastEnd = x.startTime
 
-	x.eng.Schedule(sim.NewFuncEvent(x.startTime, func(now sim.VTime) error {
+	sim.ScheduleFunc(x.eng, x.startTime, func(now sim.VTime) error {
 		// Snapshot the initial ready set first: instantaneous tasks (e.g.
 		// barriers) completing inside ready() may zero further indegrees,
 		// and those tasks are dispatched by complete(), not this loop.
@@ -89,7 +89,7 @@ func (x *Executor) Run() (sim.VTime, error) {
 			x.ready(t, now)
 		}
 		return nil
-	}))
+	})
 	if err := x.eng.Run(); err != nil {
 		return 0, err
 	}
@@ -122,11 +122,11 @@ func (x *Executor) ready(t *Task, now sim.VTime) {
 	case Barrier:
 		x.complete(t, now)
 	case Delay:
-		x.eng.Schedule(sim.NewFuncEvent(now+t.Duration,
+		sim.ScheduleFunc(x.eng, now+t.Duration,
 			func(done sim.VTime) error {
 				x.complete(t, done)
 				return nil
-			}))
+			})
 	}
 }
 
@@ -140,14 +140,14 @@ func (x *Executor) startNextCompute(gpu int, now sim.VTime) {
 	x.gpuQueue[gpu] = q[1:]
 	x.gpuBusy[gpu] = true
 	end := now + t.Duration
-	x.eng.Schedule(sim.NewFuncEvent(end, func(done sim.VTime) error {
+	sim.ScheduleFunc(x.eng, end, func(done sim.VTime) error {
 		x.tl.Add(fmt.Sprintf("gpu%d", gpu), t.Label, "compute", now, done)
 		x.notify(t, now, done)
 		x.gpuBusy[gpu] = false
 		x.complete(t, done)
 		x.startNextCompute(gpu, done)
 		return nil
-	}))
+	})
 }
 
 // complete resolves a finished task and releases its dependents.

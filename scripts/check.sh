@@ -16,6 +16,9 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> race hammer (sweep pool + monitor, repeated runs)"
+go test -race -count=2 ./internal/sweep/... ./internal/monitor/...
+
 echo "==> triosimvet (static determinism analyzers)"
 go run ./cmd/triosimvet ./...
 
@@ -29,7 +32,10 @@ go run ./cmd/triosim -model resnet50 -platform P2 -parallelism ddp \
   -trace-batch 32 -metrics-out "$tmpdir/report.json" >/dev/null
 go run ./cmd/triosimvet -report "$tmpdir/report.json"
 
-echo "==> bench smoke (compile + one iteration of every benchmark)"
-go test -run '^$' -bench . -benchtime 1x . >/dev/null
+echo "==> bench smoke + benchdiff gate (allocs/op vs committed BENCH_*.json)"
+go test -run '^$' -bench . -benchmem -benchtime 1x . >"$tmpdir/bench.txt"
+go run ./cmd/benchdiff -out "$tmpdir/bench.json" "$tmpdir/bench.txt"
+baseline="$(ls BENCH_*.json | sort | tail -1)"
+go run ./cmd/benchdiff -old "$baseline" -new "$tmpdir/bench.json"
 
 echo "==> all checks passed"

@@ -17,6 +17,7 @@ import (
 	"triosim/internal/collective"
 	"triosim/internal/experiments"
 	"triosim/internal/extrapolator"
+	"triosim/internal/faults"
 	"triosim/internal/gpu"
 	"triosim/internal/hwsim"
 	"triosim/internal/network"
@@ -349,6 +350,53 @@ func BenchmarkAblationRingVsTree(b *testing.B) {
 					}
 					b.ReportMetric(last.Microseconds(), "simulated-us")
 				})
+		}
+	}
+}
+
+// Fault-triggered re-solve churn: a contended ring where an injector
+// toggles link bandwidth 100 times mid-flight. Each window edge calls
+// RefreshRates, forcing the incremental max-min allocator to re-solve under
+// live flows — the overhead fault injection adds to the network model.
+func BenchmarkFaultReallocChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewSerialEngine()
+		topo := network.Ring(network.Config{
+			NumGPUs: 8, LinkBandwidth: 100e9, HostBandwidth: 20e9,
+		})
+		net := network.NewFlowNetwork(eng, topo)
+		var sched faults.Schedule
+		for l := 0; l < 4; l++ {
+			for w := 0; w < 25; w++ {
+				sched.Events = append(sched.Events, faults.Event{
+					Kind: faults.LinkDegrade, Link: l,
+					Factor:   2 + float64(w%3),
+					Start:    sim.VTime(w) * sim.MSec,
+					Duration: sim.MSec / 2,
+				})
+			}
+		}
+		inj, err := faults.NewInjector(eng, net, &sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inj.Arm()
+		gpus := topo.GPUs()
+		done := 0
+		for j := 0; j < 32; j++ {
+			src := gpus[j%len(gpus)]
+			dst := gpus[(j*3+1)%len(gpus)]
+			if src == dst {
+				dst = gpus[(j*3+2)%len(gpus)]
+			}
+			net.Send(src, dst, 1e9, func(sim.VTime) { done++ })
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if done != 32 {
+			b.Fatal("lost flows")
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"triosim/internal/experiments"
+	"triosim/internal/faults"
 )
 
 func main() {
@@ -29,7 +30,21 @@ func main() {
 		"scenario sweep workers (0 = all cores, 1 = serial)")
 	timeout := flag.Duration("scenario-timeout", 0,
 		"per-scenario simulation timeout (0 = unbounded)")
+	faultsPath := flag.String("faults", "",
+		"fault schedule JSON added to the resilience figure as a custom scenario")
+	faultSeed := flag.Int64("fault-seed", 0,
+		"add a seeded generated fault scenario to the resilience figure")
 	flag.Parse()
+
+	var custom *faults.Schedule
+	if *faultsPath != "" {
+		s, err := faults.Load(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		custom = s
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -39,7 +54,7 @@ func main() {
 	}
 	opts := experiments.Options{Workers: *workers, Timeout: *timeout}
 	failed := false
-	for _, r := range experiments.AllOpts(*quick, opts) {
+	for _, r := range experiments.AllFaults(*quick, opts, custom, *faultSeed) {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}

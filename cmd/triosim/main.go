@@ -45,6 +45,8 @@ func main() {
 		timelineHTML = flag.String("timeline-html", "", "write a self-contained HTML timeline viewer here")
 		metricsOut   = flag.String("metrics-out", "", "write the telemetry RunReport JSON here")
 		monitorAddr  = flag.String("monitor", "", "serve live /status, /metrics, /healthz on this address (e.g. :8080)")
+		faultsPath   = flag.String("faults", "", "inject a fault schedule JSON (triosim.faults/v1; see docs/RESILIENCE.md)")
+		faultSeed    = flag.Int64("fault-seed", 0, "generate a seeded fault schedule sized to the fault-free baseline")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 			log.Fatal(err)
 		}
 		runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
-			*metricsOut, *monitorAddr)
+			*metricsOut, *monitorAddr, *faultsPath, *faultSeed)
 		return
 	}
 
@@ -99,18 +101,53 @@ func main() {
 	}
 
 	runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
-		*metricsOut, *monitorAddr)
+		*metricsOut, *monitorAddr, *faultsPath, *faultSeed)
 }
 
 // runAndReport executes one simulation and prints the result block.
 func runAndReport(cfg triosim.Config, validate, memCheck bool,
-	timelineOut, timelineHTML, metricsOut, monitorAddr string) {
+	timelineOut, timelineHTML, metricsOut, monitorAddr,
+	faultsPath string, faultSeed int64) {
 	plat := cfg.Platform
 	// The sim core never reads the host clock (triosimvet: no-wallclock);
 	// the WallClock metric is opt-in from the boundary.
 	cfg.Clock = time.Now
 	if metricsOut != "" {
 		cfg.Telemetry = true
+	}
+	// Fault injection runs a fault-free baseline first: it sizes seeded
+	// schedules (the generator needs a horizon) and anchors the slowdown
+	// comparison printed below.
+	var faultBase *triosim.Result
+	if faultsPath != "" || faultSeed != 0 {
+		bcfg := cfg
+		bcfg.Faults = nil
+		base, err := triosim.Simulate(bcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faultBase = base
+		if faultsPath != "" {
+			sched, err := triosim.LoadFaultSchedule(faultsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Faults = sched
+		} else {
+			topo := triosim.BuildTopology(cfg.Platform)
+			sched, err := triosim.GenerateFaults(faultSeed,
+				triosim.FaultGenConfig{
+					NumGPUs:      len(topo.GPUs()),
+					NumLinks:     len(topo.Links),
+					Horizon:      base.TotalTime,
+					LinkDegrades: 1,
+					GPUSlowdowns: 1,
+				})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Faults = sched
+		}
 	}
 	var mon *monitor.RTM
 	if monitorAddr != "" {
@@ -146,6 +183,21 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 	fmt.Printf("host staging:    %v\n", res.HostLoadTime)
 	fmt.Printf("simulator:       %d tasks, %d events, %v wall clock\n",
 		res.Tasks, res.Events, res.WallClock)
+
+	if cfg.Faults != nil {
+		fmt.Printf("faults:          %d windows, %d failures\n",
+			len(cfg.Faults.Windows()), len(cfg.Faults.Failures()))
+		if faultBase != nil {
+			fmt.Printf("fault-free:      %v (slowdown ×%.3f)\n",
+				faultBase.TotalTime,
+				float64(res.TotalTime)/float64(faultBase.TotalTime))
+		}
+		if rr := res.Resilience; rr != nil {
+			fmt.Printf("goodput:         %.3f (extended %v: useful %v, ckpt %v, replay %v, restart %v)\n",
+				res.Goodput, rr.TotalTime, rr.UsefulTime,
+				rr.CheckpointTime, rr.ReplayTime, rr.RestartTime)
+		}
+	}
 
 	if metricsOut != "" && res.Report != nil {
 		f, err := os.Create(metricsOut)

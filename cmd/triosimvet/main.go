@@ -22,8 +22,10 @@ import (
 	"path/filepath"
 
 	"triosim/internal/core"
+	"triosim/internal/faults"
 	"triosim/internal/gpu"
 	"triosim/internal/lint"
+	"triosim/internal/sim"
 	"triosim/internal/telemetry"
 )
 
@@ -35,6 +37,10 @@ func main() {
 		replayModel = flag.String("replay-model", "resnet18",
 			"model zoo workload for -replay")
 		replayRuns = flag.Int("replay-runs", 2, "simulation repetitions for -replay")
+		replayFaults = flag.Bool("replay-faults", false,
+			"with -replay: also check fault-injection determinism (no-op schedule identity + seeded-schedule replay)")
+		replayFaultSeed = flag.Int64("replay-fault-seed", 7,
+			"fault-generator seed for -replay-faults")
 		reportPath = flag.String("report", "",
 			"validate a telemetry RunReport JSON file instead of static analysis")
 	)
@@ -44,7 +50,8 @@ func main() {
 		os.Exit(runReportCheck(*reportPath))
 	}
 	if *replay {
-		os.Exit(runReplay(*replayModel, *replayRuns))
+		os.Exit(runReplay(*replayModel, *replayRuns, *replayFaults,
+			*replayFaultSeed))
 	}
 	os.Exit(runLint(*jsonOut))
 }
@@ -116,7 +123,8 @@ func runLint(jsonOut bool) int {
 // runReplay is the runtime half of the determinism gate: the same
 // configuration simulated repeatedly must dispatch a byte-identical event
 // schedule (same FNV-1a digest) and predict the same time.
-func runReplay(model string, runs int) int {
+func runReplay(model string, runs int, withFaults bool,
+	faultSeed int64) int {
 	if runs < 2 {
 		fmt.Fprintln(os.Stderr, "triosimvet: -replay-runs must be >= 2")
 		return 2
@@ -166,6 +174,78 @@ func runReplay(model string, runs int) int {
 	}
 	fmt.Printf("replay ok: %s ×%d runs (+1 with telemetry), digest %#x, %d events, %v simulated\n",
 		model, runs, first.EventDigest, first.Events, first.TotalTime)
+	if withFaults {
+		return runFaultReplay(cfg, first, faultSeed)
+	}
+	return 0
+}
+
+// runFaultReplay extends the replay gate to fault injection: a no-op fault
+// schedule must leave the event schedule bit-identical, and an effective
+// seeded schedule must itself replay to the same digest twice.
+func runFaultReplay(cfg core.Config, base *core.Result, seed int64) int {
+	// Leg 1: empty / factor-1 schedules arm nothing.
+	noop := cfg
+	noop.Faults = &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.LinkDegrade, Link: 0, Factor: 1,
+			Start: sim.MSec, Duration: sim.MSec},
+		{Kind: faults.GPUSlowdown, GPU: 0, Factor: 1,
+			Start: sim.MSec, Duration: sim.MSec},
+	}}
+	nres, err := core.Simulate(noop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-faults:", err)
+		return 2
+	}
+	if nres.EventDigest != base.EventDigest || nres.Events != base.Events {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: no-op fault schedule perturbed the run: digest %#x (%d events) vs %#x (%d events)\n",
+			nres.EventDigest, nres.Events, base.EventDigest, base.Events)
+		return 1
+	}
+
+	// Leg 2: a seeded effective schedule replays to the same digest.
+	topo := core.BuildTopology(cfg.Platform)
+	sched, err := faults.Generate(seed, faults.GenConfig{
+		NumGPUs:      len(topo.GPUs()),
+		NumLinks:     len(topo.Links),
+		Horizon:      base.TotalTime,
+		LinkDegrades: 1,
+		GPUSlowdowns: 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-faults:", err)
+		return 2
+	}
+	fcfg := cfg
+	fcfg.Faults = sched
+	first, err := core.Simulate(fcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-faults:", err)
+		return 2
+	}
+	again, err := core.Simulate(fcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-faults:", err)
+		return 2
+	}
+	if first.EventDigest != again.EventDigest ||
+		first.Events != again.Events ||
+		first.TotalTime != again.TotalTime {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: fault replay divergence: digest %#x (%d events, %v) vs %#x (%d events, %v)\n",
+			again.EventDigest, again.Events, again.TotalTime,
+			first.EventDigest, first.Events, first.TotalTime)
+		return 1
+	}
+	if first.EventDigest == base.EventDigest {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: seeded fault schedule (seed %d) had no effect on the digest\n",
+			seed)
+		return 1
+	}
+	fmt.Printf("fault replay ok: no-op identity + seed %d ×2 runs, digest %#x, %d events, %v simulated\n",
+		seed, first.EventDigest, first.Events, first.TotalTime)
 	return 0
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"triosim/internal/extrapolator"
+	"triosim/internal/faults"
 	"triosim/internal/gpu"
 	"triosim/internal/hwsim"
 	"triosim/internal/memory"
@@ -111,6 +112,13 @@ type Config struct {
 	// the context's error. internal/sweep uses this for per-scenario timeouts
 	// and sweep-wide cancellation. Nil means no cancellation.
 	Context context.Context
+	// Faults optionally injects a deterministic fault schedule: degraded or
+	// dead links re-solve the flow network's fair shares mid-run, GPU
+	// slowdown windows stretch compute tasks (stragglers), and GPUFail
+	// events drive the checkpoint/restart resilience overlay
+	// (Result.Resilience, Result.Goodput). An empty or all-no-op schedule
+	// leaves the run bit-identical to Faults being nil. See docs/RESILIENCE.md.
+	Faults *faults.Schedule
 }
 
 // telemetryOn reports whether a Collector should run.
@@ -169,6 +177,14 @@ type Result struct {
 	// Report is the structured telemetry RunReport (nil unless
 	// Config.Telemetry or Config.Metrics enabled collection).
 	Report *telemetry.RunReport
+	// Resilience is the checkpoint/restart overlay's accounting (nil unless
+	// Config.Faults was set): the makespan extended with checkpoint pauses,
+	// failure restarts, and replayed work.
+	Resilience *faults.ResilienceResult
+	// Goodput is useful vtime / total vtime under the fault schedule (1
+	// when no failure fired and no checkpoint policy was set). Zero unless
+	// Config.Faults was set.
+	Goodput float64
 }
 
 // BuildTopology constructs the platform's default interconnect.
@@ -256,8 +272,11 @@ func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
 }
 
 // execute runs a task graph over the platform network and packages results.
+// ckptCost is the resolved per-checkpoint pause for the resilience overlay
+// (zero when Config.Faults carries no checkpoint policy).
 func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
-	rampBytes float64, collLog *telemetry.CollectiveLog) (*Result, error) {
+	rampBytes float64, collLog *telemetry.CollectiveLog,
+	ckptCost sim.VTime) (*Result, error) {
 
 	var start time.Time
 	if cfg.Clock != nil {
@@ -270,6 +289,28 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	net.RampBytes = rampBytes
 	tl := timeline.New()
 	x := task.NewExecutor(eng, net, res.Graph, tl)
+
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		var err error
+		inj, err = faults.NewInjector(eng, net, cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		// Straggler model: compute durations stretch by the enclosing
+		// GPUSlowdown window's factor. Link windows become engine events
+		// that rewrite bandwidth and re-solve the fair shares; an empty
+		// schedule arms nothing and the run stays digest-identical.
+		x.Stretch = inj.Factor
+		inj.Arm()
+		for _, w := range inj.Windows() {
+			tl.Add(faults.TimelineResource, w.Label(), "fault", w.Start, w.End)
+		}
+		for _, f := range inj.Failures() {
+			tl.Add(faults.TimelineResource, faults.FailLabel(f), "fault",
+				f.At, f.At)
+		}
+	}
 
 	var coll *telemetry.Collector
 	if cfg.telemetryOn() {
@@ -328,6 +369,23 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	if cfg.Clock != nil {
 		out.WallClock = cfg.Clock().Sub(start)
 	}
+	if cfg.Faults != nil {
+		rc := faults.ResilienceConfig{Work: makespan}
+		if cp := cfg.Faults.Checkpoint; cp != nil {
+			rc.Interval = cp.Interval
+			rc.CheckpointCost = ckptCost
+			rc.RestartCost = cp.Restart
+		}
+		for _, f := range inj.Failures() {
+			rc.Failures = append(rc.Failures, f.At)
+		}
+		rres, err := faults.Evaluate(rc)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		out.Resilience = rres
+		out.Goodput = rres.Goodput
+	}
 	if coll != nil {
 		numGPUs := cfg.NumGPUs
 		if cfg.Parallelism == Single {
@@ -351,8 +409,48 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 			out.Report.Engine.EventsPerSecond =
 				float64(out.Events) / out.Report.Engine.WallSeconds
 		}
+		if cfg.Faults != nil {
+			out.Report.Faults = faultReport(inj, out.Resilience, makespan)
+		}
 	}
 	return out, nil
+}
+
+// faultReport converts the injector's windows and the resilience overlay's
+// accounting into the telemetry RunReport section.
+func faultReport(inj *faults.Injector, rr *faults.ResilienceResult,
+	makespan sim.VTime) *telemetry.FaultReport {
+
+	ws := inj.Windows()
+	fr := &telemetry.FaultReport{
+		DegradedSec:   faults.DegradedSeconds(ws, makespan),
+		Failures:      rr.Failures,
+		Checkpoints:   rr.Checkpoints,
+		CheckpointSec: rr.CheckpointTime.Seconds(),
+		ReplaySec:     rr.ReplayTime.Seconds(),
+		RestartSec:    rr.RestartTime.Seconds(),
+		UsefulSec:     rr.UsefulTime.Seconds(),
+		ExtendedSec:   rr.TotalTime.Seconds(),
+		Goodput:       rr.Goodput,
+	}
+	for _, w := range ws {
+		fr.Windows = append(fr.Windows, telemetry.FaultWindow{
+			Kind:     string(w.Kind),
+			Resource: w.ResourceName(),
+			Factor:   w.Factor,
+			StartSec: w.Start.Seconds(),
+			EndSec:   w.End.Seconds(),
+		})
+	}
+	for _, f := range inj.Failures() {
+		fr.Windows = append(fr.Windows, telemetry.FaultWindow{
+			Kind:     string(faults.GPUFail),
+			Resource: fmt.Sprintf("gpu%d", f.GPU),
+			StartSec: f.At.Seconds(),
+			EndSec:   f.At.Seconds(),
+		})
+	}
+	return fr
 }
 
 // Simulate is TrioSim's prediction path: fit Li's Model on the single-GPU
@@ -421,7 +519,27 @@ func Simulate(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(cfg, topo, eres, 0, collLog)
+	return execute(cfg, topo, eres, 0, collLog, checkpointCost(cfg, tr))
+}
+
+// checkpointCost resolves the per-checkpoint pause for the resilience
+// overlay. An explicit Checkpoint.Cost wins; zero derives it from the
+// checkpointed state's size — weights plus optimizer state, the tensors a
+// training checkpoint must persist — moved over the host staging path.
+func checkpointCost(cfg Config, tr *trace.Trace) sim.VTime {
+	if cfg.Faults == nil || cfg.Faults.Checkpoint == nil {
+		return 0
+	}
+	if cp := cfg.Faults.Checkpoint; cp.Cost.After(0) {
+		return cp.Cost
+	}
+	// Optimizer state mirrors memory.Estimate's default: 4 bytes/param
+	// (SGD with momentum), the same size as the fp32 weights.
+	bytes := 2 * float64(tr.WeightBytes())
+	if cfg.Platform.HostBandwidth <= 0 {
+		return 0
+	}
+	return cfg.Platform.HostLatency + sim.VTime(bytes/cfg.Platform.HostBandwidth)
 }
 
 // GroundTruth is the reference-hardware path standing in for the paper's
@@ -462,7 +580,8 @@ func GroundTruth(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(gcfg, topo, eres, effects.CommRampBytes, collLog)
+	return execute(gcfg, topo, eres, effects.CommRampBytes, collLog,
+		checkpointCost(gcfg, tr))
 }
 
 func hybridGroups(cfg Config) int {

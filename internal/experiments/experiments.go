@@ -12,6 +12,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"triosim/internal/faults"
 )
 
 // Row is one data point of a figure: a workload under a configuration, with
@@ -162,6 +164,19 @@ func All(quick bool) []Runner { return AllOpts(quick, Serial) }
 // run. Fig14 ignores the options — it measures per-simulation wall clock,
 // which parallel contention would distort.
 func AllOpts(quick bool, opts Options) []Runner {
+	return allRunners(quick, opts, nil, 0)
+}
+
+// AllFaults is AllOpts with a custom fault schedule and/or a fault-generator
+// seed threaded into the resilience figure's scenario grid (the CLI's
+// -faults / -fault-seed flags).
+func AllFaults(quick bool, opts Options, custom *faults.Schedule,
+	faultSeed int64) []Runner {
+	return allRunners(quick, opts, custom, faultSeed)
+}
+
+func allRunners(quick bool, opts Options, custom *faults.Schedule,
+	faultSeed int64) []Runner {
 	return []Runner{
 		{"table1", func() (*Figure, error) { return Table1Opts(quick, opts) }},
 		{"fig6", func() (*Figure, error) { return Fig6Opts(quick, opts) }},
@@ -175,6 +190,9 @@ func AllOpts(quick bool, opts Options) []Runner {
 		{"fig14", func() (*Figure, error) { return Fig14(quick) }},
 		{"fig15", func() (*Figure, error) { return Fig15Opts(quick, opts) }},
 		{"fig16", func() (*Figure, error) { return Fig16Opts(quick, opts) }},
+		{"resilience", func() (*Figure, error) {
+			return ResilienceOpts(quick, opts, custom, faultSeed)
+		}},
 	}
 }
 

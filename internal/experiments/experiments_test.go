@@ -260,8 +260,9 @@ func TestFigurePrinting(t *testing.T) {
 
 func TestAllRunnersRegistered(t *testing.T) {
 	rs := All(true)
-	if len(rs) != 12 {
-		t.Fatalf("runners = %d, want 12 (table1 + fig6..fig16)", len(rs))
+	if len(rs) != 13 {
+		t.Fatalf("runners = %d, want 13 (table1 + fig6..fig16 + resilience)",
+			len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

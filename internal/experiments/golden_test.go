@@ -113,6 +113,15 @@ func TestGoldenFig7(t *testing.T) {
 	})
 }
 
+func TestGoldenResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure regeneration; run without -short")
+	}
+	checkGolden(t, "resilience", func(o Options) (*Figure, error) {
+		return ResilienceOpts(true, o, nil, 0)
+	})
+}
+
 // The acceptance criterion for the sweep engine: a quick-mode figure run is
 // at least 2× faster in parallel than serially on a machine with ≥4 cores.
 // The comparison uses Fig7 (a pure per-model grid with no shared stages).

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"triosim/internal/core"
+	"triosim/internal/faults"
+	"triosim/internal/gpu"
+	"triosim/internal/sim"
+	"triosim/internal/sweep"
+)
+
+// Resilience — fault-injection and checkpoint/restart study (not a paper
+// figure; this reproduction's resilience extension, see docs/RESILIENCE.md).
+// Each workload runs fault-free and under a grid of canonical fault
+// scenarios (stragglers, link degradation, outage, GPU failure with
+// checkpointing); the figure reports the slowdown and goodput of each.
+func Resilience(quick bool) (*Figure, error) {
+	return ResilienceOpts(quick, Serial, nil, 0)
+}
+
+// faultScenario builds one grid cell's schedule from the workload's
+// fault-free makespan (so windows scale with the run).
+type faultScenario struct {
+	name  string
+	build func(h sim.VTime) *faults.Schedule
+}
+
+// resilienceScenarios is the canonical grid. h is the fault-free makespan.
+func resilienceScenarios() []faultScenario {
+	return []faultScenario{
+		{"baseline", func(sim.VTime) *faults.Schedule { return nil }},
+		{"straggler-1.5x", func(h sim.VTime) *faults.Schedule {
+			return &faults.Schedule{Events: []faults.Event{{
+				Kind: faults.GPUSlowdown, GPU: 1, Factor: 1.5,
+				Start: h / 4, Duration: h,
+			}}}
+		}},
+		{"straggler-2x", func(h sim.VTime) *faults.Schedule {
+			return &faults.Schedule{Events: []faults.Event{{
+				Kind: faults.GPUSlowdown, GPU: 1, Factor: 2,
+				Start: h / 4, Duration: h,
+			}}}
+		}},
+		{"link-degrade-4x", func(h sim.VTime) *faults.Schedule {
+			return &faults.Schedule{Events: []faults.Event{{
+				Kind: faults.LinkDegrade, Link: 0, Factor: 4,
+				Start: h / 4, Duration: h,
+			}}}
+		}},
+		{"link-down", func(h sim.VTime) *faults.Schedule {
+			return &faults.Schedule{Events: []faults.Event{{
+				Kind: faults.LinkDown, Link: 0,
+				Start: h / 4, Duration: h / 4,
+			}}}
+		}},
+		{"gpu-fail+ckpt", func(h sim.VTime) *faults.Schedule {
+			return &faults.Schedule{
+				Events: []faults.Event{{
+					Kind: faults.GPUFail, GPU: 0, Start: h / 2,
+				}},
+				Checkpoint: &faults.Checkpoint{
+					Interval: h / 5, Restart: h / 10,
+				},
+			}
+		}},
+	}
+}
+
+func resilienceModels(quick bool) []string {
+	if quick {
+		return []string{"resnet18"}
+	}
+	return []string{"resnet50", "gpt2"}
+}
+
+// ResilienceOpts is Resilience with sweep options plus two CLI hooks: a
+// custom schedule (injected as an extra "custom" scenario) and a generator
+// seed (an extra "seeded" scenario from faults.Generate, sized to each
+// workload's fault-free horizon).
+func ResilienceOpts(quick bool, opts Options, custom *faults.Schedule,
+	seed int64) (*Figure, error) {
+
+	f := &Figure{
+		ID:      "resilience",
+		Title:   "Fault injection: slowdown and goodput per scenario",
+		Columns: []string{"total_s", "slowdown", "goodput", "degraded_s"},
+	}
+	scenarios := resilienceScenarios()
+	if custom != nil {
+		scenarios = append(scenarios, faultScenario{"custom",
+			func(sim.VTime) *faults.Schedule { return custom }})
+	}
+	if seed != 0 {
+		scenarios = append(scenarios, faultScenario{
+			fmt.Sprintf("seeded-%d", seed),
+			func(h sim.VTime) *faults.Schedule {
+				p := gpu.P1
+				topo := core.BuildTopology(&p)
+				s, err := faults.Generate(seed, faults.GenConfig{
+					NumGPUs:      len(topo.GPUs()),
+					NumLinks:     len(topo.Links),
+					Horizon:      h,
+					LinkDegrades: 1,
+					GPUSlowdowns: 1,
+					GPUFails:     1,
+					Checkpoint:   &faults.Checkpoint{Interval: h / 5},
+				})
+				if err != nil {
+					// The generator only fails on config errors; surface it
+					// as an (invalid) empty schedule so the cell reports it.
+					return &faults.Schedule{Events: []faults.Event{{
+						Kind: "generate-failed"}}}
+				}
+				return s
+			}})
+	}
+	type cellID struct {
+		model    string
+		scenario int
+	}
+	var grid []cellID
+	for _, m := range resilienceModels(quick) {
+		for si := range scenarios {
+			grid = append(grid, cellID{m, si})
+		}
+	}
+	cells := make([]sweep.Job[vals], len(grid))
+	for i, c := range grid {
+		c := c
+		cells[i] = func(ctx context.Context) (vals, error) {
+			sc := scenarios[c.scenario]
+			p := gpu.P1
+			cfg := core.Config{
+				Model:       c.model,
+				Platform:    &p,
+				Parallelism: core.DDP,
+				TraceBatch:  traceBatchFor(c.model),
+				Context:     ctx,
+			}
+			// Fault-free baseline anchors the horizon and the slowdown.
+			base, err := core.Simulate(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("resilience/%s/%s: %w", c.model,
+					sc.name, err)
+			}
+			cfg.Faults = sc.build(base.TotalTime)
+			res := base
+			if cfg.Faults != nil {
+				if res, err = core.Simulate(cfg); err != nil {
+					return nil, fmt.Errorf("resilience/%s/%s: %w", c.model,
+						sc.name, err)
+				}
+			}
+			v := vals{
+				"total_s":  float64(res.TotalTime),
+				"slowdown": float64(res.TotalTime) / float64(base.TotalTime),
+				"goodput":  1,
+			}
+			if res.Goodput > 0 {
+				v["goodput"] = res.Goodput
+			}
+			if cfg.Faults != nil {
+				v["degraded_s"] = faults.DegradedSeconds(
+					cfg.Faults.Windows(), res.TotalTime)
+			}
+			// Goodput reflects the extended (checkpoint/restart) run, so the
+			// row's total follows it when failures occurred.
+			if res.Resilience != nil && res.Resilience.Failures > 0 {
+				v["total_s"] = float64(res.Resilience.TotalTime)
+				v["slowdown"] = float64(res.Resilience.TotalTime) /
+					float64(base.TotalTime)
+			}
+			return v, nil
+		}
+	}
+	out, err := runCells(opts, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		f.Add(c.model, scenarios[c.scenario].name, out[i])
+	}
+	f.Note("avg straggler-2x slowdown: %.3f",
+		f.MeanValue("slowdown", "straggler-2x"))
+	f.Note("avg gpu-fail+ckpt goodput: %.3f",
+		f.MeanValue("goodput", "gpu-fail+ckpt"))
+	addIntervalNote(f)
+	return f, nil
+}
+
+// addIntervalNote sweeps checkpoint intervals for the first model's
+// gpu-fail scenario and records the best one next to the Young–Daly
+// approximation.
+func addIntervalNote(f *Figure) {
+	var h sim.VTime
+	for i := range f.Rows {
+		if f.Rows[i].Config == "baseline" {
+			h = sim.VTime(f.Rows[i].Get("total_s"))
+			break
+		}
+	}
+	if h.AtOrBefore(0) {
+		return
+	}
+	cost := h / 50
+	base := faults.ResilienceConfig{
+		Work:           h,
+		CheckpointCost: cost,
+		RestartCost:    h / 10,
+		Failures:       []sim.VTime{h / 2},
+	}
+	var candidates []sim.VTime
+	for _, div := range []float64{2, 4, 8, 16, 32} {
+		candidates = append(candidates, h/sim.VTime(div))
+	}
+	results := sweep.Intervals(sweep.Options{Workers: 1}, base, candidates)
+	best, err := sweep.BestInterval(results)
+	if err != nil {
+		return
+	}
+	f.Note("best checkpoint interval of %d candidates: %v (goodput %.3f); "+
+		"Young–Daly (MTBF=makespan) suggests %v", len(candidates),
+		best.Interval, best.Res.Goodput,
+		faults.OptimalInterval(cost, h))
+}

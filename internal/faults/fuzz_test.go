@@ -1,0 +1,61 @@
+package faults
+
+import "testing"
+
+// FuzzFaultSchedule drives schedule parsing and validation with arbitrary
+// documents. The contract under fuzz: malformed schedules (overlapping
+// windows, zero-duration events, out-of-range resource indices, junk kinds,
+// conflicting anchors) come back as errors — parsing and validating never
+// panic, and whatever Parse accepts, the injector-facing helpers must
+// handle without crashing.
+func FuzzFaultSchedule(f *testing.F) {
+	seeds := []string{
+		`{"events":[]}`,
+		`{"schema":"triosim.faults/v1","events":[
+			{"kind":"link-degrade","link":0,"factor":2,"start_sec":0.1,"duration_sec":0.5}]}`,
+		`{"events":[
+			{"kind":"link-down","link":1,"start_sec":0,"duration_sec":1},
+			{"kind":"gpu-slowdown","gpu":2,"factor":1.5,"start_sec":0.2,"duration_sec":0.3},
+			{"kind":"gpu-fail","gpu":0,"at_sec":0.7}],
+		 "checkpoint":{"interval_sec":0.25,"cost_sec":0.01,"restart_sec":0.05}}`,
+		// Invalid on purpose: overlap, zero duration, out-of-range, junk.
+		`{"events":[
+			{"kind":"link-down","link":0,"start_sec":0,"duration_sec":2},
+			{"kind":"link-degrade","link":0,"factor":3,"start_sec":1,"duration_sec":2}]}`,
+		`{"events":[{"kind":"gpu-slowdown","gpu":1,"factor":2,"start_sec":0,"duration_sec":0}]}`,
+		`{"events":[{"kind":"link-degrade","link":99,"factor":2,"duration_sec":1}]}`,
+		`{"events":[{"kind":"disk-melt","duration_sec":1}]}`,
+		`{"events":[{"kind":"gpu-fail","gpu":0,"at_sec":1,"start_sec":2}]}`,
+		`{"checkpoint":{"interval_sec":-1}}`,
+		`{"events":[{"kind":"link-degrade","link":-3,"factor":1e308,"start_sec":-5,"duration_sec":1}]}`,
+		`[]`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // rejected with an error: the contract held
+		}
+		// Whatever parsed must survive bounds validation and the
+		// injector-facing accessors without panicking.
+		_ = s.Validate(4, 6)
+		ws := s.Windows()
+		_ = s.Failures()
+		_ = DegradedSeconds(ws, 1e6)
+		if s.Validate(4, 6) == nil && s.Check() != nil {
+			t.Fatal("Validate passed but Check failed")
+		}
+		// Round-trip: the Spec form of an accepted schedule re-parses to
+		// the same events.
+		if s.Check() == nil {
+			spec := s.Spec()
+			if len(spec.Events) != len(s.Events) {
+				t.Fatalf("spec round-trip dropped events: %d vs %d",
+					len(spec.Events), len(s.Events))
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"triosim/internal/sim"
+)
+
+// GenConfig parameterizes the seeded stochastic schedule generator.
+type GenConfig struct {
+	// NumGPUs and NumLinks bound the resource indices (match the topology
+	// the schedule will run against).
+	NumGPUs  int
+	NumLinks int
+	// Horizon is the virtual-time span events are placed in, typically the
+	// baseline (fault-free) makespan.
+	Horizon sim.VTime
+
+	// Event counts per kind.
+	LinkDegrades int
+	LinkDowns    int
+	GPUSlowdowns int
+	GPUFails     int
+
+	// MaxFactor bounds LinkDegrade/GPUSlowdown multipliers; factors are
+	// drawn uniformly from [1.25, MaxFactor] so every generated event
+	// actually perturbs the run. Default 4.
+	MaxFactor float64
+	// MinDuration and MaxDuration bound window lengths. Defaults:
+	// Horizon/20 and Horizon/4.
+	MinDuration sim.VTime
+	MaxDuration sim.VTime
+
+	// Checkpoint, when non-nil, is copied onto the generated schedule.
+	Checkpoint *Checkpoint
+}
+
+// maxPlaceAttempts bounds rejection sampling against per-resource overlaps.
+const maxPlaceAttempts = 64
+
+// Generate materializes a stochastic fault schedule from a seed. Every
+// random draw happens here, before any simulation runs — the returned
+// schedule is plain data, so replaying the same seed and config reproduces
+// the identical schedule (and therefore the identical event digest).
+func Generate(seed int64, cfg GenConfig) (*Schedule, error) {
+	if cfg.Horizon.AtOrBefore(0) {
+		return nil, fmt.Errorf("faults: generate: horizon %v must be > 0",
+			cfg.Horizon)
+	}
+	if cfg.LinkDegrades+cfg.LinkDowns > 0 && cfg.NumLinks <= 0 {
+		return nil, fmt.Errorf("faults: generate: link events need NumLinks > 0")
+	}
+	if cfg.GPUSlowdowns+cfg.GPUFails > 0 && cfg.NumGPUs <= 0 {
+		return nil, fmt.Errorf("faults: generate: gpu events need NumGPUs > 0")
+	}
+	if cfg.MaxFactor == 0 {
+		cfg.MaxFactor = 4
+	}
+	if cfg.MaxFactor < 1.25 {
+		return nil, fmt.Errorf("faults: generate: max factor %g must be >= 1.25",
+			cfg.MaxFactor)
+	}
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = cfg.Horizon / 20
+	}
+	if cfg.MaxDuration == 0 {
+		cfg.MaxDuration = cfg.Horizon / 4
+	}
+	if cfg.MinDuration.AtOrBefore(0) || cfg.MaxDuration.Before(cfg.MinDuration) {
+		return nil, fmt.Errorf("faults: generate: bad duration range [%v, %v]",
+			cfg.MinDuration, cfg.MaxDuration)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{}
+	// busy tracks placed windows per resource key for rejection sampling.
+	busy := map[string][]Window{}
+	place := func(kind Kind, count int, numRes int) error {
+		for n := 0; n < count; n++ {
+			placed := false
+			for attempt := 0; attempt < maxPlaceAttempts; attempt++ {
+				res := rng.Intn(numRes)
+				dur := cfg.MinDuration +
+					sim.VTime(rng.Float64())*(cfg.MaxDuration-cfg.MinDuration)
+				start := sim.VTime(rng.Float64()) * (cfg.Horizon - dur).Max(0)
+				key := fmt.Sprintf("%v%d", kind.usesLink(), res)
+				if overlapsAny(busy[key], start, start+dur) {
+					continue
+				}
+				busy[key] = append(busy[key], Window{Start: start, End: start + dur})
+				e := Event{Kind: kind, Start: start, Duration: dur}
+				if kind.usesLink() {
+					e.Link = res
+				} else {
+					e.GPU = res
+				}
+				if kind.usesFactor() {
+					e.Factor = 1.25 + rng.Float64()*(cfg.MaxFactor-1.25)
+				}
+				s.Events = append(s.Events, e)
+				placed = true
+				break
+			}
+			if !placed {
+				return fmt.Errorf(
+					"faults: generate: could not place %s %d/%d without overlap",
+					kind, n+1, count)
+			}
+		}
+		return nil
+	}
+	if err := place(LinkDegrade, cfg.LinkDegrades, cfg.NumLinks); err != nil {
+		return nil, err
+	}
+	if err := place(LinkDown, cfg.LinkDowns, cfg.NumLinks); err != nil {
+		return nil, err
+	}
+	if err := place(GPUSlowdown, cfg.GPUSlowdowns, cfg.NumGPUs); err != nil {
+		return nil, err
+	}
+	for n := 0; n < cfg.GPUFails; n++ {
+		s.Events = append(s.Events, Event{
+			Kind:  GPUFail,
+			GPU:   rng.Intn(cfg.NumGPUs),
+			Start: sim.VTime(rng.Float64()) * cfg.Horizon,
+		})
+	}
+	if cfg.Checkpoint != nil {
+		cp := *cfg.Checkpoint
+		s.Checkpoint = &cp
+	}
+	if err := s.Validate(cfg.NumGPUs, cfg.NumLinks); err != nil {
+		return nil, fmt.Errorf("faults: generate: internal: %w", err)
+	}
+	return s, nil
+}
+
+// overlapsAny reports whether [start, end) intersects any placed window.
+func overlapsAny(ws []Window, start, end sim.VTime) bool {
+	for _, w := range ws {
+		if start.Before(w.End) && w.Start.Before(end) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"triosim/internal/sim"
+)
+
+// ResilienceConfig feeds the checkpoint/restart overlay: an analytic
+// post-processing model that extends a run's makespan (Work) with
+// checkpoint pauses, failure-triggered restarts, and replayed work. It is
+// deliberately outside the event engine — failures restart the whole job
+// from the last checkpoint on healthy hardware, so the simulated schedule
+// itself is unchanged and stays digest-stable.
+type ResilienceConfig struct {
+	// Work is the useful virtual time the job needs (the fault-free
+	// makespan).
+	Work sim.VTime
+	// Interval is the useful work between checkpoints (0 = no checkpoints:
+	// every failure restarts from scratch).
+	Interval sim.VTime
+	// CheckpointCost is the pause per checkpoint.
+	CheckpointCost sim.VTime
+	// RestartCost is the fixed overhead per failure before replay begins.
+	RestartCost sim.VTime
+	// Failures are absolute instants on the extended timeline. Failures at
+	// or after job completion are ignored.
+	Failures []sim.VTime
+}
+
+// ResilienceResult is the overlay's accounting. UsefulTime + CheckpointTime
+// + ReplayTime + RestartTime == TotalTime, and UsefulTime == Work when the
+// job completes.
+type ResilienceResult struct {
+	// TotalTime is the extended end-to-end time including recovery.
+	TotalTime sim.VTime
+	// UsefulTime is first-time (non-replayed) work.
+	UsefulTime sim.VTime
+	// CheckpointTime is the sum of checkpoint pauses.
+	CheckpointTime sim.VTime
+	// ReplayTime is re-done work (progress lost to failures).
+	ReplayTime sim.VTime
+	// RestartTime is the sum of per-failure restart overheads.
+	RestartTime sim.VTime
+	// Checkpoints and Failures count completed checkpoints and failures
+	// that actually fired.
+	Checkpoints int
+	Failures    int
+	// Goodput is UsefulTime / TotalTime in [0, 1]; 1 when nothing happened.
+	Goodput float64
+}
+
+// maxResilienceSteps bounds the overlay walk (each step is one work
+// segment, checkpoint, or failure); hitting it means the interval is
+// pathologically fine relative to the work span.
+const maxResilienceSteps = 2_000_000
+
+// Evaluate walks the checkpoint/restart timeline: work advances toward the
+// next checkpoint boundary or completion, failures interrupt segments and
+// roll progress back to the last checkpoint (plus a restart cost), and
+// re-done work is charged as replay. Deterministic: plain arithmetic over
+// the materialized failure list.
+func Evaluate(cfg ResilienceConfig) (*ResilienceResult, error) {
+	if cfg.Work.Before(0) {
+		return nil, fmt.Errorf("faults: resilience: negative work %v", cfg.Work)
+	}
+	if cfg.Interval.Before(0) || cfg.CheckpointCost.Before(0) ||
+		cfg.RestartCost.Before(0) {
+		return nil, fmt.Errorf("faults: resilience: negative interval or cost")
+	}
+	fails := append([]sim.VTime(nil), cfg.Failures...)
+	sort.Slice(fails, func(i, j int) bool { return fails[i].Before(fails[j]) })
+	for _, f := range fails {
+		if f.Before(0) {
+			return nil, fmt.Errorf("faults: resilience: negative failure time %v", f)
+		}
+	}
+
+	res := &ResilienceResult{}
+	var t sim.VTime    // extended-timeline clock
+	var done sim.VTime // progress since the last restart point
+	var ckpt sim.VTime // durable progress at the last checkpoint
+	var high sim.VTime // highest progress ever reached (replay classifier)
+	fi := 0
+	// credit splits a progress increment into replay (below high) and
+	// first-time work.
+	credit := func(p sim.VTime) {
+		replay := (high - done).Max(0).Min(p)
+		res.ReplayTime += replay
+		res.UsefulTime += p - replay
+	}
+	for steps := 0; done.Before(cfg.Work); steps++ {
+		if steps >= maxResilienceSteps {
+			return nil, fmt.Errorf(
+				"faults: resilience walk exceeded %d steps (checkpoint "+
+					"interval too fine for the work span?)", maxResilienceSteps)
+		}
+		// Next milestone: completion, or the next checkpoint boundary.
+		target := cfg.Work
+		checkpointing := false
+		if cfg.Interval.After(0) {
+			if next := ckpt + cfg.Interval; next.Before(target) {
+				target = next
+				checkpointing = true
+			}
+		}
+		segEnd := t + (target - done)
+		if fi < len(fails) && fails[fi].Before(segEnd) {
+			// Failure interrupts the segment (or fires immediately if it
+			// landed inside a checkpoint/restart pause already behind t).
+			at := fails[fi].Max(t)
+			prog := at - t
+			credit(prog)
+			done += prog
+			high = high.Max(done)
+			res.Failures++
+			res.RestartTime += cfg.RestartCost
+			t = at + cfg.RestartCost
+			done = ckpt
+			fi++
+			continue
+		}
+		credit(target - done)
+		t = segEnd
+		done = target
+		high = high.Max(done)
+		if checkpointing {
+			res.Checkpoints++
+			res.CheckpointTime += cfg.CheckpointCost
+			t += cfg.CheckpointCost
+			ckpt = done
+		}
+	}
+	res.TotalTime = t
+	if t.After(0) {
+		res.Goodput = float64(res.UsefulTime) / float64(t)
+	} else {
+		res.Goodput = 1
+	}
+	return res, nil
+}
+
+// OptimalInterval is the Young–Daly first-order optimum for the checkpoint
+// interval: sqrt(2 × checkpoint cost × MTBF). Zero when either input is
+// non-positive.
+func OptimalInterval(checkpointCost, mtbf sim.VTime) sim.VTime {
+	if checkpointCost.AtOrBefore(0) || mtbf.AtOrBefore(0) {
+		return 0
+	}
+	return sim.VTime(math.Sqrt(2 * float64(checkpointCost) * float64(mtbf)))
+}

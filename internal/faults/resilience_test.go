@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"triosim/internal/sim"
+)
+
+func eval(t *testing.T, cfg ResilienceConfig) *ResilienceResult {
+	t.Helper()
+	r, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkPartition asserts the overlay's accounting identity.
+func checkPartition(t *testing.T, r *ResilienceResult) {
+	t.Helper()
+	sum := r.UsefulTime + r.CheckpointTime + r.ReplayTime + r.RestartTime
+	if math.Abs(float64(sum-r.TotalTime)) > 1e-9*math.Max(1, float64(r.TotalTime)) {
+		t.Fatalf("accounting %v+%v+%v+%v != total %v",
+			r.UsefulTime, r.CheckpointTime, r.ReplayTime, r.RestartTime,
+			r.TotalTime)
+	}
+}
+
+func TestEvaluateNoFaultsIsIdentity(t *testing.T) {
+	r := eval(t, ResilienceConfig{Work: 10 * sim.Sec})
+	if r.TotalTime != 10*sim.Sec || r.Goodput != 1 ||
+		r.Checkpoints != 0 || r.Failures != 0 {
+		t.Fatalf("identity run = %+v", r)
+	}
+	checkPartition(t, r)
+
+	zero := eval(t, ResilienceConfig{})
+	if zero.TotalTime != 0 || zero.Goodput != 1 {
+		t.Fatalf("zero-work run = %+v", zero)
+	}
+}
+
+func TestEvaluateCheckpointsOnly(t *testing.T) {
+	// 10s of work, checkpoint every 3s at 0.5s each: checkpoints complete
+	// after 3, 6, and 9s of progress (none at completion).
+	r := eval(t, ResilienceConfig{
+		Work:           10 * sim.Sec,
+		Interval:       3 * sim.Sec,
+		CheckpointCost: sim.VTime(0.5),
+	})
+	if r.Checkpoints != 3 {
+		t.Fatalf("checkpoints = %d, want 3", r.Checkpoints)
+	}
+	if r.TotalTime != sim.VTime(11.5) {
+		t.Fatalf("total = %v, want 11.5s", r.TotalTime)
+	}
+	if r.Goodput <= 0.86 || r.Goodput >= 0.88 { // 10/11.5
+		t.Fatalf("goodput = %g", r.Goodput)
+	}
+	checkPartition(t, r)
+}
+
+func TestEvaluateFailureWithoutCheckpointsRestartsFromScratch(t *testing.T) {
+	// Failure at t=4 with no checkpoints: 4s of progress lost, 1s restart,
+	// then the full 10s again — 4 replayed... no: progress lost entirely
+	// means the re-run's first 4s are replay, the rest useful.
+	r := eval(t, ResilienceConfig{
+		Work:        10 * sim.Sec,
+		RestartCost: sim.Sec,
+		Failures:    []sim.VTime{4 * sim.Sec},
+	})
+	if r.Failures != 1 {
+		t.Fatalf("failures = %d", r.Failures)
+	}
+	if r.TotalTime != 15*sim.Sec { // 4 lost + 1 restart + 10 full
+		t.Fatalf("total = %v, want 15s", r.TotalTime)
+	}
+	if r.ReplayTime != 4*sim.Sec || r.UsefulTime != 10*sim.Sec {
+		t.Fatalf("replay %v useful %v", r.ReplayTime, r.UsefulTime)
+	}
+	checkPartition(t, r)
+}
+
+func TestEvaluateFailureWithCheckpointsReplaysFromLast(t *testing.T) {
+	// Checkpoint every 3s (cost 0 to keep arithmetic plain), failure at
+	// t=5: checkpoint happened at progress 3, so 2s are lost/replayed.
+	r := eval(t, ResilienceConfig{
+		Work:        10 * sim.Sec,
+		Interval:    3 * sim.Sec,
+		RestartCost: sim.Sec,
+		Failures:    []sim.VTime{5 * sim.Sec},
+	})
+	if r.ReplayTime != 2*sim.Sec {
+		t.Fatalf("replay = %v, want 2s", r.ReplayTime)
+	}
+	// 5 run + 1 restart + 2 replay + 5 remaining = 13.
+	if r.TotalTime != 13*sim.Sec {
+		t.Fatalf("total = %v, want 13s", r.TotalTime)
+	}
+	checkPartition(t, r)
+}
+
+func TestEvaluateFailuresAfterCompletionIgnored(t *testing.T) {
+	r := eval(t, ResilienceConfig{
+		Work:     5 * sim.Sec,
+		Failures: []sim.VTime{5 * sim.Sec, 100 * sim.Sec},
+	})
+	if r.Failures != 0 || r.TotalTime != 5*sim.Sec {
+		t.Fatalf("post-completion failures counted: %+v", r)
+	}
+}
+
+func TestEvaluateRejectsNegativeInputs(t *testing.T) {
+	if _, err := Evaluate(ResilienceConfig{Work: -sim.Sec}); err == nil {
+		t.Fatal("negative work accepted")
+	}
+	if _, err := Evaluate(ResilienceConfig{
+		Work: sim.Sec, Failures: []sim.VTime{-sim.Sec},
+	}); err == nil {
+		t.Fatal("negative failure time accepted")
+	}
+	if _, err := Evaluate(ResilienceConfig{
+		Work: sim.Sec, Interval: -sim.Sec,
+	}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+func TestEvaluateStepGuardTrips(t *testing.T) {
+	_, err := Evaluate(ResilienceConfig{
+		Work:     1e6 * sim.Sec,
+		Interval: sim.NSec,
+	})
+	mustErr(t, err, "exceeded")
+}
+
+// Property: over random fault scenarios, the overlay's invariants hold —
+// the partition identity, TotalTime >= Work, UsefulTime == Work, and
+// goodput in (0, 1].
+func TestEvaluateInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		work := sim.VTime(1 + rng.Float64()*100)
+		cfg := ResilienceConfig{
+			Work:           work,
+			Interval:       sim.VTime(rng.Float64()) * work / 2,
+			CheckpointCost: sim.VTime(rng.Float64()),
+			RestartCost:    sim.VTime(rng.Float64()),
+		}
+		for i := rng.Intn(6); i > 0; i-- {
+			cfg.Failures = append(cfg.Failures,
+				sim.VTime(rng.Float64())*work*2)
+		}
+		r, err := Evaluate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v (cfg %+v)", trial, err, cfg)
+		}
+		checkPartition(t, r)
+		if r.TotalTime.Before(work) {
+			t.Fatalf("trial %d: total %v < work %v", trial, r.TotalTime, work)
+		}
+		if math.Abs(float64(r.UsefulTime-work)) > 1e-9*float64(work) {
+			t.Fatalf("trial %d: useful %v != work %v", trial, r.UsefulTime, work)
+		}
+		if r.Goodput <= 0 || r.Goodput > 1 {
+			t.Fatalf("trial %d: goodput %g", trial, r.Goodput)
+		}
+	}
+}
+
+func TestOptimalIntervalYoungDaly(t *testing.T) {
+	// sqrt(2 × 30s × 86400s) ≈ 2276.8s — the textbook example.
+	got := OptimalInterval(30*sim.Sec, 86400*sim.Sec)
+	if math.Abs(float64(got)-2276.84) > 0.1 {
+		t.Fatalf("OptimalInterval = %v", got)
+	}
+	if OptimalInterval(0, sim.Sec) != 0 || OptimalInterval(sim.Sec, 0) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}

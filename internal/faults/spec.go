@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"triosim/internal/sim"
+)
+
+// SpecSchema versions the fault-schedule JSON layout.
+const SpecSchema = "triosim.faults/v1"
+
+// EventSpec is one fault event in the JSON schedule format. Times are plain
+// seconds. GPUFail may anchor on "at_sec" instead of "start_sec".
+type EventSpec struct {
+	Kind        string  `json:"kind"`
+	Link        int     `json:"link,omitempty"`
+	GPU         int     `json:"gpu,omitempty"`
+	Factor      float64 `json:"factor,omitempty"`
+	StartSec    float64 `json:"start_sec,omitempty"`
+	AtSec       float64 `json:"at_sec,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+}
+
+// CheckpointSpec is the checkpoint policy in the JSON schedule format.
+type CheckpointSpec struct {
+	IntervalSec float64 `json:"interval_sec"`
+	// CostSec 0 derives the checkpoint cost from the model's tensor
+	// footprint over the host staging path.
+	CostSec    float64 `json:"cost_sec,omitempty"`
+	RestartSec float64 `json:"restart_sec,omitempty"`
+}
+
+// Spec is the on-disk fault schedule document.
+type Spec struct {
+	Schema     string          `json:"schema,omitempty"`
+	Events     []EventSpec     `json:"events"`
+	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
+}
+
+// Parse decodes a JSON fault schedule and runs the bounds-free validation
+// (Check). Topology bounds are checked later, when the schedule meets a
+// topology (Schedule.Validate, called by the Injector). Parse never panics:
+// malformed documents come back as errors.
+func Parse(data []byte) (*Schedule, error) {
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("faults: parse schedule: %w", err)
+	}
+	if spec.Schema != "" && spec.Schema != SpecSchema {
+		return nil, fmt.Errorf("faults: schedule schema %q, want %q",
+			spec.Schema, SpecSchema)
+	}
+	s := &Schedule{}
+	for i, es := range spec.Events {
+		start := es.StartSec
+		if Kind(es.Kind) == GPUFail && es.AtSec != 0 {
+			if es.StartSec != 0 {
+				return nil, fmt.Errorf(
+					"faults: event %d: both at_sec and start_sec set", i)
+			}
+			start = es.AtSec
+		}
+		s.Events = append(s.Events, Event{
+			Kind:     Kind(es.Kind),
+			Link:     es.Link,
+			GPU:      es.GPU,
+			Factor:   es.Factor,
+			Start:    sim.VTime(start),
+			Duration: sim.VTime(es.DurationSec),
+		})
+	}
+	if spec.Checkpoint != nil {
+		s.Checkpoint = &Checkpoint{
+			Interval: sim.VTime(spec.Checkpoint.IntervalSec),
+			Cost:     sim.VTime(spec.Checkpoint.CostSec),
+			Restart:  sim.VTime(spec.Checkpoint.RestartSec),
+		}
+	}
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load reads and parses a JSON fault schedule file.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	return Parse(data)
+}
+
+// Spec converts the schedule back to its JSON document form (round-trips
+// through Parse).
+func (s *Schedule) Spec() *Spec {
+	out := &Spec{Schema: SpecSchema}
+	for _, e := range s.Events {
+		es := EventSpec{
+			Kind:        string(e.Kind),
+			Link:        e.Link,
+			GPU:         e.GPU,
+			Factor:      e.Factor,
+			StartSec:    e.Start.Seconds(),
+			DurationSec: e.Duration.Seconds(),
+		}
+		out.Events = append(out.Events, es)
+	}
+	if e := s.Checkpoint; e != nil {
+		out.Checkpoint = &CheckpointSpec{
+			IntervalSec: e.Interval.Seconds(),
+			CostSec:     e.Cost.Seconds(),
+			RestartSec:  e.Restart.Seconds(),
+		}
+	}
+	return out
+}

@@ -248,6 +248,15 @@ func (n *FlowNetwork) scheduleReallocate(now sim.VTime) {
 	})
 }
 
+// RefreshRates re-solves the max-min fair shares at the current virtual
+// time, picking up topology bandwidth changes made mid-run (fault
+// injection, degradation experiments). The recompute is coalesced through
+// the same secondary event as flow arrivals/departures, so several
+// same-timestamp capacity changes trigger one solve.
+func (n *FlowNetwork) RefreshRates() {
+	n.scheduleReallocate(n.eng.CurrentTime())
+}
+
 // advance applies the elapsed time since the last reallocation to every
 // in-flight flow's remaining byte count.
 func (n *FlowNetwork) advance(now sim.VTime) {

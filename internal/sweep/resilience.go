@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"triosim/internal/faults"
+	"triosim/internal/sim"
+)
+
+// IntervalPoint is one checkpoint-interval candidate's resilience outcome.
+type IntervalPoint struct {
+	Interval sim.VTime
+	Res      *faults.ResilienceResult
+}
+
+// Intervals evaluates the checkpoint/restart overlay at each candidate
+// checkpoint interval on the worker pool — the Young–Daly optimal-interval
+// study: hold the workload, failure schedule, and costs fixed (base) and
+// sweep Interval. Results come back in candidate order; each evaluation is
+// pure arithmetic over materialized failure times, so the sweep is
+// byte-identical at any worker count.
+func Intervals(opts Options, base faults.ResilienceConfig,
+	candidates []sim.VTime) []Result[IntervalPoint] {
+
+	jobs := make([]Job[IntervalPoint], len(candidates))
+	for i := range candidates {
+		iv := candidates[i]
+		jobs[i] = func(ctx context.Context) (IntervalPoint, error) {
+			cfg := base
+			cfg.Interval = iv
+			r, err := faults.Evaluate(cfg)
+			if err != nil {
+				return IntervalPoint{Interval: iv},
+					fmt.Errorf("sweep: interval %v: %w", iv, err)
+			}
+			return IntervalPoint{Interval: iv, Res: r}, nil
+		}
+	}
+	return Run(opts, jobs)
+}
+
+// BestInterval returns the candidate with the highest goodput (first wins
+// on ties). Any failed evaluation fails the pick.
+func BestInterval(results []Result[IntervalPoint]) (IntervalPoint, error) {
+	var best IntervalPoint
+	for _, r := range results {
+		if r.Err != nil {
+			return IntervalPoint{}, r.Err
+		}
+		if best.Res == nil || r.Value.Res.Goodput > best.Res.Goodput {
+			best = r.Value
+		}
+	}
+	if best.Res == nil {
+		return IntervalPoint{}, fmt.Errorf("sweep: no interval candidates")
+	}
+	return best, nil
+}

@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"testing"
+
+	"triosim/internal/faults"
+	"triosim/internal/sim"
+)
+
+func TestIntervalsAndBestInterval(t *testing.T) {
+	base := faults.ResilienceConfig{
+		Work:           100 * sim.Sec,
+		CheckpointCost: sim.Sec,
+		RestartCost:    sim.Sec,
+		Failures:       []sim.VTime{30 * sim.Sec, 70 * sim.Sec},
+	}
+	candidates := []sim.VTime{50 * sim.Sec, 10 * sim.Sec, 5 * sim.Sec}
+	res := Intervals(Options{Workers: 2}, base, candidates)
+	if len(res) != len(candidates) {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("interval %v: %v", candidates[i], r.Err)
+		}
+		if r.Value.Interval != candidates[i] {
+			t.Fatalf("result %d out of order: %v", i, r.Value.Interval)
+		}
+		if g := r.Value.Res.Goodput; g <= 0 || g > 1 {
+			t.Fatalf("interval %v goodput %g", candidates[i], g)
+		}
+	}
+	best, err := BestInterval(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Value.Res.Goodput > best.Res.Goodput {
+			t.Fatalf("best %v (%g) beaten by %v (%g)", best.Interval,
+				best.Res.Goodput, r.Value.Interval, r.Value.Res.Goodput)
+		}
+	}
+
+	if _, err := BestInterval(nil); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+
+	// An invalid overlay config surfaces as a per-interval error and
+	// propagates out of BestInterval.
+	bad := base
+	bad.Work = -sim.Sec
+	badRes := Intervals(Options{Workers: 1}, bad, candidates[:1])
+	if badRes[0].Err == nil {
+		t.Fatal("invalid overlay accepted")
+	}
+	if _, err := BestInterval(badRes); err == nil {
+		t.Fatal("BestInterval swallowed the error")
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 
 	"triosim/internal/core"
 )
@@ -40,7 +41,11 @@ func Simulate(opts Options, scenarios []Scenario) []Result[SimResult] {
 			}
 			res, err := core.Simulate(cfg)
 			if err != nil {
-				return SimResult{Name: sc.Name}, err
+				// Name the scenario: a per-scenario timeout surfaces from
+				// core as a bare context error, useless in a 50-scenario
+				// sweep without saying *which* scenario it killed.
+				return SimResult{Name: sc.Name},
+					fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
 			}
 			return SimResult{Name: sc.Name, Res: res}, nil
 		}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -113,6 +114,30 @@ func TestSimulateTimeoutConfinedToScenario(t *testing.T) {
 	}
 	if !errors.Is(res[1].Err, context.Canceled) {
 		t.Fatalf("canceled scenario error = %v", res[1].Err)
+	}
+}
+
+// A scenario that times out (or fails for any reason) must be identifiable
+// from the error alone: a sweep of dozens of cells is undebuggable from a
+// bare "context deadline exceeded", so Simulate wraps the scenario name in.
+func TestScenarioErrorNamesScenario(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scs := []Scenario{{
+		Name: "the-culprit",
+		Build: func() core.Config {
+			cfg := quickScenario("the-culprit", core.DP).Build()
+			cfg.Context = ctx
+			return cfg
+		},
+	}}
+	res := Simulate(Options{Workers: 1}, scs)
+	if res[0].Err == nil ||
+		!strings.Contains(res[0].Err.Error(), "the-culprit") {
+		t.Fatalf("error %v does not name the scenario", res[0].Err)
+	}
+	if !errors.Is(res[0].Err, context.Canceled) {
+		t.Fatalf("wrapped cause lost: %v", res[0].Err)
 	}
 }
 

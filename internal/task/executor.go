@@ -27,6 +27,13 @@ type Executor struct {
 	tl    *timeline.Timeline
 	obs   []Observer
 
+	// Stretch optionally scales compute-task durations per GPU: a task
+	// starting at time at on gpu runs for Duration×Stretch(gpu, at). The
+	// factor is sampled once at task start and applies to the whole task
+	// (fault injection's straggler model). A return of 1 leaves the task
+	// untouched — bit-identical to Stretch being nil. Set before Run.
+	Stretch func(gpu int, at sim.VTime) float64
+
 	indeg     []int
 	remaining int
 	gpuQueue  map[int][]*Task
@@ -139,7 +146,13 @@ func (x *Executor) startNextCompute(gpu int, now sim.VTime) {
 	t := q[0]
 	x.gpuQueue[gpu] = q[1:]
 	x.gpuBusy[gpu] = true
-	end := now + t.Duration
+	dur := t.Duration
+	if x.Stretch != nil {
+		if f := x.Stretch(gpu, now); f != 1 {
+			dur = sim.VTime(float64(dur) * f)
+		}
+	}
+	end := now + dur
 	sim.ScheduleFunc(x.eng, end, func(done sim.VTime) error {
 		x.tl.Add(fmt.Sprintf("gpu%d", gpu), t.Label, "compute", now, done)
 		x.notify(t, now, done)

@@ -39,6 +39,9 @@ type RunReport struct {
 	Collectives []CollectiveStat `json:"collectives,omitempty"`
 	Parallel    ParallelStat     `json:"parallel"`
 	Engine      EngineStat       `json:"engine"`
+	// Faults carries fault-injection and resilience accounting (nil unless
+	// the run had a fault schedule configured).
+	Faults *FaultReport `json:"faults,omitempty"`
 
 	// Metrics is the raw registry dump backing the aggregates above.
 	Metrics []MetricPoint `json:"metrics,omitempty"`
@@ -128,6 +131,35 @@ type KindCount struct {
 	Count uint64 `json:"count"`
 }
 
+// FaultReport is the fault-injection and resilience section: which windows
+// perturbed the run, how long some hardware was degraded, and the
+// checkpoint/restart overlay's goodput accounting. The four time components
+// partition the extended timeline: UsefulSec + CheckpointSec + ReplaySec +
+// RestartSec == ExtendedSec.
+type FaultReport struct {
+	Windows       []FaultWindow `json:"windows,omitempty"`
+	DegradedSec   float64       `json:"degraded_sec"`
+	Failures      int           `json:"failures"`
+	Checkpoints   int           `json:"checkpoints"`
+	CheckpointSec float64       `json:"checkpoint_sec"`
+	ReplaySec     float64       `json:"replay_sec"`
+	RestartSec    float64       `json:"restart_sec"`
+	UsefulSec     float64       `json:"useful_sec"`
+	ExtendedSec   float64       `json:"extended_sec"`
+	// Goodput is UsefulSec / ExtendedSec in [0, 1].
+	Goodput float64 `json:"goodput"`
+}
+
+// FaultWindow is one fault event's footprint (GPUFail markers have
+// StartSec == EndSec).
+type FaultWindow struct {
+	Kind     string  `json:"kind"`
+	Resource string  `json:"resource"`
+	Factor   float64 `json:"factor,omitempty"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
 // WriteJSON writes the report as indented JSON. Field order is fixed by the
 // struct layout and slices are pre-sorted, so output is deterministic.
 func (r *RunReport) WriteJSON(w io.Writer) error {
@@ -178,6 +210,29 @@ func (r *RunReport) Validate() error {
 		if c.Ranks < 0 || c.PayloadBytes < 0 || c.MovedBytes < 0 {
 			return fmt.Errorf("telemetry: collective %s has negative fields",
 				c.Label)
+		}
+	}
+	if f := r.Faults; f != nil {
+		if f.Goodput < 0 || f.Goodput > 1+sumTolerance {
+			return fmt.Errorf("telemetry: fault goodput %g out of [0,1]",
+				f.Goodput)
+		}
+		if f.DegradedSec < 0 || f.CheckpointSec < 0 || f.ReplaySec < 0 ||
+			f.RestartSec < 0 || f.UsefulSec < 0 || f.ExtendedSec < 0 {
+			return fmt.Errorf("telemetry: fault section has negative times")
+		}
+		sum := f.UsefulSec + f.CheckpointSec + f.ReplaySec + f.RestartSec
+		tol := sumTolerance * math.Max(1e-12, f.ExtendedSec)
+		if math.Abs(sum-f.ExtendedSec) > tol {
+			return fmt.Errorf(
+				"telemetry: fault accounting sums to %g, extended total is %g",
+				sum, f.ExtendedSec)
+		}
+		for _, w := range f.Windows {
+			if w.EndSec < w.StartSec {
+				return fmt.Errorf("telemetry: fault window %s/%s ends before it starts",
+					w.Kind, w.Resource)
+			}
 		}
 	}
 	return nil

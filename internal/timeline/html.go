@@ -38,6 +38,7 @@ func (tl *Timeline) ExportHTML(w io.Writer, title string) error {
 		"compute":  "#4878cf",
 		"comm":     "#d65f5f",
 		"hostload": "#6acc65",
+		"fault":    "#ee854a",
 	}
 
 	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
@@ -56,11 +57,12 @@ table.breakdown th:first-child, table.breakdown td:first-child { text-align: lef
 <p class="legend">
 <span style="color:%s">&#9632;</span> compute&nbsp;
 <span style="color:%s">&#9632;</span> communication&nbsp;
-<span style="color:%s">&#9632;</span> host load
+<span style="color:%s">&#9632;</span> host load&nbsp;
+<span style="color:%s">&#9632;</span> fault window
 — span %s</p>
 `, html.EscapeString(title), html.EscapeString(title),
 		colors["compute"], colors["comm"], colors["hostload"],
-		(end-start).String()); err != nil {
+		colors["fault"], (end-start).String()); err != nil {
 		return err
 	}
 

@@ -16,14 +16,15 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> race hammer (sweep pool + monitor, repeated runs)"
-go test -race -count=2 ./internal/sweep/... ./internal/monitor/...
+echo "==> race hammer (sweep pool + monitor + faults, repeated runs)"
+go test -race -count=2 ./internal/sweep/... ./internal/monitor/... \
+  ./internal/faults/...
 
 echo "==> triosimvet (static determinism analyzers)"
 go run ./cmd/triosimvet ./...
 
-echo "==> triosimvet -replay (double-run event-digest check)"
-go run ./cmd/triosimvet -replay
+echo "==> triosimvet -replay (double-run event-digest check + fault injection)"
+go run ./cmd/triosimvet -replay -replay-faults
 
 echo "==> telemetry smoke (-metrics-out + RunReport schema validation)"
 tmpdir="$(mktemp -d)"

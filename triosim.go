@@ -26,6 +26,7 @@ package triosim
 
 import (
 	"triosim/internal/core"
+	"triosim/internal/faults"
 	"triosim/internal/gpu"
 	"triosim/internal/hwsim"
 	"triosim/internal/models"
@@ -147,6 +148,53 @@ func P3() *Platform { p := gpu.P3; return &p }
 func PlatformByName(name string) (*Platform, error) {
 	return gpu.PlatformByName(name)
 }
+
+// FaultSchedule is a typed set of fault events (link degradations and
+// outages, GPU stragglers and failures) plus an optional checkpoint policy.
+// Assign one to Config.Faults to inject it; see docs/RESILIENCE.md.
+type FaultSchedule = faults.Schedule
+
+// FaultEvent is a single fault in a FaultSchedule.
+type FaultEvent = faults.Event
+
+// CheckpointPolicy configures the checkpoint/restart resilience overlay.
+type CheckpointPolicy = faults.Checkpoint
+
+// FaultGenConfig parameterizes GenerateFaults.
+type FaultGenConfig = faults.GenConfig
+
+// ResilienceResult is the checkpoint/restart overlay's extended-run
+// accounting (goodput, replay/restart time), attached to Result.Resilience.
+type ResilienceResult = faults.ResilienceResult
+
+// Fault kinds for FaultEvent.Kind.
+const (
+	LinkDegrade = faults.LinkDegrade
+	LinkDown    = faults.LinkDown
+	GPUSlowdown = faults.GPUSlowdown
+	GPUFail     = faults.GPUFail
+)
+
+// LoadFaultSchedule reads a triosim.faults/v1 JSON schedule from disk.
+func LoadFaultSchedule(path string) (*FaultSchedule, error) {
+	return faults.Load(path)
+}
+
+// GenerateFaults materializes a random — but fully seeded and reproducible —
+// fault schedule up front, so the simulation itself stays deterministic.
+func GenerateFaults(seed int64, cfg FaultGenConfig) (*FaultSchedule, error) {
+	return faults.Generate(seed, cfg)
+}
+
+// OptimalCheckpointInterval is the Young–Daly approximation
+// sqrt(2 × cost × MTBF).
+func OptimalCheckpointInterval(cost, mtbf VTime) VTime {
+	return faults.OptimalInterval(cost, mtbf)
+}
+
+// BuildTopology constructs the interconnect topology Simulate would use for
+// the platform — handy for sizing fault schedules (GPU and link counts).
+func BuildTopology(p *Platform) *Topology { return core.BuildTopology(p) }
 
 // NetworkConfig parameterizes the topology builders.
 type NetworkConfig = network.Config

@@ -435,6 +435,47 @@ func BenchmarkSweepFig7Parallel(b *testing.B) {
 	})
 }
 
+// cachedGrid is a shared-workload sweep in the shape of the paper's
+// batch-size sensitivity studies: one (model, trace batch, GPU) trace
+// extrapolated to a grid of global batch sizes, so the trace cache can serve
+// every scenario after the first. InferenceOnly keeps the per-scenario
+// simulation small relative to trace collection + model fitting — the halves
+// the cache removes.
+func cachedGrid() []sweep.Scenario {
+	var scs []sweep.Scenario
+	for i := 0; i < 12; i++ {
+		batch := 16 * (i + 1)
+		scs = append(scs, sweep.Scenario{
+			Name: fmt.Sprintf("b%d", batch),
+			Build: func() Config {
+				return Config{Model: "resnet152", Platform: P2(),
+					Parallelism: SingleGPU, TraceBatch: 128,
+					GlobalBatch: batch, InferenceOnly: true}
+			},
+		})
+	}
+	return scs
+}
+
+// Cold (cache off) vs warm (cache on, the sweep default) over the shared-
+// workload grid: the warm path must hold at least a 3x allocs/op advantage —
+// the headline win of the trace cache, gated via BENCH_*.json.
+func BenchmarkSweepCached(b *testing.B) {
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := sweep.Simulate(sweep.Options{
+					Workers: 1, NoTraceCache: mode == "cold",
+				}, cachedGrid())
+				if err := sweep.FirstErr(res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Substrate micro-benches ----
 
 func BenchmarkEventEngine(b *testing.B) {
@@ -449,6 +490,36 @@ func BenchmarkEventEngine(b *testing.B) {
 		if err := eng.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchNop is a package-level handler so scheduling it never allocates a
+// closure.
+func benchNop(sim.VTime) error { return nil }
+
+// BenchmarkEngineQueue isolates the specialized event queue on the pooled
+// schedule/dispatch path: after one warm-up pass fills the funcEvent free
+// list and sizes the heap, a full schedule+drain cycle must run at
+// 0 allocs/op (gated via BENCH_*.json).
+func BenchmarkEngineQueue(b *testing.B) {
+	const events = 10000
+	eng := sim.NewSerialEngine()
+	cycle := func() {
+		base := eng.CurrentTime()
+		for j := 0; j < events; j++ {
+			// A spread of timestamps with heavy same-time collision exercises
+			// both the 4-ary sift and the same-timestamp batch pop.
+			sim.ScheduleFunc(eng, base+sim.VTime(j%7)*sim.USec, benchNop)
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cycle() // warm the free list, heap, and cohort buffer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cycle()
 	}
 }
 

@@ -6,9 +6,13 @@
 //
 // The allocation gate is strict (allocs/op is deterministic at any
 // -benchtime, so a pooling or hot-path regression shows up exactly); the
-// ns/op gate is off by default because the fixed `-benchtime 1x` runs in
-// CI are too noisy for wall-clock comparisons — enable it with
-// -max-ns-ratio for dedicated perf runs at longer benchtimes.
+// ns/op and bytes/op gates are off by default because the fixed
+// `-benchtime 1x` runs in CI are too noisy for wall-clock comparisons and
+// pooled-buffer sizing wobbles B/op — enable them with -max-ns-ratio /
+// -max-bytes-ratio for dedicated perf runs at longer benchtimes. Compare
+// mode always ends with the largest per-metric regressions sorted by
+// relative delta (-top), so the worst movers are visible even when every
+// gate passes.
 //
 // Usage:
 //
@@ -142,10 +146,23 @@ func emit(path string, benches map[string]entry) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
-// compare gates new against old. Returns the number of failures.
-func compare(w io.Writer, old, cand *snapshot,
-	allocRatio, allocSlack, nsRatio float64) int {
+// gates bundles the compare-mode thresholds and report options.
+type gates struct {
+	allocRatio, allocSlack float64 // allocs/op: baseline*ratio + slack
+	bytesRatio, bytesSlack float64 // B/op gate; ratio 0 disables
+	nsRatio                float64 // ns/op gate; ratio 0 disables
+	top                    int     // regressions to list; 0 disables
+}
 
+// regression is one metric's relative growth between snapshots.
+type regression struct {
+	name, metric string
+	old, new     float64
+	delta        float64 // new/old - 1
+}
+
+// compare gates new against old. Returns the number of failures.
+func compare(w io.Writer, old, cand *snapshot, g gates) int {
 	names := make([]string, 0, len(old.Benchmarks))
 	for name := range old.Benchmarks {
 		names = append(names, name)
@@ -159,6 +176,7 @@ func compare(w io.Writer, old, cand *snapshot,
 			added++
 		}
 	}
+	var regs []regression
 	for _, name := range names {
 		o := old.Benchmarks[name]
 		n, ok := cand.Benchmarks[name]
@@ -168,23 +186,72 @@ func compare(w io.Writer, old, cand *snapshot,
 			failures++
 			continue
 		}
-		if limit := o.AllocsPerOp*allocRatio + allocSlack; n.AllocsPerOp > limit {
+		if limit := o.AllocsPerOp*g.allocRatio + g.allocSlack; n.AllocsPerOp > limit {
 			fmt.Fprintf(w, "FAIL %s: allocs/op %.0f exceeds %.0f "+
 				"(baseline %.0f, ratio %.2f + slack %.0f)\n",
-				name, n.AllocsPerOp, limit, o.AllocsPerOp, allocRatio,
-				allocSlack)
+				name, n.AllocsPerOp, limit, o.AllocsPerOp, g.allocRatio,
+				g.allocSlack)
 			failures++
 		}
-		if nsRatio > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*nsRatio {
+		if g.bytesRatio > 0 {
+			if limit := o.BytesPerOp*g.bytesRatio + g.bytesSlack; n.BytesPerOp > limit {
+				fmt.Fprintf(w, "FAIL %s: bytes/op %.0f exceeds %.0f "+
+					"(baseline %.0f, ratio %.2f + slack %.0f)\n",
+					name, n.BytesPerOp, limit, o.BytesPerOp, g.bytesRatio,
+					g.bytesSlack)
+				failures++
+			}
+		}
+		if g.nsRatio > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*g.nsRatio {
 			fmt.Fprintf(w, "FAIL %s: ns/op %.0f exceeds %.0f "+
 				"(baseline %.0f, ratio %.2f)\n",
-				name, n.NsPerOp, o.NsPerOp*nsRatio, o.NsPerOp, nsRatio)
+				name, n.NsPerOp, o.NsPerOp*g.nsRatio, o.NsPerOp, g.nsRatio)
 			failures++
 		}
+		for _, m := range []struct {
+			metric   string
+			old, new float64
+		}{
+			{"ns/op", o.NsPerOp, n.NsPerOp},
+			{"bytes/op", o.BytesPerOp, n.BytesPerOp},
+			{"allocs/op", o.AllocsPerOp, n.AllocsPerOp},
+		} {
+			if m.old > 0 && m.new > m.old {
+				regs = append(regs, regression{name: name, metric: m.metric,
+					old: m.old, new: m.new, delta: m.new/m.old - 1})
+			}
+		}
 	}
+	printTopRegressions(w, regs, g.top)
 	fmt.Fprintf(w, "benchdiff: %d compared, %d new, %d failed\n",
 		len(names), added, failures)
 	return failures
+}
+
+// printTopRegressions lists the n largest metric regressions by relative
+// delta, so a cache or queue change's worst movers are visible in one table
+// even when every gate passes.
+func printTopRegressions(w io.Writer, regs []regression, n int) {
+	if n <= 0 || len(regs) == 0 {
+		return
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].delta != regs[j].delta {
+			return regs[i].delta > regs[j].delta
+		}
+		if regs[i].name != regs[j].name {
+			return regs[i].name < regs[j].name
+		}
+		return regs[i].metric < regs[j].metric
+	})
+	if len(regs) > n {
+		regs = regs[:n]
+	}
+	fmt.Fprintf(w, "top regressions by relative delta:\n")
+	for _, r := range regs {
+		fmt.Fprintf(w, "  +%5.1f%%  %-9s %s: %.6g -> %.6g\n",
+			100*r.delta, r.metric, r.name, r.old, r.new)
+	}
 }
 
 func main() {
@@ -196,9 +263,16 @@ func main() {
 		"fail when allocs/op exceeds baseline*ratio+slack")
 	allocSlack := flag.Float64("alloc-slack", 128,
 		"absolute allocs/op headroom added to the ratio gate")
+	bytesRatio := flag.Float64("max-bytes-ratio", 0,
+		"fail when bytes/op exceeds baseline*ratio+slack (0 disables; pooled "+
+			"buffers make B/op less stable than allocs/op)")
+	bytesSlack := flag.Float64("bytes-slack", 16384,
+		"absolute bytes/op headroom added to the bytes gate")
 	nsRatio := flag.Float64("max-ns-ratio", 0,
 		"fail when ns/op exceeds baseline*ratio (0 disables; -benchtime 1x "+
 			"runs are too noisy for this gate)")
+	top := flag.Int("top", 5,
+		"list the N largest metric regressions by relative delta (0 disables)")
 	flag.Parse()
 
 	switch {
@@ -238,8 +312,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if compare(os.Stdout, old, cand,
-			*allocRatio, *allocSlack, *nsRatio) > 0 {
+		if compare(os.Stdout, old, cand, gates{
+			allocRatio: *allocRatio, allocSlack: *allocSlack,
+			bytesRatio: *bytesRatio, bytesSlack: *bytesSlack,
+			nsRatio: *nsRatio, top: *top,
+		}) > 0 {
 			os.Exit(1)
 		}
 	default:

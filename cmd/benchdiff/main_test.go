@@ -43,22 +43,24 @@ func TestParseBench(t *testing.T) {
 
 func TestCompareGates(t *testing.T) {
 	old := &snapshot{Benchmarks: map[string]entry{
-		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 1000},
-		"BenchmarkB":    {NsPerOp: 1000, AllocsPerOp: 10},
+		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+		"BenchmarkB":    {NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 1024},
 		"BenchmarkGone": {NsPerOp: 1, AllocsPerOp: 1},
 	}}
 	cand := &snapshot{Benchmarks: map[string]entry{
-		// 2000 > 1000*1.25+128: alloc regression.
-		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 2000},
+		// 2000 > 1000*1.25+128: alloc regression. Bytes tripled too.
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 2000, BytesPerOp: 3 << 20},
 		// 20 <= 10*1.25+128: inside the absolute slack, fine. The 10x ns/op
 		// jump must NOT fail while the ns gate is disabled.
-		"BenchmarkB": {NsPerOp: 10000, AllocsPerOp: 20},
+		"BenchmarkB": {NsPerOp: 10000, AllocsPerOp: 20, BytesPerOp: 1024},
 		// New benchmarks are allowed.
 		"BenchmarkNew": {NsPerOp: 5, AllocsPerOp: 5},
 	}}
+	def := gates{allocRatio: 1.25, allocSlack: 128}
 	var buf strings.Builder
-	got := compare(&buf, old, cand, 1.25, 128, 0)
-	// BenchmarkA alloc regression + BenchmarkGone missing = 2 failures.
+	got := compare(&buf, old, cand, def)
+	// BenchmarkA alloc regression + BenchmarkGone missing = 2 failures; the
+	// 3x bytes growth stays informational while the bytes gate is disabled.
 	if got != 2 {
 		t.Fatalf("got %d failures, want 2:\n%s", got, buf.String())
 	}
@@ -71,8 +73,63 @@ func TestCompareGates(t *testing.T) {
 
 	// Enabling the ns gate catches BenchmarkB's 10x jump.
 	buf.Reset()
-	if got := compare(&buf, old, cand, 1.25, 128, 2); got != 3 {
+	g := def
+	g.nsRatio = 2
+	if got := compare(&buf, old, cand, g); got != 3 {
 		t.Fatalf("with ns gate: got %d failures, want 3:\n%s",
 			got, buf.String())
+	}
+
+	// Enabling the bytes gate catches BenchmarkA's 3x growth.
+	buf.Reset()
+	g = def
+	g.bytesRatio = 1.5
+	g.bytesSlack = 16384
+	if got := compare(&buf, old, cand, g); got != 3 {
+		t.Fatalf("with bytes gate: got %d failures, want 3:\n%s",
+			got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BenchmarkA: bytes/op") {
+		t.Errorf("missing bytes failure:\n%s", buf.String())
+	}
+}
+
+// The regression table lists the largest relative deltas first — B's 10x
+// ns/op jump outranks A's 3x bytes and 2x allocs growth — and truncates to
+// the requested count.
+func TestCompareTopRegressions(t *testing.T) {
+	old := &snapshot{Benchmarks: map[string]entry{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 1024},
+	}}
+	cand := &snapshot{Benchmarks: map[string]entry{
+		"BenchmarkA": {NsPerOp: 900, AllocsPerOp: 2000, BytesPerOp: 3 << 20},
+		"BenchmarkB": {NsPerOp: 10000, AllocsPerOp: 10, BytesPerOp: 1024},
+	}}
+	var buf strings.Builder
+	compare(&buf, old, cand, gates{allocRatio: 100, top: 2})
+	out := buf.String()
+	if !strings.Contains(out, "top regressions") {
+		t.Fatalf("no regression table:\n%s", out)
+	}
+	first := strings.Index(out, "ns/op     BenchmarkB")
+	second := strings.Index(out, "bytes/op  BenchmarkA")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("regressions not sorted by relative delta:\n%s", out)
+	}
+	// top=2 drops A's allocs/op growth (the smallest delta); A's ns/op
+	// *improved*, so it never appears.
+	if strings.Contains(out, "allocs/op BenchmarkA") {
+		t.Fatalf("table not truncated to top 2:\n%s", out)
+	}
+	if strings.Contains(out, "ns/op     BenchmarkA") {
+		t.Fatalf("improvement listed as regression:\n%s", out)
+	}
+
+	// top=0 disables the table entirely.
+	buf.Reset()
+	compare(&buf, old, cand, gates{allocRatio: 100})
+	if strings.Contains(buf.String(), "top regressions") {
+		t.Fatalf("table printed with top=0:\n%s", buf.String())
 	}
 }

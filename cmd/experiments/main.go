@@ -32,6 +32,8 @@ func main() {
 		"per-scenario simulation timeout (0 = unbounded)")
 	faultsPath := flag.String("faults", "",
 		"fault schedule JSON added to the resilience figure as a custom scenario")
+	noTraceCache := flag.Bool("no-trace-cache", false,
+		"disable the per-figure shared trace cache (A/B measurement; output is identical either way)")
 	faultSeed := flag.Int64("fault-seed", 0,
 		"add a seeded generated fault scenario to the resilience figure")
 	flag.Parse()
@@ -52,7 +54,8 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	opts := experiments.Options{Workers: *workers, Timeout: *timeout}
+	opts := experiments.Options{Workers: *workers, Timeout: *timeout,
+		NoTraceCache: *noTraceCache}
 	failed := false
 	for _, r := range experiments.AllFaults(*quick, opts, custom, *faultSeed) {
 		if len(want) > 0 && !want[r.ID] {

@@ -26,7 +26,9 @@ import (
 	"triosim/internal/gpu"
 	"triosim/internal/lint"
 	"triosim/internal/sim"
+	"triosim/internal/sweep"
 	"triosim/internal/telemetry"
+	"triosim/internal/tracecache"
 )
 
 func main() {
@@ -43,11 +45,16 @@ func main() {
 			"fault-generator seed for -replay-faults")
 		reportPath = flag.String("report", "",
 			"validate a telemetry RunReport JSON file instead of static analysis")
+		cacheSmoke = flag.Bool("cache-smoke", false,
+			"run the trace-cache effectiveness smoke: a small sweep twice over one shared cache (second pass must hit, digests must match a cache-off run)")
 	)
 	flag.Parse()
 
 	if *reportPath != "" {
 		os.Exit(runReportCheck(*reportPath))
+	}
+	if *cacheSmoke {
+		os.Exit(runCacheSmoke(*replayModel))
 	}
 	if *replay {
 		os.Exit(runReplay(*replayModel, *replayRuns, *replayFaults,
@@ -77,6 +84,13 @@ func runReportCheck(path string) int {
 	fmt.Printf("report ok: %s %s/%s, %d GPUs, %d links, %d collectives, %v simulated\n",
 		rep.Model, rep.Platform, rep.Parallelism, len(rep.GPUs),
 		len(rep.Links), len(rep.Collectives), rep.TotalSec)
+	fmt.Printf("engine: %d events, queue high-water %d\n",
+		rep.Engine.Events, rep.Engine.QueueHighWater)
+	if tc := rep.TraceCache; tc != nil {
+		fmt.Printf("trace cache: %d/%d trace hits/misses, %d/%d timer hits/misses, %d traces (~%d bytes)\n",
+			tc.TraceHits, tc.TraceMisses, tc.TimerHits, tc.TimerMisses,
+			tc.Traces, tc.Bytes)
+	}
 	return 0
 }
 
@@ -246,6 +260,94 @@ func runFaultReplay(cfg core.Config, base *core.Result, seed int64) int {
 	}
 	fmt.Printf("fault replay ok: no-op identity + seed %d ×2 runs, digest %#x, %d events, %v simulated\n",
 		seed, first.EventDigest, first.Events, first.TotalTime)
+	return 0
+}
+
+// runCacheSmoke is the runtime gate for the trace cache: a small parallel
+// sweep run twice in-process over one shared store. The second pass must be
+// served entirely from cache (hits grow, misses don't), and every scenario's
+// event digest must be identical across both passes AND a cache-off run —
+// the cache may only save work, never change results.
+func runCacheSmoke(model string) int {
+	store := tracecache.New()
+	grid := func(cached bool) []sweep.Scenario {
+		var scs []sweep.Scenario
+		for _, par := range []core.Parallelism{core.DP, core.DDP, core.TP} {
+			par := par
+			scs = append(scs, sweep.Scenario{
+				Name: string(par),
+				Build: func() core.Config {
+					p := gpu.P1
+					cfg := core.Config{
+						Model: model, Platform: &p, Parallelism: par,
+						TraceBatch: 32,
+					}
+					if cached {
+						cfg.Cache = store
+					}
+					return cfg
+				},
+			})
+		}
+		return scs
+	}
+	run := func(label string, opts sweep.Options,
+		scs []sweep.Scenario) ([]sweep.Result[sweep.SimResult], bool) {
+		res := sweep.Simulate(opts, scs)
+		if err := sweep.FirstErr(res); err != nil {
+			fmt.Fprintf(os.Stderr, "triosimvet: -cache-smoke %s: %v\n",
+				label, err)
+			return nil, false
+		}
+		return res, true
+	}
+
+	first, ok := run("pass 1", sweep.Options{Workers: 4}, grid(true))
+	if !ok {
+		return 2
+	}
+	st1 := store.Stats()
+	if st1.TraceMisses == 0 {
+		fmt.Fprintln(os.Stderr,
+			"triosimvet: -cache-smoke: first pass never built a trace")
+		return 1
+	}
+	second, ok := run("pass 2", sweep.Options{Workers: 4}, grid(true))
+	if !ok {
+		return 2
+	}
+	st2 := store.Stats()
+	if st2.TraceHits <= st1.TraceHits {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: -cache-smoke: second pass took no cache hits (%d before, %d after)\n",
+			st1.TraceHits, st2.TraceHits)
+		return 1
+	}
+	if st2.TraceMisses != st1.TraceMisses {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: -cache-smoke: second pass rebuilt traces (%d misses, was %d)\n",
+			st2.TraceMisses, st1.TraceMisses)
+		return 1
+	}
+	uncached, ok := run("cache-off", sweep.Options{Workers: 4, NoTraceCache: true},
+		grid(false))
+	if !ok {
+		return 2
+	}
+	for i := range first {
+		f, s, u := first[i].Value, second[i].Value, uncached[i].Value
+		if f.Res.EventDigest != s.Res.EventDigest ||
+			f.Res.EventDigest != u.Res.EventDigest {
+			fmt.Fprintf(os.Stderr,
+				"triosimvet: -cache-smoke: %s digest differs: pass1 %#x, pass2 %#x, cache-off %#x\n",
+				f.Name, f.Res.EventDigest, s.Res.EventDigest,
+				u.Res.EventDigest)
+			return 1
+		}
+	}
+	fmt.Printf("cache smoke ok: %s ×%d scenarios ×2 passes, %d/%d trace hits/misses, %d traces (~%d bytes), digests match cache-off\n",
+		model, len(first), st2.TraceHits, st2.TraceMisses, st2.Traces,
+		st2.Bytes)
 	return 0
 }
 

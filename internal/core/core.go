@@ -23,6 +23,7 @@ import (
 	"triosim/internal/telemetry"
 	"triosim/internal/timeline"
 	"triosim/internal/trace"
+	"triosim/internal/tracecache"
 )
 
 // Parallelism selects the training strategy to simulate.
@@ -112,6 +113,13 @@ type Config struct {
 	// the context's error. internal/sweep uses this for per-scenario timeouts
 	// and sweep-wide cancellation. Nil means no cancellation.
 	Context context.Context
+	// Cache optionally shares collected traces and fitted operator timers
+	// across simulations: scenarios with the same (model, trace batch, GPU
+	// spec, noise amplitude) reuse one immutable trace instead of rebuilding
+	// it. internal/sweep and cmd/experiments set this by default; a supplied
+	// Trace bypasses the cache. Cached values are shared read-only — see
+	// docs/PERFORMANCE.md for the keying rules and copy-on-write contract.
+	Cache *tracecache.Store
 	// Faults optionally injects a deterministic fault schedule: degraded or
 	// dead links re-solve the flow network's fair shares mid-run, GPU
 	// slowdown windows stretch compute tasks (stragglers), and GPUFail
@@ -215,7 +223,8 @@ func BuildTopology(p *gpu.Platform) *network.Topology {
 }
 
 // collectTrace returns the configured trace, collecting one from the model
-// zoo + hardware emulator when none was supplied.
+// zoo + hardware emulator — or the shared trace cache — when none was
+// supplied. Traces returned through the cache are shared read-only.
 func collectTrace(cfg Config) (*trace.Trace, error) {
 	if cfg.Trace != nil {
 		return cfg.Trace, nil
@@ -227,7 +236,25 @@ func collectTrace(cfg Config) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return hwsim.CollectTrace(cfg.Model, cfg.TraceBatch, spec)
+	if cfg.Cache == nil {
+		return hwsim.CollectTrace(cfg.Model, cfg.TraceBatch, spec)
+	}
+	return cfg.Cache.GetTrace(traceKey(cfg.Model, cfg.TraceBatch, spec),
+		func() (*trace.Trace, error) {
+			return hwsim.CollectTrace(cfg.Model, cfg.TraceBatch, spec)
+		})
+}
+
+// traceKey content-addresses a zoo trace: everything that influences the
+// collected bytes (model, batch, the full GPU spec by value, and the
+// stamping timer's noise amplitude) is part of the key.
+func traceKey(model string, batch int, spec *gpu.Spec) tracecache.Key {
+	return tracecache.Key{
+		Model:    model,
+		Batch:    batch,
+		Spec:     *spec,
+		NoiseAmp: hwsim.DefaultNoiseAmp,
+	}
 }
 
 // extrapolate builds the task graph for the configured parallelism.
@@ -400,6 +427,7 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 			TotalSec:        makespan.Seconds(),
 			PerIterationSec: out.PerIteration.Seconds(),
 			Events:          out.Events,
+			QueueHighWater:  eng.QueueHighWater(),
 			NetTotalBytes:   net.TotalBytes,
 			NetTransfers:    net.TotalTransfers,
 			Parallel:        res.Meta,
@@ -467,7 +495,34 @@ func Simulate(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var timer extrapolator.OpTimer
+	timer, err := fitTimerCached(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = BuildTopology(cfg.Platform)
+	}
+	var collLog *telemetry.CollectiveLog
+	if cfg.telemetryOn() {
+		collLog = telemetry.NewCollectiveLog()
+	}
+	eres, err := extrapolate(cfg, tr, topo, timer, hwsim.NoEffects, collLog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := execute(cfg, topo, eres, 0, collLog, checkpointCost(cfg, tr))
+	if err != nil {
+		return nil, err
+	}
+	attachCacheStats(cfg, res)
+	return res, nil
+}
+
+// fitTimer fits the configured operator performance model on the trace,
+// rescaling Li's Model when the trace came from a different GPU than the
+// simulated platform.
+func fitTimer(cfg Config, tr *trace.Trace) (extrapolator.OpTimer, error) {
 	crossGPU := tr.Device != cfg.Platform.GPU.Name
 	switch cfg.ComputeModel {
 	case "", "li":
@@ -482,44 +537,68 @@ func Simulate(cfg Config) (*Result, error) {
 			}
 			model = model.Rescale(from, &cfg.Platform.GPU)
 		}
-		timer = model
+		return model, nil
 	case "roofline":
 		if crossGPU {
 			return nil, fmt.Errorf("core: roofline model has no cross-GPU rescaling (trace from %s, platform %s)",
 				tr.Device, cfg.Platform.GPU.Name)
 		}
-		model, err := perfmodel.FitRoofline(tr)
-		if err != nil {
-			return nil, err
-		}
-		timer = model
+		return perfmodel.FitRoofline(tr)
 	case "hybrid":
 		if crossGPU {
 			return nil, fmt.Errorf("core: hybrid model has no cross-GPU rescaling (trace from %s, platform %s)",
 				tr.Device, cfg.Platform.GPU.Name)
 		}
-		model, err := perfmodel.FitHybrid(tr)
-		if err != nil {
-			return nil, err
-		}
-		timer = model
-	default:
-		return nil, fmt.Errorf("core: unknown compute model %q",
-			cfg.ComputeModel)
+		return perfmodel.FitHybrid(tr)
 	}
-	topo := cfg.Topology
-	if topo == nil {
-		topo = BuildTopology(cfg.Platform)
+	return nil, fmt.Errorf("core: unknown compute model %q", cfg.ComputeModel)
+}
+
+// fitTimerCached memoizes fitTimer through the trace cache when the trace is
+// itself cache-addressable (a zoo trace, not a caller-supplied one). Fitting
+// is pure and fitted models are read-only at prediction time, so sharing one
+// model across scenarios is safe.
+func fitTimerCached(cfg Config, tr *trace.Trace) (extrapolator.OpTimer, error) {
+	if cfg.Cache == nil || cfg.Trace != nil {
+		return fitTimer(cfg, tr)
 	}
-	var collLog *telemetry.CollectiveLog
-	if cfg.telemetryOn() {
-		collLog = telemetry.NewCollectiveLog()
-	}
-	eres, err := extrapolate(cfg, tr, topo, timer, hwsim.NoEffects, collLog)
+	spec, err := gpu.SpecByName(cfg.TraceGPU)
 	if err != nil {
 		return nil, err
 	}
-	return execute(cfg, topo, eres, 0, collLog, checkpointCost(cfg, tr))
+	cm := cfg.ComputeModel
+	if cm == "" {
+		cm = "li"
+	}
+	tk := tracecache.TimerKey{
+		Trace:        traceKey(cfg.Model, cfg.TraceBatch, spec),
+		ComputeModel: cm,
+		Target:       cfg.Platform.GPU,
+	}
+	return cfg.Cache.GetTimer(tk, func() (tracecache.OpTimer, error) {
+		return fitTimer(cfg, tr)
+	})
+}
+
+// attachCacheStats copies the shared store's counters into the run's
+// telemetry report. The counters are store-wide — they accumulate across
+// every simulation sharing the cache — so this section is explicitly outside
+// the RunReport byte-identity guarantee and is omitted when no cache is
+// configured.
+func attachCacheStats(cfg Config, res *Result) {
+	if cfg.Cache == nil || res.Report == nil {
+		return
+	}
+	st := cfg.Cache.Stats()
+	res.Report.TraceCache = &telemetry.TraceCacheStat{
+		TraceHits:   st.TraceHits,
+		TraceMisses: st.TraceMisses,
+		TimerHits:   st.TimerHits,
+		TimerMisses: st.TimerMisses,
+		Traces:      st.Traces,
+		Timers:      st.Timers,
+		Bytes:       st.Bytes,
+	}
 }
 
 // checkpointCost resolves the per-checkpoint pause for the resilience
@@ -560,7 +639,16 @@ func GroundTruth(cfg Config) (*Result, error) {
 	if batch == 0 {
 		batch = cfg.TraceBatch
 	}
-	tr, err := hwsim.CollectTrace(cfg.Model, batch, &cfg.Platform.GPU)
+	collect := func() (*trace.Trace, error) {
+		return hwsim.CollectTrace(cfg.Model, batch, &cfg.Platform.GPU)
+	}
+	var tr *trace.Trace
+	if cfg.Cache != nil {
+		tr, err = cfg.Cache.GetTrace(traceKey(cfg.Model, batch,
+			&cfg.Platform.GPU), collect)
+	} else {
+		tr, err = collect()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -580,8 +668,13 @@ func GroundTruth(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return execute(gcfg, topo, eres, effects.CommRampBytes, collLog,
+	res, err := execute(gcfg, topo, eres, effects.CommRampBytes, collLog,
 		checkpointCost(gcfg, tr))
+	if err != nil {
+		return nil, err
+	}
+	attachCacheStats(gcfg, res)
+	return res, nil
 }
 
 func hybridGroups(cfg Config) int {

@@ -32,6 +32,7 @@ func Fig12Opts(quick bool, opts Options) (*Figure, error) {
 	pars := []parCfg{{core.DDP, 0, "dp"}, {core.TP, 0, "tp"},
 		{core.PP, 2, "pp"}}
 
+	opts = opts.withCache()
 	type cellID struct {
 		model string
 		pc    parCfg
@@ -46,7 +47,7 @@ func Fig12Opts(quick bool, opts Options) (*Figure, error) {
 	for i, c := range grid {
 		c := c
 		cells[i] = func(ctx context.Context) (vals, error) {
-			v, err := validateCell(ctx, core.Config{
+			v, err := opts.validateCell(ctx, core.Config{
 				Model: c.model, Platform: p2Copy(), Parallelism: c.pc.par,
 				TraceBatch:  traceBatchFor(c.model),
 				GlobalBatch: 128, MicroBatches: c.pc.chunks,
@@ -105,6 +106,7 @@ func Fig13Opts(quick bool, opts Options) (*Figure, error) {
 		Title:   "Communication/computation ratio, TP vs DDP on P1",
 		Columns: []string{"comm_s", "compute_s", "comm_ratio"},
 	}
+	opts = opts.withCache()
 	type cellID struct {
 		par   core.Parallelism
 		model string
@@ -120,10 +122,10 @@ func Fig13Opts(quick bool, opts Options) (*Figure, error) {
 		c := c
 		cells[i] = func(ctx context.Context) (vals, error) {
 			p1 := gpu.P1
-			res, err := core.Simulate(core.Config{
+			res, err := core.Simulate(opts.cached(core.Config{
 				Model: c.model, Platform: &p1, Parallelism: c.par,
 				TraceBatch: traceBatchFor(c.model), Context: ctx,
-			})
+			}))
 			if err != nil {
 				return nil, fmt.Errorf("fig13/%s/%s: %w", c.model, c.par, err)
 			}

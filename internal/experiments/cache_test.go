@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The per-figure trace cache (on by default) must leave figure output
+// byte-identical to a cache-free run: same rows, same 12-digit values, same
+// notes. Fig6 exercises the validation path (Simulate + GroundTruth per
+// cell); Fig7 the per-model grid.
+func TestFigureCacheOnOffIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure regeneration; run without -short")
+	}
+	figs := []struct {
+		id  string
+		gen func(Options) (*Figure, error)
+	}{
+		{"fig6", func(o Options) (*Figure, error) { return Fig6Opts(true, o) }},
+		{"fig7", func(o Options) (*Figure, error) { return Fig7Opts(true, o) }},
+	}
+	for _, fig := range figs {
+		cached, err := fig.gen(Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncached, err := fig.gen(Options{Workers: 4, NoTraceCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, ub := goldenBytes(t, cached), goldenBytes(t, uncached)
+		if !bytes.Equal(cb, ub) {
+			t.Fatalf("%s: cached figure differs from uncached", fig.id)
+		}
+	}
+}

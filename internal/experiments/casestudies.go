@@ -14,6 +14,8 @@ import (
 	"triosim/internal/sweep"
 	"triosim/internal/task"
 	"triosim/internal/timeline"
+	"triosim/internal/trace"
+	"triosim/internal/tracecache"
 )
 
 // Wafer-scale case study parameters (§7.1): 12×7 = 84 A100-class chiplets.
@@ -52,16 +54,38 @@ func snakeOrder(rows, cols int) []int {
 
 // runWafer extrapolates DDP training for one model across the wafer and
 // executes it on the given network, returning per-iteration total and
-// communication time.
+// communication time. The trace and fitted model come from cache when one is
+// supplied (the electrical and photonic variants share both).
 func runWafer(model string, topo *network.Topology, net network.Network,
-	eng *sim.SerialEngine, ringOrder []int) (total, comm sim.VTime,
-	err error) {
+	eng *sim.SerialEngine, ringOrder []int,
+	cache *tracecache.Store) (total, comm sim.VTime, err error) {
 
-	tr, err := hwsim.CollectTrace(model, traceBatchFor(model), &gpu.A100)
+	key := tracecache.Key{
+		Model:    model,
+		Batch:    traceBatchFor(model),
+		Spec:     gpu.A100,
+		NoiseAmp: hwsim.DefaultNoiseAmp,
+	}
+	collect := func() (*trace.Trace, error) {
+		return hwsim.CollectTrace(model, traceBatchFor(model), &gpu.A100)
+	}
+	var tr *trace.Trace
+	if cache != nil {
+		tr, err = cache.GetTrace(key, collect)
+	} else {
+		tr, err = collect()
+	}
 	if err != nil {
 		return 0, 0, err
 	}
-	pm, err := perfmodel.Fit(tr)
+	var pm extrapolator.OpTimer
+	fit := func() (tracecache.OpTimer, error) { return perfmodel.Fit(tr) }
+	if cache != nil {
+		pm, err = cache.GetTimer(tracecache.TimerKey{
+			Trace: key, ComputeModel: "li", Target: gpu.A100}, fit)
+	} else {
+		pm, err = fit()
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -120,6 +144,7 @@ func Fig15Opts(quick bool, opts Options) (*Figure, error) {
 		HostBandwidth: 30e9,
 		HostLatency:   5 * sim.USec,
 	}
+	opts = opts.withCache()
 	type cellID struct{ model, variant string }
 	var grid []cellID
 	for _, m := range waferModels(quick) {
@@ -145,7 +170,8 @@ func Fig15Opts(quick bool, opts Options) (*Figure, error) {
 				// staging path; inter-GPU transfers ride photonic circuits.
 				net = newHybridPhotonic(eng, topo)
 			}
-			total, comm, err := runWafer(c.model, topo, net, eng, ringOrder)
+			total, comm, err := runWafer(c.model, topo, net, eng, ringOrder,
+				opts.cache)
 			if err != nil {
 				return nil, fmt.Errorf("fig15/%s/%s: %w", c.model,
 					c.variant, err)

@@ -116,6 +116,7 @@ func ResilienceOpts(quick bool, opts Options, custom *faults.Schedule,
 				return s
 			}})
 	}
+	opts = opts.withCache()
 	type cellID struct {
 		model    string
 		scenario int
@@ -132,13 +133,13 @@ func ResilienceOpts(quick bool, opts Options, custom *faults.Schedule,
 		cells[i] = func(ctx context.Context) (vals, error) {
 			sc := scenarios[c.scenario]
 			p := gpu.P1
-			cfg := core.Config{
+			cfg := opts.cached(core.Config{
 				Model:       c.model,
 				Platform:    &p,
 				Parallelism: core.DDP,
 				TraceBatch:  traceBatchFor(c.model),
 				Context:     ctx,
-			}
+			})
 			// Fault-free baseline anchors the horizon and the slowdown.
 			base, err := core.Simulate(cfg)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"triosim/internal/core"
 	"triosim/internal/sweep"
+	"triosim/internal/tracecache"
 )
 
 // Options controls how a figure generator executes its scenario grid. Every
@@ -20,6 +21,15 @@ type Options struct {
 	Timeout time.Duration
 	// Context cancels the remaining cells of a figure.
 	Context context.Context
+	// NoTraceCache disables the per-figure trace cache. By default every
+	// figure shares one tracecache.Store across its cells, so the cells of,
+	// say, a two-platform sweep collect each (model, batch, GPU) trace once.
+	// Figure output is byte-identical either way (the golden tests compare
+	// cache-on vs cache-off directly); the switch exists for A/B measurement.
+	NoTraceCache bool
+	// cache is the figure run's shared store, installed by withCache at the
+	// top of each figure generator.
+	cache *tracecache.Store
 }
 
 // Serial runs every cell sequentially on the calling goroutine — the
@@ -29,7 +39,25 @@ var Serial = Options{Workers: 1}
 
 func (o Options) sweep() sweep.Options {
 	return sweep.Options{Workers: o.Workers, Timeout: o.Timeout,
-		Context: o.Context}
+		Context: o.Context, NoTraceCache: o.NoTraceCache}
+}
+
+// withCache installs the figure run's shared trace cache (a no-op when
+// disabled or already installed). Figure generators call it once, before
+// building cells, so every cell closure captures the same store.
+func (o Options) withCache() Options {
+	if o.cache == nil && !o.NoTraceCache {
+		o.cache = tracecache.New()
+	}
+	return o
+}
+
+// cached threads the figure's shared cache into one cell's Config.
+func (o Options) cached(cfg core.Config) core.Config {
+	if cfg.Cache == nil {
+		cfg.Cache = o.cache
+	}
+	return cfg
 }
 
 // vals is one cell's named numeric outputs (a Row's Values).
@@ -41,11 +69,11 @@ func runCells[T any](o Options, cells []sweep.Job[T]) ([]T, error) {
 	return sweep.Values(sweep.Run(o.sweep(), cells))
 }
 
-// validateCell runs prediction vs ground truth under ctx and returns the
-// standard validation row values.
-func validateCell(ctx context.Context, cfg core.Config) (vals, error) {
+// validateCell runs prediction vs ground truth under ctx — with the figure's
+// shared trace cache — and returns the standard validation row values.
+func (o Options) validateCell(ctx context.Context, cfg core.Config) (vals, error) {
 	cfg.Context = ctx
-	cmp, err := core.Validate(cfg)
+	cmp, err := core.Validate(o.cached(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,7 @@ func Table1Opts(quick bool, opts Options) (*Figure, error) {
 	}
 	variants := []string{"symmetric", "asymmetric"}
 
+	opts = opts.withCache()
 	type cellID struct{ variant, model string }
 	var grid []cellID
 	for _, variant := range variants {
@@ -53,9 +54,9 @@ func Table1Opts(quick bool, opts Options) (*Figure, error) {
 			if c.variant == "asymmetric" {
 				topo.SetLinkBandwidth(0, p2.LinkBandwidth/4)
 			}
-			cfg := core.Config{Model: c.model, Platform: &p2, Topology: topo,
-				Parallelism: core.DDP, TraceBatch: traceBatchFor(c.model),
-				Context: ctx}
+			cfg := opts.cached(core.Config{Model: c.model, Platform: &p2,
+				Topology: topo, Parallelism: core.DDP,
+				TraceBatch: traceBatchFor(c.model), Context: ctx})
 			truth, err := core.GroundTruth(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("table1/%s/%s: %w", c.model,

@@ -37,11 +37,12 @@ type valCell struct {
 // runValidation fans the cells out and appends one row per cell, in cell
 // order.
 func runValidation(f *Figure, opts Options, grid []valCell) error {
+	opts = opts.withCache()
 	cells := make([]sweep.Job[vals], len(grid))
 	for i, c := range grid {
 		c := c
 		cells[i] = func(ctx context.Context) (vals, error) {
-			v, err := validateCell(ctx, c.cfg())
+			v, err := opts.validateCell(ctx, c.cfg())
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", f.ID, c.label, err)
 			}

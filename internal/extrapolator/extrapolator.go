@@ -142,6 +142,30 @@ type builder struct {
 	// lastBuckets is the DDP gradient-bucket count of the most recently
 	// emitted iteration (telemetry metadata).
 	lastBuckets int
+	// labels interns op.Name+labelSuffix task labels for the current suffix:
+	// a trace has hundreds of ops but only a handful of distinct op names, so
+	// emitSeq would otherwise rebuild the same few strings once per op.
+	labels      map[string]string
+	labelSuffix string
+}
+
+// label returns the interned name+suffix task label, switching the intern
+// table when the suffix changes (suffixes change per iteration/replica/stage,
+// i.e. between emitSeq calls, so the table stays hot within each sequence).
+func (b *builder) label(name, suffix string) string {
+	if b.labels == nil {
+		b.labels = make(map[string]string, 16)
+	}
+	if b.labelSuffix != suffix {
+		b.labelSuffix = suffix
+		clear(b.labels)
+	}
+	l, ok := b.labels[name]
+	if !ok {
+		l = name + suffix
+		b.labels[name] = l
+	}
+	return l
 }
 
 // phys resolves a logical GPU index to its physical compute-resource index.
@@ -285,7 +309,7 @@ func (b *builder) emitSeq(gpu int, ops []int, batchScale, shard float64,
 	for _, idx := range ops {
 		op := &b.tr.Ops[idx]
 		dur := b.opDuration(op, batchScale, shard)
-		t := b.g.AddCompute(b.phys(gpu), dur, op.Name+labelSuffix)
+		t := b.g.AddCompute(b.phys(gpu), dur, b.label(op.Name, labelSuffix))
 		t.Layer = op.Layer
 		b.g.AddDep(prev, t)
 		prev = t

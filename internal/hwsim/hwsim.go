@@ -34,9 +34,14 @@ type Timer struct {
 	NoiseAmp float64
 }
 
+// DefaultNoiseAmp is the kernel-to-kernel timing variation NewTimer applies
+// (±2%). Exported so the trace cache can fold the effective timer parameters
+// into its content-addressed keys.
+const DefaultNoiseAmp = 0.02
+
 // NewTimer returns a Timer with the default ±2% kernel-to-kernel variation.
 func NewTimer(spec *gpu.Spec) *Timer {
-	return &Timer{Spec: spec, NoiseAmp: 0.02}
+	return &Timer{Spec: spec, NoiseAmp: DefaultNoiseAmp}
 }
 
 // OpTime returns the hardware execution time of an operator with the given

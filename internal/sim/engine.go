@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -29,52 +28,34 @@ type Engine interface {
 	EventCount() uint64
 }
 
-// queuedEvent decorates an event with a sequence number so the heap order is
-// a deterministic total order: (time, secondary flag, insertion sequence).
+// queuedEvent decorates an event with its ordering key — firing time and
+// secondary flag cached at enqueue so heap comparisons never call back into
+// the Event interface, plus an insertion sequence number that makes the heap
+// order a deterministic total order: (time, secondary flag, sequence).
 type queuedEvent struct {
-	event Event
-	seq   uint64
-}
-
-type eventHeap []queuedEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	ti, tj := h[i].event.Time(), h[j].event.Time()
-	if ti != tj {
-		return ti < tj
-	}
-	si, sj := h[i].event.IsSecondary(), h[j].event.IsSecondary()
-	if si != sj {
-		return !si // primary before secondary
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = queuedEvent{}
-	*h = old[:n-1]
-	return item
+	event     Event
+	time      VTime
+	seq       uint64
+	secondary bool
 }
 
 // SerialEngine is a single-goroutine Engine. All simulated components run in
 // the goroutine that calls Run, so they need no internal locking.
 type SerialEngine struct {
-	queue      eventHeap
+	queue      heap4[queuedEvent]
 	now        VTime
 	seq        uint64
 	dispatched uint64
 	terminated bool
 	hooks      []Hook
 	started    bool
+	highWater  int
+	// cohort is the reused buffer for same-timestamp batch dispatch: Run pops
+	// every primary event sharing the minimum timestamp in one pass, then
+	// dispatches them without re-sifting the heap between events. cohortLeft
+	// counts the not-yet-dispatched tail so Pending stays exact mid-batch.
+	cohort     []queuedEvent
+	cohortLeft int
 	// free is the funcEvent recycling pool for ScheduleFunc. Single-goroutine
 	// by the engine contract, so a plain slice suffices (and a shared
 	// sync.Pool would violate no-goroutine-in-sim anyway).
@@ -95,7 +76,15 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 // Schedule enqueues e.
 func (eng *SerialEngine) Schedule(e Event) {
 	eng.seq++
-	heap.Push(&eng.queue, queuedEvent{event: e, seq: eng.seq})
+	eng.queue.push(queuedEvent{
+		event:     e,
+		time:      e.Time(),
+		seq:       eng.seq,
+		secondary: e.IsSecondary(),
+	})
+	if p := eng.queue.len() + eng.cohortLeft; p > eng.highWater {
+		eng.highWater = p
+	}
 }
 
 // schedulePooled enqueues fn wrapped in a recycled (or new) funcEvent. The
@@ -138,8 +127,13 @@ func (eng *SerialEngine) EventCount() uint64 { return eng.dispatched }
 // Terminate stops Run after the current event.
 func (eng *SerialEngine) Terminate() { eng.terminated = true }
 
-// Pending returns the number of events waiting in the queue.
-func (eng *SerialEngine) Pending() int { return len(eng.queue) }
+// Pending returns the number of events waiting to be dispatched, including
+// any same-timestamp cohort events popped from the heap but not yet run.
+func (eng *SerialEngine) Pending() int { return eng.queue.len() + eng.cohortLeft }
+
+// QueueHighWater returns the largest Pending value observed so far — the
+// peak number of events simultaneously waiting in the engine.
+func (eng *SerialEngine) QueueHighWater() int { return eng.highWater }
 
 // RegisterHook adds a hook invoked around every event dispatch.
 func (eng *SerialEngine) RegisterHook(h Hook) {
@@ -147,31 +141,75 @@ func (eng *SerialEngine) RegisterHook(h Hook) {
 }
 
 // Run dispatches events until the queue is empty or Terminate is called.
+//
+// Events sharing the minimum timestamp are drained as a batch: when the head
+// of the queue is a primary event, every other primary event at the same time
+// is popped in one pass (they are dispatched in seq order regardless, and any
+// event a handler schedules for the same timestamp gets a higher seq, so it
+// sorts after the whole batch — the cohort is exactly the prefix of the total
+// order either way). Secondary events are never batched: a secondary handler
+// may schedule a primary event at the current time, which must precede the
+// remaining secondaries.
 func (eng *SerialEngine) Run() error {
 	eng.terminated = false
-	for len(eng.queue) > 0 && !eng.terminated {
-		qe := heap.Pop(&eng.queue).(queuedEvent)
-		e := qe.event
-		if eng.started && e.Time() < eng.now {
+	for eng.queue.len() > 0 && !eng.terminated {
+		qe := eng.queue.pop()
+		if eng.started && qe.time < eng.now {
 			return fmt.Errorf("%w: event at %v, now %v",
-				ErrPastEvent, e.Time(), eng.now)
+				ErrPastEvent, qe.time, eng.now)
 		}
 		eng.started = true
-		eng.now = e.Time()
-		eng.dispatched++
+		eng.now = qe.time
 
-		for _, h := range eng.hooks {
-			h.Func(HookCtx{Pos: HookPosBeforeEvent, Now: eng.now, Item: e})
+		eng.cohort = append(eng.cohort[:0], qe)
+		if !qe.secondary {
+			for eng.queue.len() > 0 {
+				head := eng.queue.peek()
+				if head.time != qe.time || head.secondary {
+					break
+				}
+				eng.cohort = append(eng.cohort, eng.queue.pop())
+			}
 		}
-		if err := dispatch(e); err != nil {
-			return err
+
+		for i := range eng.cohort {
+			eng.cohortLeft = len(eng.cohort) - i - 1
+			e := eng.cohort[i].event
+			eng.cohort[i] = queuedEvent{}
+			eng.dispatched++
+
+			for _, h := range eng.hooks {
+				h.Func(HookCtx{Pos: HookPosBeforeEvent, Now: eng.now, Item: e})
+			}
+			if err := dispatch(e); err != nil {
+				eng.requeueCohort(i + 1)
+				return err
+			}
+			for _, h := range eng.hooks {
+				h.Func(HookCtx{Pos: HookPosAfterEvent, Now: eng.now, Item: e})
+			}
+			eng.recycle(e)
+
+			if eng.terminated && i+1 < len(eng.cohort) {
+				eng.requeueCohort(i + 1)
+				break
+			}
 		}
-		for _, h := range eng.hooks {
-			h.Func(HookCtx{Pos: HookPosAfterEvent, Now: eng.now, Item: e})
-		}
-		eng.recycle(e)
+		eng.cohortLeft = 0
 	}
 	return nil
+}
+
+// requeueCohort pushes the undispatched tail of the current cohort back onto
+// the heap so Terminate and handler errors preserve the queue for a later
+// Run. Original sequence numbers are kept, so resumed dispatch order is
+// unchanged.
+func (eng *SerialEngine) requeueCohort(from int) {
+	for i := from; i < len(eng.cohort); i++ {
+		eng.queue.push(eng.cohort[i])
+		eng.cohort[i] = queuedEvent{}
+	}
+	eng.cohortLeft = 0
 }
 
 func dispatch(e Event) error {

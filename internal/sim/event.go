@@ -57,9 +57,20 @@ type funcEvent struct {
 	EventBase
 	fn     func(now VTime) error
 	pooled bool
+	// hf caches the HandlerFunc method value for e.run. Building it on every
+	// Handler() call would allocate a closure per dispatch; caching it keeps
+	// the pooled schedule/dispatch path allocation-free while preserving the
+	// handler's dynamic type (sim.HandlerFunc), which the replay digest folds
+	// into its event names.
+	hf HandlerFunc
 }
 
-func (e *funcEvent) Handler() Handler { return HandlerFunc(e.run) }
+func (e *funcEvent) Handler() Handler {
+	if e.hf == nil {
+		e.hf = e.run
+	}
+	return e.hf
+}
 
 func (e *funcEvent) run(Event) error { return e.fn(e.EventTime) }
 

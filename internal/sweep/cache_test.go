@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"testing"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+	"triosim/internal/tracecache"
+)
+
+// cacheGrid is a sweep where every scenario shares the same (model, batch,
+// GPU): the trace cache collects once and serves everything else.
+func cacheGrid() []Scenario {
+	var scs []Scenario
+	for _, par := range []core.Parallelism{core.DP, core.DDP, core.TP,
+		core.PP} {
+		scs = append(scs, quickScenario(string(par), par))
+	}
+	return scs
+}
+
+// The trace cache must be invisible in the results: every scenario's event
+// digest, event count, and simulated time are identical with the cache on
+// (the default) and off.
+func TestSimulateCacheOnOffIdentical(t *testing.T) {
+	scs := cacheGrid()
+	cached := Simulate(Options{Workers: 1}, scs)
+	uncached := Simulate(Options{Workers: 1, NoTraceCache: true}, scs)
+	if err := FirstErr(cached); err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(uncached); err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		c, u := cached[i].Value.Res, uncached[i].Value.Res
+		if c.EventDigest != u.EventDigest || c.Events != u.Events {
+			t.Fatalf("%s: cache changed the schedule: cached %x/%d vs "+
+				"uncached %x/%d", scs[i].Name, c.EventDigest, c.Events,
+				u.EventDigest, u.Events)
+		}
+		if c.TotalTime != u.TotalTime {
+			t.Fatalf("%s: cache changed the result: %v vs %v",
+				scs[i].Name, c.TotalTime, u.TotalTime)
+		}
+	}
+}
+
+// A parallel sweep over one shared store must be race-free (this test is in
+// the race-hammer leg of scripts/check.sh) and bit-identical to the serial
+// cached run, with the cache actually taking hits.
+func TestSimulateSharedCacheConcurrent(t *testing.T) {
+	// Two rounds over the same grid so the second round is all warm hits.
+	scs := append(cacheGrid(), cacheGrid()...)
+	serial := Simulate(Options{Workers: 1}, scs)
+	parallel := Simulate(Options{Workers: 8}, scs)
+	if err := FirstErr(serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(parallel); err != nil {
+		t.Fatal(err)
+	}
+	for i := range scs {
+		s, p := serial[i].Value.Res, parallel[i].Value.Res
+		if s.EventDigest != p.EventDigest {
+			t.Fatalf("%s: digest differs serial=%x parallel=%x",
+				scs[i].Name, s.EventDigest, p.EventDigest)
+		}
+	}
+}
+
+// The sweep-owned store must actually dedupe: 8 scenarios over one workload
+// leave exactly one trace in the cache and serve the rest as hits.
+func TestSimulateCacheEffectiveness(t *testing.T) {
+	cache := tracecache.New()
+	scs := cacheGrid()
+	for i := range scs {
+		build := scs[i].Build
+		scs[i].Build = func() core.Config {
+			cfg := build()
+			cfg.Cache = cache // pin the store so the test can read its stats
+			return cfg
+		}
+	}
+	res := Simulate(Options{Workers: 4}, scs)
+	if err := FirstErr(res); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.TraceMisses != 1 || st.Traces != 1 {
+		t.Fatalf("store holds %d traces from %d builds, want 1 from 1 "+
+			"(scenarios share one workload)", st.Traces, st.TraceMisses)
+	}
+	if st.TraceHits == 0 {
+		t.Fatal("no trace hits across a single-workload sweep")
+	}
+	if st.TimerMisses != 1 || st.TimerHits == 0 {
+		t.Fatalf("timer cache: %d misses / %d hits, want 1 miss and >0 hits",
+			st.TimerMisses, st.TimerHits)
+	}
+}
+
+// A Config that already carries its own cache keeps it; the sweep only fills
+// in the shared store when the scenario didn't bring one.
+func TestSimulateKeepsExplicitCache(t *testing.T) {
+	mine := tracecache.New()
+	scs := []Scenario{{
+		Name: "own-cache",
+		Build: func() core.Config {
+			p := gpu.P2
+			return core.Config{
+				Model: "resnet18", Platform: &p, Parallelism: core.DDP,
+				TraceBatch: 32, Cache: mine,
+			}
+		},
+	}}
+	if err := FirstErr(Simulate(Options{Workers: 1}, scs)); err != nil {
+		t.Fatal(err)
+	}
+	if st := mine.Stats(); st.TraceMisses == 0 {
+		t.Fatal("explicit Config.Cache was not used by the sweep")
+	}
+}

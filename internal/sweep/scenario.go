@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"triosim/internal/core"
+	"triosim/internal/tracecache"
 )
 
 // Scenario is one named simulation configuration in a sweep.
@@ -30,7 +31,17 @@ type SimResult struct {
 // so cancellation terminates in-flight engines. When telemetry is enabled on
 // a scenario's Config, its Result carries that scenario's own RunReport —
 // each run builds a private registry, so reports never mix across workers.
+//
+// Unless Options.NoTraceCache is set, the sweep shares one trace cache:
+// scenarios over the same (model, trace batch, GPU) collect the trace and
+// fit the performance model once, and every other scenario reuses them
+// read-only. A Config that already carries a Cache (or a pre-built Trace)
+// keeps it.
 func Simulate(opts Options, scenarios []Scenario) []Result[SimResult] {
+	var cache *tracecache.Store
+	if !opts.NoTraceCache {
+		cache = tracecache.New()
+	}
 	jobs := make([]Job[SimResult], len(scenarios))
 	for i := range scenarios {
 		sc := scenarios[i]
@@ -38,6 +49,9 @@ func Simulate(opts Options, scenarios []Scenario) []Result[SimResult] {
 			cfg := sc.Build()
 			if cfg.Context == nil {
 				cfg.Context = ctx
+			}
+			if cfg.Cache == nil {
+				cfg.Cache = cache
 			}
 			res, err := core.Simulate(cfg)
 			if err != nil {

@@ -41,6 +41,12 @@ type Options struct {
 	// ctx.Err() without running, and running jobs see their child context
 	// canceled. Nil means context.Background().
 	Context context.Context
+	// NoTraceCache disables the shared trace cache Simulate installs by
+	// default (scenarios with equal trace inputs reuse one collected trace
+	// and fitted timer). Cache-on and cache-off sweeps produce byte-identical
+	// results — the cache only skips redundant rebuilds — so this exists for
+	// A/B measurement and debugging, not correctness.
+	NoTraceCache bool
 }
 
 func (o Options) workers() int {

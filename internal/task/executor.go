@@ -36,23 +36,53 @@ type Executor struct {
 
 	indeg     []int
 	remaining int
-	gpuQueue  map[int][]*Task
-	gpuBusy   map[int]bool
+	// lanes holds per-GPU compute state, indexed by GPU. A slice instead of a
+	// map: GPU indices are small and dense, and the reusable deque keeps the
+	// steady-state ready/complete cycle allocation-free.
+	lanes []laneState
+	// free recycles completion records (see doneRec). Single-goroutine by the
+	// engine contract, so a plain slice suffices.
+	free []*doneRec
 
 	startTime sim.VTime
 	lastEnd   sim.VTime
+}
+
+// laneState is one GPU's compute stream: a head-indexed FIFO whose backing
+// array is reused once drained, plus the busy flag and the cached timeline
+// lane name (formerly a fmt.Sprintf per task completion).
+type laneState struct {
+	queue []*Task
+	head  int
+	busy  bool
+	name  string
+}
+
+// doneRec is a pooled completion record: it replaces the per-task closures
+// the executor used to allocate for every compute, delay, and communication
+// completion. The method values onTimer/onComm are bound once when the
+// record is first allocated and reused across recycles, so steady-state
+// dispatch allocates nothing.
+type doneRec struct {
+	x     *Executor
+	t     *Task
+	gpu   int
+	start sim.VTime
+	delay bool
+	phase string
+
+	onTimer func(now sim.VTime) error
+	onComm  func(end sim.VTime)
 }
 
 // NewExecutor prepares an executor; call Run to execute.
 func NewExecutor(eng sim.Engine, net network.Network, g *Graph,
 	tl *timeline.Timeline) *Executor {
 	return &Executor{
-		eng:      eng,
-		net:      net,
-		graph:    g,
-		tl:       tl,
-		gpuQueue: map[int][]*Task{},
-		gpuBusy:  map[int]bool{},
+		eng:   eng,
+		net:   net,
+		graph: g,
+		tl:    tl,
 	}
 }
 
@@ -66,6 +96,42 @@ func (x *Executor) notify(t *Task, start, end sim.VTime) {
 	for _, o := range x.obs {
 		o.TaskDone(t, start, end)
 	}
+}
+
+// lane returns gpu's lane, growing the lane table on first sight of the GPU.
+// The returned pointer is only valid until the next lane call — don't retain.
+func (x *Executor) lane(gpu int) *laneState {
+	for gpu >= len(x.lanes) {
+		x.lanes = append(x.lanes, laneState{})
+	}
+	l := &x.lanes[gpu]
+	if l.name == "" {
+		l.name = fmt.Sprintf("gpu%d", gpu)
+	}
+	return l
+}
+
+// getRec pops a recycled completion record (or allocates the pool's next).
+func (x *Executor) getRec() *doneRec {
+	if n := len(x.free); n > 0 {
+		r := x.free[n-1]
+		x.free[n-1] = nil
+		x.free = x.free[:n-1]
+		return r
+	}
+	r := &doneRec{x: x}
+	r.onTimer = r.timerDone
+	r.onComm = r.commDone
+	return r
+}
+
+// putRec returns a record whose completion has fired. Callers copy every
+// field they need before releasing: the record may be reacquired by tasks
+// started later in the same completion.
+func (x *Executor) putRec(r *doneRec) {
+	r.t = nil
+	r.phase = ""
+	x.free = append(x.free, r)
 }
 
 // Run executes the whole graph and returns the makespan (the virtual time
@@ -111,8 +177,9 @@ func (x *Executor) Run() (sim.VTime, error) {
 func (x *Executor) ready(t *Task, now sim.VTime) {
 	switch t.Kind {
 	case Compute:
-		x.gpuQueue[t.GPU] = append(x.gpuQueue[t.GPU], t)
-		if !x.gpuBusy[t.GPU] {
+		l := x.lane(t.GPU)
+		l.queue = append(l.queue, t)
+		if !l.busy {
 			x.startNextCompute(t.GPU, now)
 		}
 	case Comm, HostLoad:
@@ -120,47 +187,67 @@ func (x *Executor) ready(t *Task, now sim.VTime) {
 		if t.Kind == HostLoad {
 			phase = "hostload"
 		}
-		start := now
-		x.net.Send(t.Src, t.Dst, t.Bytes, func(end sim.VTime) {
-			x.tl.Add("net", t.Label, phase, start, end)
-			x.notify(t, start, end)
-			x.complete(t, end)
-		})
+		r := x.getRec()
+		r.t, r.start, r.phase = t, now, phase
+		x.net.Send(t.Src, t.Dst, t.Bytes, r.onComm)
 	case Barrier:
 		x.complete(t, now)
 	case Delay:
-		sim.ScheduleFunc(x.eng, now+t.Duration,
-			func(done sim.VTime) error {
-				x.complete(t, done)
-				return nil
-			})
+		r := x.getRec()
+		r.t, r.delay = t, true
+		sim.ScheduleFunc(x.eng, now+t.Duration, r.onTimer)
 	}
 }
 
 // startNextCompute pops the GPU's ready queue and occupies the stream.
 func (x *Executor) startNextCompute(gpu int, now sim.VTime) {
-	q := x.gpuQueue[gpu]
-	if len(q) == 0 {
+	l := x.lane(gpu)
+	if l.head >= len(l.queue) {
 		return
 	}
-	t := q[0]
-	x.gpuQueue[gpu] = q[1:]
-	x.gpuBusy[gpu] = true
+	t := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	if l.head == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
+	}
+	l.busy = true
 	dur := t.Duration
 	if x.Stretch != nil {
 		if f := x.Stretch(gpu, now); f != 1 {
 			dur = sim.VTime(float64(dur) * f)
 		}
 	}
-	end := now + dur
-	sim.ScheduleFunc(x.eng, end, func(done sim.VTime) error {
-		x.tl.Add(fmt.Sprintf("gpu%d", gpu), t.Label, "compute", now, done)
-		x.notify(t, now, done)
-		x.gpuBusy[gpu] = false
+	r := x.getRec()
+	r.t, r.gpu, r.start, r.delay = t, gpu, now, false
+	sim.ScheduleFunc(x.eng, now+dur, r.onTimer)
+}
+
+// timerDone completes a compute or delay task when its scheduled end fires.
+func (r *doneRec) timerDone(done sim.VTime) error {
+	x, t, gpu, start, delay := r.x, r.t, r.gpu, r.start, r.delay
+	x.putRec(r)
+	if delay {
 		x.complete(t, done)
-		x.startNextCompute(gpu, done)
 		return nil
-	})
+	}
+	x.tl.Add(x.lane(gpu).name, t.Label, "compute", start, done)
+	x.notify(t, start, done)
+	x.lane(gpu).busy = false
+	x.complete(t, done)
+	x.startNextCompute(gpu, done)
+	return nil
+}
+
+// commDone completes a communication task when the network model reports the
+// transfer finished.
+func (r *doneRec) commDone(end sim.VTime) {
+	x, t, start, phase := r.x, r.t, r.start, r.phase
+	x.putRec(r)
+	x.tl.Add("net", t.Label, phase, start, end)
+	x.notify(t, start, end)
+	x.complete(t, end)
 }
 
 // complete resolves a finished task and releases its dependents.

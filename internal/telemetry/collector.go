@@ -353,6 +353,12 @@ type RunInfo struct {
 	TotalSec        float64
 	PerIterationSec float64
 	Events          uint64
+	// QueueHighWater is the engine's own peak pending-event count
+	// (SerialEngine.QueueHighWater). It is tracked at Schedule time, so it
+	// sees depths the collector's after-event probe misses (the pre-Run
+	// backlog and intra-dispatch peaks); Finalize keeps whichever of the two
+	// observations is larger.
+	QueueHighWater int
 	// NetTotalBytes / NetTransfers come from the flow network's own stats.
 	NetTotalBytes float64
 	NetTransfers  int
@@ -468,6 +474,9 @@ func (c *Collector) Finalize(info RunInfo) *RunReport {
 	// Engine self-profile.
 	rep.Engine.Events = info.Events
 	rep.Engine.QueueHighWater = c.queuePeak
+	if info.QueueHighWater > rep.Engine.QueueHighWater {
+		rep.Engine.QueueHighWater = info.QueueHighWater
+	}
 	kinds := make([]string, 0, len(c.kinds))
 	for k := range c.kinds {
 		kinds = append(kinds, k)

@@ -42,6 +42,12 @@ type RunReport struct {
 	// Faults carries fault-injection and resilience accounting (nil unless
 	// the run had a fault schedule configured).
 	Faults *FaultReport `json:"faults,omitempty"`
+	// TraceCache carries the shared trace cache's counters (nil unless the
+	// run used a cache). The counters accumulate across every simulation
+	// sharing the store, so this section — unlike the rest of the report —
+	// is NOT covered by the byte-identity guarantee above: the same config
+	// reports different hit counts depending on what ran before it.
+	TraceCache *TraceCacheStat `json:"trace_cache,omitempty"`
 
 	// Metrics is the raw registry dump backing the aggregates above.
 	Metrics []MetricPoint `json:"metrics,omitempty"`
@@ -123,6 +129,19 @@ type EngineStat struct {
 	// when the caller injected a Clock (zero in deterministic test runs).
 	WallSeconds     float64 `json:"wall_seconds,omitempty"`
 	EventsPerSecond float64 `json:"events_per_second,omitempty"`
+}
+
+// TraceCacheStat is the shared trace cache's counter snapshot at the end of
+// the run: how many trace collections and timer fits were skipped, and the
+// approximate bytes the cached traces retain.
+type TraceCacheStat struct {
+	TraceHits   uint64 `json:"trace_hits"`
+	TraceMisses uint64 `json:"trace_misses"`
+	TimerHits   uint64 `json:"timer_hits"`
+	TimerMisses uint64 `json:"timer_misses"`
+	Traces      int    `json:"traces"`
+	Timers      int    `json:"timers"`
+	Bytes       int64  `json:"bytes"`
 }
 
 // KindCount is one per-event-kind dispatch count.

@@ -217,6 +217,22 @@ func (tb *Table) All() []*Tensor {
 	return out
 }
 
+// Clone returns a deep copy of the table: tensors and their Dims slices are
+// copied, so mutations of either table never alias the other. The trace
+// cache uses this for its copy-on-write contract.
+func (tb *Table) Clone() *Table {
+	out := &Table{
+		byID:   make(map[ID]*Tensor, len(tb.byID)),
+		nextID: tb.nextID,
+	}
+	for id, t := range tb.byID {
+		c := *t
+		c.Dims = append([]int64(nil), t.Dims...)
+		out.byID[id] = &c
+	}
+	return out
+}
+
 // TotalBytes sums the bytes of the tensors with the given IDs.
 func (tb *Table) TotalBytes(ids []ID) int64 {
 	var total int64

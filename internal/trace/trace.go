@@ -115,6 +115,31 @@ func (t *Trace) Append(op Op) {
 	t.Ops = append(t.Ops, op)
 }
 
+// Clone returns a deep copy of the trace: the op table (including Inputs and
+// Outputs ID slices) and the tensor table are copied, so the clone can be
+// mutated freely without touching the original. This is the copy-on-write
+// boundary for traces shared read-only out of the trace cache.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{
+		Model:     t.Model,
+		Device:    t.Device,
+		BatchSize: t.BatchSize,
+	}
+	if t.Ops != nil {
+		out.Ops = make([]Op, len(t.Ops))
+		copy(out.Ops, t.Ops)
+		for i := range out.Ops {
+			op := &out.Ops[i]
+			op.Inputs = append([]tensor.ID(nil), op.Inputs...)
+			op.Outputs = append([]tensor.ID(nil), op.Outputs...)
+		}
+	}
+	if t.Tensors != nil {
+		out.Tensors = t.Tensors.Clone()
+	}
+	return out
+}
+
 // TotalTime sums the measured time of all ops (the traced single-GPU
 // iteration time, excluding data loading).
 func (t *Trace) TotalTime() sim.VTime {

@@ -1,0 +1,246 @@
+// Package tracecache shares collected single-GPU traces and fitted operator
+// timers across simulations. TrioSim's pitch is that one trace drives every
+// multi-GPU prediction, yet a figure sweep that varies only GPU count or link
+// bandwidth would otherwise rebuild the same (model, batch, GPU) trace — and
+// refit the same performance model — once per scenario. The cache memoizes
+// that invariant front half of the pipeline.
+//
+// Keys are content-addressed: every input that influences the bytes of a
+// collected trace (model name, trace batch, the full GPU spec by value, the
+// timer's noise amplitude) is part of the key, so two configurations share an
+// entry exactly when the tracer would have produced identical traces. There
+// is deliberately no eviction: a sweep's working set is a handful of traces.
+//
+// Concurrency: reads take an RWMutex read lock (the steady state for warm
+// sweeps); the first miss for a key builds the value once while concurrent
+// requesters for the same key wait on a singleflight-style in-flight call
+// instead of duplicating the build.
+//
+// Sharing contract: cached traces and timers are shared READ-ONLY. Every
+// downstream consumer (the extrapolator, the perfmodel fit, ground-truth
+// execution) treats traces as immutable; a consumer that needs to mutate one
+// must take a copy first — trace.Trace.Clone is the copy-on-write boundary.
+// TestCachedTraceImmutable in this package guards the contract.
+package tracecache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"triosim/internal/gpu"
+	"triosim/internal/sim"
+	"triosim/internal/trace"
+)
+
+// Key identifies one collected trace: everything that influences its bytes.
+// gpu.Spec is embedded by value (it is an all-scalar comparable struct), so a
+// custom spec with, say, a different memory bandwidth gets its own entry even
+// if it shares a name with a zoo spec.
+type Key struct {
+	// Model is the model-zoo workload name.
+	Model string
+	// Batch is the batch size the trace is collected at.
+	Batch int
+	// Spec is the GPU the trace is stamped for.
+	Spec gpu.Spec
+	// NoiseAmp is the stamping timer's kernel-noise amplitude
+	// (hwsim.DefaultNoiseAmp for traces collected via hwsim.CollectTrace).
+	NoiseAmp float64
+}
+
+// TimerKey identifies one fitted operator timer: the trace it was fitted on,
+// the compute-model variant, and the rescale target (equal to Trace.Spec when
+// the trace GPU and the simulated platform GPU coincide).
+type TimerKey struct {
+	Trace        Key
+	ComputeModel string
+	Target       gpu.Spec
+}
+
+// OpTimer mirrors extrapolator.OpTimer structurally, so fitted models pass
+// through the cache without this package importing the extrapolator.
+type OpTimer interface {
+	OpTime(name string, flops, bytes float64, traceTime sim.VTime,
+		scaled bool) sim.VTime
+}
+
+// call is one in-flight build; waiters block on done.
+type call struct {
+	done  chan struct{}
+	tr    *trace.Trace
+	timer OpTimer
+	err   error
+}
+
+// Store is the shared cache. The zero value is not usable; call New.
+type Store struct {
+	mu       sync.RWMutex
+	traces   map[Key]*trace.Trace
+	timers   map[TimerKey]OpTimer
+	inflight map[Key]*call
+	fitting  map[TimerKey]*call
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	timerHits   atomic.Uint64
+	timerMisses atomic.Uint64
+	bytes       atomic.Int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		traces:   map[Key]*trace.Trace{},
+		timers:   map[TimerKey]OpTimer{},
+		inflight: map[Key]*call{},
+		fitting:  map[TimerKey]*call{},
+	}
+}
+
+// GetTrace returns the trace for k, invoking build at most once per key no
+// matter how many goroutines ask concurrently. The returned trace is shared:
+// callers must treat it as immutable (Clone before mutating). Build errors
+// are returned to every waiter and not cached.
+func (s *Store) GetTrace(k Key, build func() (*trace.Trace, error)) (
+	*trace.Trace, error) {
+
+	s.mu.RLock()
+	tr, ok := s.traces[k]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		return tr, nil
+	}
+
+	s.mu.Lock()
+	if tr, ok := s.traces[k]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return tr, nil
+	}
+	if c, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		s.hits.Add(1) // the waiter skipped a build
+		return c.tr, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[k] = c
+	s.mu.Unlock()
+
+	s.misses.Add(1)
+	c.tr, c.err = build()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if c.err == nil {
+		s.traces[k] = c.tr
+		s.bytes.Add(approxTraceBytes(c.tr))
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.tr, c.err
+}
+
+// GetTimer is GetTrace for fitted operator timers: fit runs at most once per
+// key; the fitted model is shared read-only (perfmodel predictions never
+// mutate the model).
+func (s *Store) GetTimer(k TimerKey, fit func() (OpTimer, error)) (
+	OpTimer, error) {
+
+	s.mu.RLock()
+	t, ok := s.timers[k]
+	s.mu.RUnlock()
+	if ok {
+		s.timerHits.Add(1)
+		return t, nil
+	}
+
+	s.mu.Lock()
+	if t, ok := s.timers[k]; ok {
+		s.mu.Unlock()
+		s.timerHits.Add(1)
+		return t, nil
+	}
+	if c, ok := s.fitting[k]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		s.timerHits.Add(1)
+		return c.timer, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.fitting[k] = c
+	s.mu.Unlock()
+
+	s.timerMisses.Add(1)
+	c.timer, c.err = fit()
+
+	s.mu.Lock()
+	delete(s.fitting, k)
+	if c.err == nil {
+		s.timers[k] = c.timer
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.timer, c.err
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// TraceHits counts GetTrace calls served from the cache (including
+	// waiters that joined an in-flight build).
+	TraceHits uint64 `json:"trace_hits"`
+	// TraceMisses counts trace builds actually executed.
+	TraceMisses uint64 `json:"trace_misses"`
+	// TimerHits and TimerMisses are the same split for fitted timers.
+	TimerHits   uint64 `json:"timer_hits"`
+	TimerMisses uint64 `json:"timer_misses"`
+	// Traces and Timers are the current entry counts.
+	Traces int `json:"traces"`
+	Timers int `json:"timers"`
+	// Bytes approximates the retained size of all cached traces.
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	nTraces, nTimers := len(s.traces), len(s.timers)
+	s.mu.RUnlock()
+	return Stats{
+		TraceHits:   s.hits.Load(),
+		TraceMisses: s.misses.Load(),
+		TimerHits:   s.timerHits.Load(),
+		TimerMisses: s.timerMisses.Load(),
+		Traces:      nTraces,
+		Timers:      nTimers,
+		Bytes:       s.bytes.Load(),
+	}
+}
+
+// approxTraceBytes estimates the retained size of a trace: op table, tensor
+// table, and the per-op ID slices. It is a telemetry gauge, not an allocator
+// accounting — constants are rough sizeofs of the structs involved.
+func approxTraceBytes(tr *trace.Trace) int64 {
+	if tr == nil {
+		return 0
+	}
+	const opSize, tensorSize = 128, 88
+	n := int64(len(tr.Ops)) * opSize
+	for i := range tr.Ops {
+		n += int64(len(tr.Ops[i].Inputs)+len(tr.Ops[i].Outputs)) * 8
+		n += int64(len(tr.Ops[i].Name) + len(tr.Ops[i].LayerName))
+	}
+	if tr.Tensors != nil {
+		for _, t := range tr.Tensors.All() {
+			n += tensorSize + int64(len(t.Dims))*8
+		}
+	}
+	return n
+}

@@ -1,0 +1,323 @@
+package tracecache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"triosim/internal/gpu"
+	"triosim/internal/sim"
+	"triosim/internal/tensor"
+	"triosim/internal/trace"
+)
+
+// makeTrace builds a tiny two-op trace for cache tests.
+func makeTrace(model string) *trace.Trace {
+	tr := trace.New(model, "A100", 32)
+	in := tr.Tensors.Add(tensor.Tensor{
+		Dims: []int64{32, 3, 224, 224}, DType: tensor.Float32,
+		Category: tensor.Input, BatchDim: 0,
+	})
+	w := tr.Tensors.Add(tensor.Tensor{
+		Dims: []int64{64, 3, 7, 7}, DType: tensor.Float32,
+		Category: tensor.Weight,
+	})
+	out := tr.Tensors.Add(tensor.Tensor{
+		Dims: []int64{32, 64, 112, 112}, DType: tensor.Float32,
+		Category: tensor.Activation, BatchDim: 0,
+	})
+	tr.Append(trace.Op{Name: "conv2d", Phase: trace.Forward,
+		Time: 2 * sim.MSec, FLOPs: 1e9,
+		Inputs: []tensor.ID{in, w}, Outputs: []tensor.ID{out}})
+	tr.Append(trace.Op{Name: "relu", Phase: trace.Forward,
+		Time: 1 * sim.MSec, FLOPs: 1e6,
+		Inputs: []tensor.ID{out}, Outputs: []tensor.ID{out}})
+	return tr
+}
+
+func testKey(model string) Key {
+	return Key{Model: model, Batch: 32, Spec: gpu.A100, NoiseAmp: 0.02}
+}
+
+func TestGetTraceHitMiss(t *testing.T) {
+	s := New()
+	builds := 0
+	build := func() (*trace.Trace, error) {
+		builds++
+		return makeTrace("m"), nil
+	}
+	first, err := s.GetTrace(testKey("m"), build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.GetTrace(testKey("m"), build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	if first != second {
+		t.Fatal("cache returned different trace pointers for the same key")
+	}
+	st := s.Stats()
+	if st.TraceHits != 1 || st.TraceMisses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1",
+			st.TraceHits, st.TraceMisses)
+	}
+	if st.Traces != 1 {
+		t.Fatalf("stats report %d traces, want 1", st.Traces)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("stats report %d bytes for a non-empty trace", st.Bytes)
+	}
+}
+
+func TestGetTraceKeysAreContentAddressed(t *testing.T) {
+	s := New()
+	build := func(model string) func() (*trace.Trace, error) {
+		return func() (*trace.Trace, error) { return makeTrace(model), nil }
+	}
+	if _, err := s.GetTrace(testKey("a"), build("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Same model, different spec value: a distinct entry even though both
+	// specs could plausibly print the same name.
+	custom := gpu.A100
+	custom.MemBandwidth /= 2
+	k := testKey("a")
+	k.Spec = custom
+	if _, err := s.GetTrace(k, build("a")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.TraceMisses != 2 || st.Traces != 2 {
+		t.Fatalf("stats = %d misses / %d traces, want 2/2: spec must be part "+
+			"of the key", st.TraceMisses, st.Traces)
+	}
+}
+
+func TestGetTraceErrorNotCached(t *testing.T) {
+	s := New()
+	boom := errors.New("collector exploded")
+	builds := 0
+	if _, err := s.GetTrace(testKey("m"), func() (*trace.Trace, error) {
+		builds++
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// The failure must not poison the key: the next call rebuilds.
+	tr, err := s.GetTrace(testKey("m"), func() (*trace.Trace, error) {
+		builds++
+		return makeTrace("m"), nil
+	})
+	if err != nil || tr == nil {
+		t.Fatalf("rebuild after error failed: %v", err)
+	}
+	if builds != 2 {
+		t.Fatalf("build ran %d times, want 2", builds)
+	}
+}
+
+// constTimer is a trivial OpTimer for cache identity tests.
+type constTimer struct{ v sim.VTime }
+
+func (c constTimer) OpTime(string, float64, float64, sim.VTime, bool) sim.VTime {
+	return c.v
+}
+
+func TestGetTimerHitMiss(t *testing.T) {
+	s := New()
+	k := TimerKey{Trace: testKey("m"), ComputeModel: "li", Target: gpu.A100}
+	fits := 0
+	fit := func() (OpTimer, error) {
+		fits++
+		return constTimer{v: sim.MSec}, nil
+	}
+	first, err := s.GetTimer(k, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.GetTimer(k, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits != 1 {
+		t.Fatalf("fit ran %d times, want 1", fits)
+	}
+	if first != second {
+		t.Fatal("cache returned different timers for the same key")
+	}
+	// A different compute model on the same trace is a different timer.
+	k2 := k
+	k2.ComputeModel = "roofline"
+	if _, err := s.GetTimer(k2, fit); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.TimerHits != 1 || st.TimerMisses != 2 ||
+		st.Timers != 2 {
+		t.Fatalf("stats = %d/%d hits/misses, %d timers; want 1/2, 2",
+			st.TimerHits, st.TimerMisses, st.Timers)
+	}
+}
+
+func TestGetTimerErrorNotCached(t *testing.T) {
+	s := New()
+	k := TimerKey{Trace: testKey("m"), ComputeModel: "li", Target: gpu.A100}
+	boom := errors.New("fit failed")
+	if _, err := s.GetTimer(k, func() (OpTimer, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	tm, err := s.GetTimer(k, func() (OpTimer, error) {
+		return constTimer{v: sim.MSec}, nil
+	})
+	if err != nil || tm == nil {
+		t.Fatalf("refit after error failed: %v", err)
+	}
+}
+
+// TestGetTraceSingleflight hammers one cold key from many goroutines: the
+// build must run exactly once, every caller must get the same trace, and the
+// joiners must count as hits.
+func TestGetTraceSingleflight(t *testing.T) {
+	s := New()
+	var builds int // guarded by the build gate: only one builder may run
+	gate := make(chan struct{})
+	const workers = 16
+	results := make([]*trace.Trace, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := s.GetTrace(testKey("m"), func() (*trace.Trace, error) {
+				builds++
+				<-gate // hold the build open so the others pile up
+				return makeTrace("m"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = tr
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times under contention, want 1", builds)
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got a different trace pointer", i)
+		}
+	}
+	st := s.Stats()
+	if st.TraceMisses != 1 {
+		t.Fatalf("misses = %d, want 1", st.TraceMisses)
+	}
+	if st.TraceHits != workers-1 {
+		t.Fatalf("hits = %d, want %d (every joiner skipped a build)",
+			st.TraceHits, workers-1)
+	}
+}
+
+// TestGetTimerSingleflight is the same contention check for fitted timers.
+func TestGetTimerSingleflight(t *testing.T) {
+	s := New()
+	k := TimerKey{Trace: testKey("m"), ComputeModel: "li", Target: gpu.A100}
+	var fits int
+	gate := make(chan struct{})
+	const workers = 16
+	results := make([]OpTimer, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tm, err := s.GetTimer(k, func() (OpTimer, error) {
+				fits++
+				<-gate
+				return constTimer{v: sim.MSec}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = tm
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if fits != 1 {
+		t.Fatalf("fit ran %d times under contention, want 1", fits)
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got a different timer", i)
+		}
+	}
+}
+
+// TestCachedTraceImmutable guards the read-only sharing contract: cloning a
+// cached trace and mutating the clone must leave the cached original — op
+// table, ID slices, and tensor table — untouched.
+func TestCachedTraceImmutable(t *testing.T) {
+	s := New()
+	cached, err := s.GetTrace(testKey("m"), func() (*trace.Trace, error) {
+		return makeTrace("m"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTime := cached.TotalTime()
+	wantOps := len(cached.Ops)
+	wantInput0 := cached.Ops[0].Inputs[0]
+	wantDim0 := cached.Tensors.Get(wantInput0).Dims[0]
+
+	cl := cached.Clone()
+	if cl == cached {
+		t.Fatal("Clone returned the same pointer")
+	}
+	cl.Ops[0].Time *= 100
+	cl.Ops[0].Inputs[0] = 999
+	cl.Tensors.Get(wantInput0).Dims[0] = 7
+	cl.Append(trace.Op{Name: "extra", Time: sim.MSec})
+
+	again, err := s.GetTrace(testKey("m"), func() (*trace.Trace, error) {
+		t.Fatal("cache rebuilt a present key")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TotalTime() != wantTime {
+		t.Fatalf("cached trace time changed: %v -> %v (op-table mutation "+
+			"leaked through Clone)", wantTime, again.TotalTime())
+	}
+	if len(again.Ops) != wantOps {
+		t.Fatalf("cached trace grew from %d to %d ops", wantOps,
+			len(again.Ops))
+	}
+	if again.Ops[0].Inputs[0] != wantInput0 {
+		t.Fatal("cached op ID slice mutated through the clone")
+	}
+	if got := again.Tensors.Get(wantInput0).Dims[0]; got != wantDim0 {
+		t.Fatalf("cached tensor dims mutated through the clone: %d", got)
+	}
+}
+
+// TestApproxTraceBytes sanity-checks the telemetry gauge.
+func TestApproxTraceBytes(t *testing.T) {
+	if approxTraceBytes(nil) != 0 {
+		t.Fatal("nil trace should weigh 0 bytes")
+	}
+	small := makeTrace("m")
+	big := makeTrace("m")
+	for i := 0; i < 50; i++ {
+		big.Append(trace.Op{Name: "pad", Time: sim.MSec})
+	}
+	if approxTraceBytes(big) <= approxTraceBytes(small) {
+		t.Fatal("a larger trace should weigh more")
+	}
+}

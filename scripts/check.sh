@@ -16,15 +16,18 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> race hammer (sweep pool + monitor + faults, repeated runs)"
+echo "==> race hammer (sweep pool + monitor + faults + trace cache, repeated runs)"
 go test -race -count=2 ./internal/sweep/... ./internal/monitor/... \
-  ./internal/faults/...
+  ./internal/faults/... ./internal/tracecache/...
 
 echo "==> triosimvet (static determinism analyzers)"
 go run ./cmd/triosimvet ./...
 
 echo "==> triosimvet -replay (double-run event-digest check + fault injection)"
 go run ./cmd/triosimvet -replay -replay-faults
+
+echo "==> triosimvet -cache-smoke (trace-cache hit counters + digest identity)"
+go run ./cmd/triosimvet -cache-smoke
 
 echo "==> telemetry smoke (-metrics-out + RunReport schema validation)"
 tmpdir="$(mktemp -d)"

@@ -34,6 +34,7 @@ import (
 	"triosim/internal/sim"
 	"triosim/internal/telemetry"
 	"triosim/internal/trace"
+	"triosim/internal/tracecache"
 )
 
 // Config describes one simulation; see the field docs in internal/core.
@@ -96,6 +97,16 @@ func GroundTruth(cfg Config) (*Result, error) { return core.GroundTruth(cfg) }
 
 // Validate runs both paths and reports the prediction error.
 func Validate(cfg Config) (*Comparison, error) { return core.Validate(cfg) }
+
+// TraceCache shares collected traces and fitted operator timers across
+// simulations. Assign one store to Config.Cache on every Config of a sweep
+// (internal sweeps and cmd/experiments do this automatically): scenarios with
+// the same (model, trace batch, GPU) then collect the trace once and reuse it
+// read-only, with bit-identical results. See docs/PERFORMANCE.md.
+type TraceCache = tracecache.Store
+
+// NewTraceCache returns an empty shared trace cache.
+func NewTraceCache() *TraceCache { return tracecache.New() }
 
 // MemoryReport is a per-GPU peak-memory estimate.
 type MemoryReport = core.MemoryReport

@@ -6,6 +6,12 @@
 //
 //	triosimvet ./...            # analyze the module containing the cwd
 //	triosimvet -json ./...      # machine-readable findings
+//	triosimvet -baseline lint.baseline.json
+//	                            # gate only on findings NOT in the committed
+//	                            # baseline (new violations); stale baseline
+//	                            # entries are reported, not fatal
+//	triosimvet -write-baseline lint.baseline.json
+//	                            # accept the current findings as the baseline
 //	triosimvet -replay          # runtime gate: run a workload twice and
 //	                            # compare event-schedule digests
 //	triosimvet -report r.json   # validate a telemetry RunReport's schema
@@ -43,6 +49,10 @@ func main() {
 			"with -replay: also check fault-injection determinism (no-op schedule identity + seeded-schedule replay)")
 		replayFaultSeed = flag.Int64("replay-fault-seed", 7,
 			"fault-generator seed for -replay-faults")
+		baselinePath = flag.String("baseline", "",
+			"compare findings against an accepted-findings baseline file; only new findings fail")
+		writeBaseline = flag.String("write-baseline", "",
+			"write the current findings to a baseline file and exit 0")
 		reportPath = flag.String("report", "",
 			"validate a telemetry RunReport JSON file instead of static analysis")
 		cacheSmoke = flag.Bool("cache-smoke", false,
@@ -60,7 +70,7 @@ func main() {
 		os.Exit(runReplay(*replayModel, *replayRuns, *replayFaults,
 			*replayFaultSeed))
 	}
-	os.Exit(runLint(*jsonOut))
+	os.Exit(runLint(*jsonOut, *baselinePath, *writeBaseline))
 }
 
 // runReportCheck validates a RunReport file: schema tag, per-GPU time
@@ -94,7 +104,7 @@ func runReportCheck(path string) int {
 	return 0
 }
 
-func runLint(jsonOut bool) int {
+func runLint(jsonOut bool, baselinePath, writeBaseline string) int {
 	root, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triosimvet:", err)
@@ -106,6 +116,36 @@ func runLint(jsonOut bool) int {
 		return 2
 	}
 	findings := lint.Run(mod)
+
+	if writeBaseline != "" {
+		b := lint.NewBaseline(root, findings)
+		if err := b.Write(writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "triosimvet: -write-baseline:", err)
+			return 2
+		}
+		fmt.Printf("baseline written: %s (%d accepted finding(s))\n",
+			writeBaseline, len(findings))
+		return 0
+	}
+
+	if baselinePath != "" {
+		b, err := lint.ReadBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "triosimvet: -baseline:", err)
+			return 2
+		}
+		diff := b.Diff(root, findings)
+		// Stale entries are informational: the violation was fixed, the
+		// baseline should be regenerated to shrink.
+		for _, e := range diff.Stale {
+			fmt.Fprintf(os.Stderr,
+				"triosimvet: stale baseline entry (fixed? regenerate with -write-baseline): [%s] %s: %s\n",
+				e.Analyzer, e.File, e.Message)
+		}
+		// Only new findings are reported and gate the exit status.
+		findings = diff.New
+	}
+
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

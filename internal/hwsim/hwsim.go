@@ -83,14 +83,17 @@ func (t *Timer) noise(name string, flops float64) float64 {
 }
 
 // Stamp assigns measured times to every op of the trace skeleton and records
-// the device name, completing the "trace collection" step.
+// the device name, completing the "trace collection" step. The trace is
+// pre-publication here: Stamp is part of the collection pipeline and runs
+// before the trace is cached or shared, hence the publish-then-mutate
+// suppressions below.
 func Stamp(tr *trace.Trace, spec *gpu.Spec) {
 	timer := NewTimer(spec)
-	tr.Device = spec.Name
+	tr.Device = spec.Name //triosim:nolint publish-then-mutate -- pre-publication: Stamp completes collection before the trace is cached/shared
 	for i := range tr.Ops {
 		op := &tr.Ops[i]
 		bytes := float64(op.BytesIn(tr.Tensors) + op.BytesOut(tr.Tensors))
-		op.Time = timer.OpTime(op.Name, op.FLOPs, bytes, 0, true)
+		op.Time = timer.OpTime(op.Name, op.FLOPs, bytes, 0, true) //triosim:nolint publish-then-mutate -- pre-publication: same collection step
 	}
 }
 

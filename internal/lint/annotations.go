@@ -1,0 +1,165 @@
+package lint
+
+// This file implements triosimvet's source annotations: machine-checked
+// markers that turn the repo's prose invariants ("cached entries are never
+// mutated", "zero allocs in the engine loop", "flow objects are pooled") into
+// inputs for the concurrency-safety analyzers. An annotation is a directive
+// comment in the doc block of a type or function declaration:
+//
+//	//triosim:immutable  — on a type: once a value escapes its constructor
+//	                       (any function of the defining package, or a Clone),
+//	                       no field may be written through it. Enforced by
+//	                       publish-then-mutate.
+//	//triosim:pooled     — on a type: values are recycled through a free list.
+//	                       The defining package must have a release path, and
+//	                       a released value must not be touched again.
+//	                       Enforced by pool-lifecycle.
+//	//triosim:hotpath    — on a function: the body must not allocate (heap
+//	                       composite literals, make/new, growing appends,
+//	                       closures, interface boxing). Enforced by
+//	                       hotpath-alloc.
+//
+// Type annotations are module-global: the registry is built while loading,
+// so a consumer package's pass can ask about types defined elsewhere.
+// Function annotations are consulted per package by hotpath-alloc.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation directive comment prefixes.
+const (
+	immutableDirective = "//triosim:immutable"
+	pooledDirective    = "//triosim:pooled"
+	hotpathDirective   = "//triosim:hotpath"
+)
+
+// Annotations is the module-wide registry of annotated types, keyed by
+// "import/path.TypeName". Values are the directive's source position (for
+// declaration-site diagnostics).
+type Annotations struct {
+	Immutable map[string]token.Pos
+	Pooled    map[string]token.Pos
+}
+
+// newAnnotations returns an empty registry.
+func newAnnotations() *Annotations {
+	return &Annotations{
+		Immutable: map[string]token.Pos{},
+		Pooled:    map[string]token.Pos{},
+	}
+}
+
+// hasDirective reports whether the comment group contains the directive (the
+// exact comment, optionally followed by free text after a space).
+func hasDirective(doc *ast.CommentGroup, directive string) (token.Pos, bool) {
+	if doc == nil {
+		return token.NoPos, false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directive)
+		if !ok {
+			continue
+		}
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+			return c.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}
+
+// collectTypeAnnotations indexes every annotated type declaration of a file
+// into the registry. The directive may sit in the GenDecl's doc (the common
+// single-spec form) or the TypeSpec's own doc in a grouped declaration.
+func collectTypeAnnotations(pkgPath string, file *ast.File, ann *Annotations) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			key := pkgPath + "." + ts.Name.Name
+			for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+				if pos, ok := hasDirective(doc, immutableDirective); ok {
+					ann.Immutable[key] = pos
+				}
+				if pos, ok := hasDirective(doc, pooledDirective); ok {
+					ann.Pooled[key] = pos
+				}
+			}
+		}
+	}
+}
+
+// typeKey renders a named type (through pointers) as the registry key, or ""
+// when the type is not a named package-level type.
+func typeKey(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// IsImmutable reports whether t (through pointers) is annotated
+// //triosim:immutable anywhere in the module.
+func (p *Pass) IsImmutable(t types.Type) bool {
+	if p.ann == nil {
+		return false
+	}
+	_, ok := p.ann.Immutable[typeKey(t)]
+	return ok
+}
+
+// IsPooled reports whether t (through pointers) is annotated //triosim:pooled
+// anywhere in the module.
+func (p *Pass) IsPooled(t types.Type) bool {
+	if p.ann == nil {
+		return false
+	}
+	_, ok := p.ann.Pooled[typeKey(t)]
+	return ok
+}
+
+// immutableOwner returns the import path of the package defining the
+// annotated type key ("a/b.T" → "a/b").
+func immutableOwner(key string) string {
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// hotpathFuncs returns the file's function declarations annotated
+// //triosim:hotpath.
+func hotpathFuncs(file *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if _, ok := hasDirective(fd.Doc, hotpathDirective); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

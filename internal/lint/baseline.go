@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a committed snapshot of accepted findings so new
+// analyzers can land with the tree imperfect and still gate CI on *new*
+// violations only. The baseline is a multiset keyed by (analyzer,
+// module-relative file, message) — deliberately NOT line numbers, so
+// unrelated edits that shift a finding up or down do not invalidate the
+// baseline, while any new finding (or a second instance of an accepted one)
+// still fails.
+
+// BaselineEntry is one accepted finding in a baseline file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, slash-separated
+	Message  string `json:"message"`
+	// Count collapses identical (analyzer, file, message) triples.
+	Count int `json:"count,omitempty"`
+}
+
+// Baseline is an accepted-findings multiset.
+type Baseline struct {
+	// Entries are sorted by (analyzer, file, message) for stable diffs.
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// baselineKey identifies a finding for baseline matching.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// relFile maps a finding's absolute file to the module-relative slash path.
+func relFile(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(file)
+}
+
+// NewBaseline builds a baseline from findings (typically a -write-baseline
+// run), with files made module-relative against root.
+func NewBaseline(root string, findings []Finding) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, relFile(root, f.File), f.Message}]++
+	}
+	b := &Baseline{Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ReadBaseline loads a baseline file. A missing file is an error; an empty
+// findings list is a valid (clean-tree) baseline.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write saves the baseline with stable formatting (sorted entries, indented
+// JSON, trailing newline) so regeneration produces minimal diffs.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineDiff is the result of comparing a run against a baseline.
+type BaselineDiff struct {
+	// New are findings not covered by the baseline — these fail the gate.
+	New []Finding
+	// Stale are baseline entries no finding matched — fixed violations whose
+	// entries should be dropped (reported, never fatal).
+	Stale []BaselineEntry
+}
+
+// Diff matches findings against the baseline multiset. Each baseline entry
+// absorbs up to Count (default 1) matching findings; the remainder is New.
+func (b *Baseline) Diff(root string, findings []Finding) BaselineDiff {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += n
+	}
+	var diff BaselineDiff
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, relFile(root, f.File), f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		diff.New = append(diff.New, f)
+	}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if remaining[k] >= n {
+			// No finding consumed any instance of this entry.
+			diff.Stale = append(diff.Stale, e)
+			remaining[k] -= n
+		} else {
+			remaining[k] = 0
+		}
+	}
+	return diff
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnnotationScanner checks the module-wide registry built during
+// loading: the fixture module annotates imm.Entry immutable and rec/leaky
+// pooled.
+func TestAnnotationScanner(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(mod.Packages) == 0 {
+		t.Fatal("no packages")
+	}
+	ann := mod.Packages[0].ann
+	if ann == nil {
+		t.Fatal("no annotation registry on Pass")
+	}
+	for _, key := range []string{"triosim/internal/imm.Entry"} {
+		if _, ok := ann.Immutable[key]; !ok {
+			t.Errorf("Immutable missing %q; have %v", key, ann.Immutable)
+		}
+	}
+	for _, key := range []string{
+		"triosim/internal/poolbad.rec",
+		"triosim/internal/poolbad.leaky",
+	} {
+		if _, ok := ann.Pooled[key]; !ok {
+			t.Errorf("Pooled missing %q; have %v", key, ann.Pooled)
+		}
+	}
+	if _, ok := ann.Immutable["triosim/internal/poolbad.rec"]; ok {
+		t.Error("pooled type leaked into the immutable registry")
+	}
+}
+
+// TestDirectiveParsing pins the exact-prefix rule: the directive must be the
+// whole comment or be followed by whitespace.
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"//triosim:immutable", true},
+		{"//triosim:immutable shared out of the cache", true},
+		{"//triosim:immutable\tnote", true},
+		{"//triosim:immutablex", false},
+		{"// triosim:immutable", false}, // directives are not prose comments
+	}
+	for _, c := range cases {
+		src := "package p\n\n" + c.src + "\ntype T struct{}\n"
+		mod := parseSingleFile(t, src)
+		_, got := mod.Packages[0].ann.Immutable["probe.T"]
+		if got != c.want {
+			t.Errorf("%q: annotated=%v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// TestBaselineDiff exercises the multiset matching: accepted findings are
+// absorbed (line numbers ignored), extra instances and new findings
+// surface as New, fixed entries as Stale.
+func TestBaselineDiff(t *testing.T) {
+	root := "/repo"
+	f := func(analyzer, file, msg string, line int) Finding {
+		return Finding{Analyzer: analyzer, File: "/repo/" + file, Line: line,
+			Message: msg}
+	}
+
+	accepted := []Finding{
+		f("hotpath-alloc", "a/hot.go", "append grows", 10),
+		f("hotpath-alloc", "a/hot.go", "append grows", 20),
+		f("mutex-discipline", "b/lock.go", "never unlocked", 5),
+	}
+	b := NewBaseline(root, accepted)
+	if len(b.Entries) != 2 {
+		t.Fatalf("NewBaseline collapsed to %d entries, want 2: %+v",
+			len(b.Entries), b.Entries)
+	}
+
+	// Same findings on different lines: fully absorbed.
+	moved := []Finding{
+		f("hotpath-alloc", "a/hot.go", "append grows", 11),
+		f("hotpath-alloc", "a/hot.go", "append grows", 99),
+		f("mutex-discipline", "b/lock.go", "never unlocked", 6),
+	}
+	d := b.Diff(root, moved)
+	if len(d.New) != 0 || len(d.Stale) != 0 {
+		t.Errorf("moved lines: New=%v Stale=%v, want none", d.New, d.Stale)
+	}
+
+	// A third instance of an accepted duplicate is new.
+	extra := append(moved, f("hotpath-alloc", "a/hot.go", "append grows", 100))
+	d = b.Diff(root, extra)
+	if len(d.New) != 1 {
+		t.Errorf("extra instance: New=%v, want exactly 1", d.New)
+	}
+
+	// A brand-new finding is new; a fixed one goes stale.
+	next := []Finding{
+		f("hotpath-alloc", "a/hot.go", "append grows", 10),
+		f("hotpath-alloc", "a/hot.go", "append grows", 20),
+		f("ctx-propagation", "c/sweep.go", "time.Sleep", 3),
+	}
+	d = b.Diff(root, next)
+	if len(d.New) != 1 || d.New[0].Analyzer != "ctx-propagation" {
+		t.Errorf("New=%v, want the ctx-propagation finding", d.New)
+	}
+	if len(d.Stale) != 1 || d.Stale[0].Analyzer != "mutex-discipline" {
+		t.Errorf("Stale=%v, want the mutex-discipline entry", d.Stale)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline and reads it back byte-stably.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.baseline.json")
+	b := NewBaseline("/r", []Finding{
+		{Analyzer: "x", File: "/r/p/f.go", Message: "m"},
+	})
+	if err := b.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0].File != "p/f.go" {
+		t.Errorf("round trip: %+v", got.Entries)
+	}
+
+	// An empty baseline (the committed clean-tree state) reads fine and
+	// passes everything through as new.
+	empty := NewBaseline("/r", nil)
+	epath := filepath.Join(dir, "empty.json")
+	if err := empty.Write(epath); err != nil {
+		t.Fatalf("Write empty: %v", err)
+	}
+	eb, err := ReadBaseline(epath)
+	if err != nil {
+		t.Fatalf("ReadBaseline empty: %v", err)
+	}
+	d := eb.Diff("/r", []Finding{{Analyzer: "x", File: "/r/f.go", Message: "m"}})
+	if len(d.New) != 1 {
+		t.Errorf("empty baseline: New=%v, want 1", d.New)
+	}
+}
+
+// TestCommittedBaselineIsEmpty pins the repo's contract: the tree is clean,
+// so the committed baseline must hold no accepted findings. If a future
+// change needs a baseline entry, it should fix the violation instead (or
+// argue the exception in review and regenerate).
+func TestCommittedBaselineIsEmpty(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join("..", "..", "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("committed baseline has %d accepted finding(s); the tree "+
+			"should be clean: %+v", len(b.Entries), b.Entries)
+	}
+}
+
+// TestConcurrencyFindingMessages spot-checks that diagnostics carry their
+// rationale (the "why", not just the "what").
+func TestConcurrencyFindingMessages(t *testing.T) {
+	findings := loadFixtures(t)
+	wantSubstr := map[string]string{
+		"mutex-discipline":    "never unlocked",
+		"publish-then-mutate": "Clone()",
+		"pool-lifecycle":      "pool",
+		"hotpath-alloc":       "hotpath",
+		"ctx-propagation":     "ctx.Done()",
+	}
+	for analyzer, substr := range wantSubstr {
+		found := false
+		for _, f := range findingsFor(findings, analyzer) {
+			if strings.Contains(f.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no finding message mentions %q", analyzer, substr)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxPropagation checks that the long-running orchestration paths — the
+// sweep pool today, the triosimd server planned in the roadmap — stay
+// cancellable. The simulator core is deliberately context-free (a run is a
+// pure function of its inputs), so cancellation lives entirely at the
+// orchestration layer: a worker that calls into a multi-minute simulation
+// with a core.Config whose Context field was never threaded through cannot
+// be stopped, and a bare channel op or time.Sleep in a cancellable function
+// blocks past its caller's deadline.
+//
+// Scope: only packages in serverPackages, and within them only functions
+// that take a context.Context (those opted into cancellation). Flagged:
+//
+//   - time.Sleep — sleeps through cancellation; use a timer in a select
+//     with ctx.Done();
+//   - channel send/receive outside a select — blocks forever if the
+//     counterpart died; select with ctx.Done() instead;
+//   - calling core.Simulate / core.GroundTruth (or any func taking
+//     core.Config) with a config whose Context field is never set in the
+//     function — the run cannot observe cancellation.
+var CtxPropagation = &Analyzer{
+	Name: "ctx-propagation",
+	Doc: "in sweep/server packages, flag blocking calls that ignore an " +
+		"in-scope context.Context and core.Config values passed on without " +
+		"their Context field set",
+	Run: func(pass *Pass) {
+		if !isServerPackage(pass.RelPath) {
+			return
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !hasContextParam(pass, fd.Type) {
+					continue
+				}
+				checkCtxBody(pass, fd.Body)
+			}
+		}
+	},
+}
+
+// serverPackages are the module-relative directories holding long-running,
+// cancellable orchestration: today's sweep pool and monitor, plus the
+// planned triosimd server trees so the rule is already in force when they
+// land.
+var serverPackages = []string{
+	"internal/sweep",
+	"internal/monitor",
+	"internal/server",
+	"cmd/triosimd",
+}
+
+// isServerPackage reports whether relPath is under the cancellation
+// contract.
+func isServerPackage(relPath string) bool {
+	for _, p := range serverPackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasContextParam reports whether the function signature takes a
+// context.Context.
+func hasContextParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" &&
+		obj.Name() == "Context"
+}
+
+// checkCtxBody inspects one cancellable function body. Nested function
+// literals are included: a closure launched by a cancellable function
+// inherits its obligations.
+func checkCtxBody(pass *Pass, body *ast.BlockStmt) {
+	// Channel ops inside a select's comm clauses are the fix, not the bug.
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					inSelect[cc.Comm] = true
+					// The comm statement may wrap the op: v := <-ch.
+					ast.Inspect(cc.Comm, func(m ast.Node) bool {
+						switch m.(type) {
+						case *ast.SendStmt, *ast.UnaryExpr:
+							inSelect[m] = true
+						}
+						return true
+					})
+				}
+			}
+		}
+		return true
+	})
+
+	configsWithCtx := collectCtxAssignedConfigs(pass, body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			checkCtxCall(pass, node, configsWithCtx, body.Pos())
+		case *ast.SendStmt:
+			if !inSelect[node] {
+				pass.Reportf("ctx-propagation", node.Pos(),
+					"bare channel send in a cancellable function; wrap in a "+
+						"select with ctx.Done() so shutdown is not wedged by "+
+						"a dead receiver")
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && !inSelect[node] {
+				pass.Reportf("ctx-propagation", node.Pos(),
+					"bare channel receive in a cancellable function; wrap in "+
+						"a select with ctx.Done()")
+			}
+		}
+		return true
+	})
+}
+
+// collectCtxAssignedConfigs records the objects of core.Config variables
+// whose Context field is assigned anywhere in the body (cfg.Context = ctx).
+func collectCtxAssignedConfigs(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Context" {
+				continue
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Composite literals with an explicit Context field also count:
+	// core.Config{Context: ctx, ...} assigned to a variable.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			cl, ok := ast.Unparen(rhs).(*ast.CompositeLit)
+			if !ok || !compositeSetsContext(cl) || len(as.Lhs) <= i {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// compositeSetsContext reports whether a composite literal names a Context
+// field.
+func compositeSetsContext(cl *ast.CompositeLit) bool {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxCall flags time.Sleep and simulation entry points called with a
+// context-less config. bodyPos separates the enclosing function's
+// parameters (declared before the body, the caller's responsibility) from
+// locally built configs (which must be wired here).
+func checkCtxCall(pass *Pass, call *ast.CallExpr, configsWithCtx map[types.Object]bool, bodyPos token.Pos) {
+	fn := pkgFunc(pass.Info, call.Fun)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+		pass.Reportf("ctx-propagation", call.Pos(),
+			"time.Sleep in a cancellable function sleeps through "+
+				"cancellation; use time.NewTimer in a select with ctx.Done()")
+		return
+	}
+	// A call passing a core.Config (by value or pointer) whose Context was
+	// never set in this function hands off uncancellable work.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			break
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok || !isCoreConfig(tv.Type) {
+			continue
+		}
+		// Config passed as a composite literal that sets Context inline.
+		if cl, ok := compositeOf(arg); ok {
+			if !compositeSetsContext(cl) {
+				pass.Reportf("ctx-propagation", arg.Pos(),
+					"core.Config literal passed to %s without its Context "+
+						"field; the run cannot observe cancellation",
+					fn.Name())
+			}
+			continue
+		}
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || configsWithCtx[obj] {
+			continue
+		}
+		// Parameters are the caller's responsibility; only locally built
+		// configs must be wired here.
+		if obj.Pos() < bodyPos {
+			continue
+		}
+		pass.Reportf("ctx-propagation", arg.Pos(),
+			"%s is passed to %s but its Context field is never set in this "+
+				"function; thread the ctx parameter via %s.Context so the "+
+				"run can be cancelled", id.Name, fn.Name(), id.Name)
+	}
+}
+
+// compositeOf unwraps arg to a composite literal through & and parens.
+func compositeOf(arg ast.Expr) (*ast.CompositeLit, bool) {
+	e := ast.Unparen(arg)
+	if ue, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(ue.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	return cl, ok
+}
+
+// isCoreConfig reports whether t (through pointers) is the simulator's
+// config struct (a type named Config with a Context field).
+func isCoreConfig(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Name() != "Config" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Context" && isContextType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

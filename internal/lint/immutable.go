@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PublishThenMutate enforces the read-only sharing contract of types
+// annotated //triosim:immutable (cached traces, fitted operator timers):
+// once a value escapes its constructor, no field may be written through it.
+// The trace cache hands the same *trace.Trace to every concurrent scenario;
+// one in-place tweak by a consumer is a data race AND a silent cross-scenario
+// result corruption, which no RWMutex can prevent because readers hold no
+// lock while using the value.
+//
+// The rule, per function outside the defining package: a write through an
+// expression rooted in an annotated type — field assignment, element
+// assignment, op-assignment, append-into-field, copy-into-field — is a
+// violation unless the root is a local variable holding a provably fresh
+// value: a composite literal, new(T), a call into the defining package (its
+// constructors), or a Clone() call (the copy-on-write boundary). Aliases are
+// tracked one level: a local initialized from an annotated value's
+// pointer/slice/map innards inherits the restriction.
+//
+// The defining package is exempt — its constructors and mutation API are
+// what the annotation reviews — as are _test.go files.
+var PublishThenMutate = &Analyzer{
+	Name: "publish-then-mutate",
+	Doc: "forbid writes through //triosim:immutable values (cached traces, " +
+		"fitted timers) outside their defining package; Clone before mutating",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkImmutableScope(pass, fd.Body)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkImmutableScope(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkImmutableScope analyzes one function body. Nested function literals
+// are analyzed as their own scopes but share the outer scope's fresh/alias
+// classification through object identity (objects are per-declaration).
+func checkImmutableScope(pass *Pass, body *ast.BlockStmt) {
+	fresh := map[types.Object]bool{}
+	aliased := map[types.Object]bool{}
+
+	// Pass 1: classify local definitions in source order.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if node.Tok != token.DEFINE {
+				return true
+			}
+			classifyDefs(pass, node.Lhs, node.Rhs, fresh, aliased)
+		case *ast.GenDecl:
+			for _, spec := range node.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					classifyDefs(pass, lhs, vs.Values, fresh, aliased)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: inspect writes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own scope
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				checkImmutableWrite(pass, lhs, fresh, aliased)
+			}
+		case *ast.IncDecStmt:
+			checkImmutableWrite(pass, node.X, fresh, aliased)
+		case *ast.CallExpr:
+			// copy(tr.Ops, ...) writes through the first argument.
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok &&
+				id.Name == "copy" && len(node.Args) == 2 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					checkImmutableWrite(pass, node.Args[0], fresh, aliased)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// classifyDefs records which newly defined locals are fresh (safe to mutate)
+// or aliases of annotated values (unsafe).
+func classifyDefs(pass *Pass, lhs, rhs []ast.Expr,
+	fresh, aliased map[types.Object]bool) {
+
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			continue
+		}
+		var r ast.Expr
+		switch {
+		case len(rhs) == len(lhs):
+			r = rhs[i]
+		case len(rhs) == 1:
+			r = rhs[0] // multi-value call: freshness judged on the call
+		default:
+			continue
+		}
+		switch {
+		case isFreshExpr(pass, r):
+			fresh[obj] = true
+		case rootsInAnnotated(pass, r, fresh, aliased) && sharesMemory(obj):
+			aliased[obj] = true
+		}
+	}
+}
+
+// isFreshExpr reports whether evaluating the expression yields a value not
+// yet published: a composite literal, new(T), a Clone() call, or a call to a
+// package-level function of the package defining the (eventual) annotated
+// type — i.e. one of its constructors.
+func isFreshExpr(pass *Pass, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "new" {
+				_, isBuiltin := pass.Info.Uses[fun].(*types.Builtin)
+				return isBuiltin
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Clone" {
+				return true // the sanctioned copy-on-write boundary
+			}
+			if fn := pkgFunc(pass.Info, fun); fn != nil {
+				// A package-level call into the package that defines the
+				// call's (annotated) result type is a constructor.
+				tv, ok := pass.Info.Types[e]
+				if ok && pass.IsImmutable(tv.Type) {
+					key := typeKey(tv.Type)
+					return fn.Pkg().Path() == immutableOwner(key)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rootsInAnnotated reports whether the expression reads out of a value whose
+// type is annotated immutable (or an alias of one).
+func rootsInAnnotated(pass *Pass, expr ast.Expr,
+	fresh, aliased map[types.Object]bool) bool {
+
+	root, annotated := writeRoot(pass, expr, fresh, aliased)
+	return annotated && root != nil && !fresh[root]
+}
+
+// sharesMemory reports whether a variable of obj's type can share backing
+// store with its source (pointer, slice, or map).
+func sharesMemory(obj types.Object) bool {
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// checkImmutableWrite reports a finding when the written expression roots in
+// an annotated immutable value that is not a fresh local.
+func checkImmutableWrite(pass *Pass, lhs ast.Expr,
+	fresh, aliased map[types.Object]bool) {
+
+	// Only writes *through* a value count. Rebinding (`tr = x`) and storing
+	// an annotated value INTO a container (`cache[k] = tr`) do not mutate
+	// the object, so the annotation test starts at the base expression the
+	// write goes through, not at the lhs itself (whose own type is the type
+	// of the slot being assigned).
+	var base ast.Expr
+	switch node := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		base = node.X
+	case *ast.IndexExpr:
+		base = node.X
+	case *ast.StarExpr:
+		base = node.X
+	default:
+		return
+	}
+	root, annotated := writeRoot(pass, base, fresh, aliased)
+	if !annotated {
+		return
+	}
+	if root != nil && fresh[root] {
+		return
+	}
+	key := annotatedKeyOf(pass, lhs, aliased)
+	if key != "" && pass.PkgPath == immutableOwner(key) {
+		return // defining package: constructors and reviewed mutation API
+	}
+	name := key
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	if name == "" {
+		name = "an immutable value"
+	}
+	pass.Reportf("publish-then-mutate", lhs.Pos(),
+		"write through %s, which is annotated //triosim:immutable and may "+
+			"be shared (e.g. out of the trace cache); Clone() before mutating",
+		name)
+}
+
+// writeRoot walks a selector/index/star chain to its root identifier and
+// reports whether any step of the chain has an annotated immutable type.
+func writeRoot(pass *Pass, expr ast.Expr,
+	fresh, aliased map[types.Object]bool) (types.Object, bool) {
+
+	annotated := false
+	for {
+		e := ast.Unparen(expr)
+		if tv, ok := pass.Info.Types[e]; ok && pass.IsImmutable(tv.Type) {
+			annotated = true
+		}
+		switch node := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(node)
+			if obj != nil && aliased[obj] {
+				annotated = true
+			}
+			return obj, annotated
+		case *ast.SelectorExpr:
+			expr = node.X
+		case *ast.IndexExpr:
+			expr = node.X
+		case *ast.StarExpr:
+			expr = node.X
+		case *ast.SliceExpr:
+			expr = node.X
+		case *ast.UnaryExpr:
+			if node.Op != token.AND {
+				return nil, annotated
+			}
+			expr = node.X // &tr.Ops[i] aliases into tr
+		case *ast.CallExpr:
+			// Chain roots in a call result (e.g. get().Field = v): treat the
+			// call's type as the verdict; no root object.
+			return nil, annotated
+		default:
+			return nil, annotated
+		}
+	}
+}
+
+// annotatedKeyOf finds the annotated type key along the write chain, for the
+// diagnostic and the defining-package exemption.
+func annotatedKeyOf(pass *Pass, expr ast.Expr,
+	aliased map[types.Object]bool) string {
+
+	for {
+		e := ast.Unparen(expr)
+		if tv, ok := pass.Info.Types[e]; ok && pass.IsImmutable(tv.Type) {
+			return typeKey(tv.Type)
+		}
+		switch node := e.(type) {
+		case *ast.SelectorExpr:
+			expr = node.X
+		case *ast.IndexExpr:
+			expr = node.X
+		case *ast.StarExpr:
+			expr = node.X
+		case *ast.SliceExpr:
+			expr = node.X
+		default:
+			return ""
+		}
+	}
+}

@@ -69,6 +69,9 @@ type Pass struct {
 
 	findings *[]Finding
 	nolint   map[string]map[int][]string // file → line → analyzer names
+	// ann is the module-wide annotation registry (//triosim:immutable,
+	// //triosim:pooled), shared by every Pass of a loaded module.
+	ann *Annotations
 }
 
 // Reportf records a finding unless a nolint directive suppresses it.
@@ -117,7 +120,11 @@ func collectNolint(fset *token.FileSet, file *ast.File, into map[string]map[int]
 			if i := strings.Index(rest, "--"); i >= 0 {
 				rest = rest[:i]
 			}
-			names := strings.Fields(rest)
+			// Analyzer lists may be separated by spaces, commas, or both
+			// ("a b", "a,b", "a, b").
+			names := strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ' ' || r == '\t' || r == ','
+			})
 			if len(names) == 0 {
 				names = []string{""} // suppress everything
 			}
@@ -155,7 +162,8 @@ func isSimPackage(relPath string) bool {
 	return false
 }
 
-// Analyzers returns every triosimvet analyzer in stable order.
+// Analyzers returns every triosimvet analyzer in stable order: the
+// determinism suite (PR 1) followed by the concurrency-safety suite.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallclock,
@@ -163,6 +171,11 @@ func Analyzers() []*Analyzer {
 		MapRangeOrder,
 		NoGoroutineInSim,
 		VTimeCompare,
+		MutexDiscipline,
+		PublishThenMutate,
+		PoolLifecycle,
+		HotpathAlloc,
+		CtxPropagation,
 	}
 }
 

@@ -42,6 +42,11 @@ func TestFixtureFindings(t *testing.T) {
 		"no-goroutine-in-sim": {2, "bad_goroutine.go"},
 		"vtime-compare":       {1, "bad_vtime.go"},
 		"map-range-order":     {3, "bad_maprange.go"},
+		"mutex-discipline":    {5, "bad_mutex.go"},
+		"publish-then-mutate": {2, "bad_imm.go"},
+		"pool-lifecycle":      {3, "bad_pool.go"},
+		"hotpath-alloc":       {6, "bad_hot.go"},
+		"ctx-propagation":     {4, "bad_ctx.go"},
 	}
 	for analyzer, w := range want {
 		got := findingsFor(findings, analyzer)
@@ -117,6 +122,10 @@ func TestNolintParsing(t *testing.T) {
 		{"//triosim:nolint no-wallclock -- reason", "vtime-compare", false},
 		{"//triosim:nolint -- silence all", "vtime-compare", true},
 		{"//triosim:nolint a b -- two", "b", true},
+		{"//triosim:nolint a,b -- comma-joined", "b", true},
+		{"//triosim:nolint a, b -- comma and space", "b", true},
+		{"//triosim:nolint a , b , c -- spaced commas", "c", true},
+		{"//triosim:nolint a,b -- comma-joined", "c", false},
 		{"//triosim:nolintish", "no-wallclock", false},
 		{"// plain comment", "no-wallclock", false},
 	}

@@ -37,6 +37,7 @@ type loader struct {
 	std     types.ImporterFrom
 	cache   map[string]*entry
 	nolint  map[string]map[int][]string
+	ann     *Annotations
 }
 
 type entry struct {
@@ -124,6 +125,9 @@ func (l *loader) check(rel string) (*Pass, error) {
 	if rel != "." {
 		relPath = filepath.ToSlash(rel)
 	}
+	for _, f := range files {
+		collectTypeAnnotations(pkgPath, f, l.ann)
+	}
 	pass := &Pass{
 		Fset:      l.fset,
 		PkgPath:   pkgPath,
@@ -131,6 +135,7 @@ func (l *loader) check(rel string) (*Pass, error) {
 		Files:     files,
 		TestFiles: testFiles,
 		nolint:    l.nolint,
+		ann:       l.ann,
 		Info: &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Uses:       map[*ast.Ident]types.Object{},
@@ -183,6 +188,7 @@ func LoadModule(root string) (*Module, error) {
 		fset:    fset,
 		cache:   map[string]*entry{},
 		nolint:  map[string]map[int][]string{},
+		ann:     newAnnotations(),
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 

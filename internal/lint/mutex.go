@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexDiscipline checks the lock hygiene of the packages that are allowed to
+// use sync at all (the sweep pool, the trace cache, the monitor — everything
+// no-goroutine-in-sim does not already ban). It is deliberately conservative:
+// each check fires only on patterns that are wrong under any control flow.
+//
+//   - missing unlock: a function Locks a mutex and contains no matching
+//     Unlock (immediate or deferred) anywhere after it;
+//   - double unlock: the same mutex expression is defer-Unlocked twice in one
+//     function;
+//   - lock copied by value: a sync.Mutex/RWMutex/WaitGroup/Once taken as a
+//     value parameter, or read into a new variable as a value;
+//   - held across blocking ops: a channel send/receive, select, or
+//     sync.WaitGroup.Wait between a Lock and the first matching Unlock —
+//     blocking while holding a lock is how the sweep pool and a shared cache
+//     deadlock under load.
+var MutexDiscipline = &Analyzer{
+	Name: "mutex-discipline",
+	Doc: "check lock/unlock pairing, defer discipline, by-value lock copies, " +
+		"and blocking calls (channels, WaitGroup.Wait) while a mutex is held",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkLockParams(pass, fd.Type)
+				checkLockScope(pass, fd.Name.Name, fd.Body)
+			}
+			// Function literals are separate scopes: a lock taken inside a
+			// closure must be released inside it.
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockParams(pass, fl.Type)
+					checkLockScope(pass, "", fl.Body)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// syncValueTypes are the sync types that must never be copied once used.
+var syncValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+}
+
+// isSyncValue reports whether t is one of the sync value types (not behind a
+// pointer — pointers are the correct way to share them).
+func isSyncValue(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		syncValueTypes[obj.Name()]
+}
+
+// checkLockParams flags value parameters of sync lock types.
+func checkLockParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isSyncValue(tv.Type) {
+			continue
+		}
+		pass.Reportf("mutex-discipline", field.Type.Pos(),
+			"sync.%s passed by value; the copy locks independently of the "+
+				"original — pass a pointer",
+			tv.Type.(*types.Named).Obj().Name())
+	}
+}
+
+// lockOpKind classifies one statement of interest to the lock checker.
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opRLock
+	opUnlock
+	opRUnlock
+	opBlocking // channel send/receive, select, WaitGroup.Wait
+	opCopy     // by-value read of a sync lock type
+)
+
+// lockOp is one interesting operation, in source order.
+type lockOp struct {
+	kind     lockOpKind
+	expr     string // lock identity (receiver expression rendered)
+	pos      token.Pos
+	deferred bool
+	desc     string // human label for blocking ops
+}
+
+// lockMethodKinds maps sync.Mutex/RWMutex method names to op kinds.
+var lockMethodKinds = map[string]lockOpKind{
+	"Lock": opLock, "RLock": opRLock,
+	"Unlock": opUnlock, "RUnlock": opRUnlock,
+}
+
+// matchingUnlock returns the unlock kind that releases the given lock kind.
+func matchingUnlock(k lockOpKind) lockOpKind {
+	if k == opRLock {
+		return opRUnlock
+	}
+	return opUnlock
+}
+
+// checkLockScope runs every per-function lock check over one function body.
+// funcName exempts lock-helper functions (a method literally named "lock" may
+// return with the lock held by design).
+func checkLockScope(pass *Pass, funcName string, body *ast.BlockStmt) {
+	ops := collectLockOps(pass, body)
+	if len(ops) == 0 {
+		return
+	}
+
+	// Lock-shaped helpers may acquire without releasing.
+	lockHelper := funcName == "lock" || funcName == "rlock" ||
+		funcName == "Lock" || funcName == "RLock"
+
+	deferCount := map[string]int{}
+	for _, op := range ops {
+		switch op.kind {
+		case opCopy:
+			pass.Reportf("mutex-discipline", op.pos,
+				"%s copies a sync lock by value; the copy's state diverges "+
+					"from the original", op.desc)
+		case opUnlock, opRUnlock:
+			if !op.deferred {
+				continue
+			}
+			key := op.expr + "/" + map[lockOpKind]string{
+				opUnlock: "u", opRUnlock: "ru"}[op.kind]
+			deferCount[key]++
+			if deferCount[key] == 2 {
+				pass.Reportf("mutex-discipline", op.pos,
+					"%s is defer-unlocked twice in one function; the second "+
+						"defer unlocks an unheld mutex at return", op.expr)
+			}
+		}
+	}
+
+	for i, op := range ops {
+		if op.kind != opLock && op.kind != opRLock {
+			continue
+		}
+		unlock := matchingUnlock(op.kind)
+		// Find the first matching release after the acquire; deferred
+		// releases hold until scope end.
+		releaseAt := token.Pos(-1)
+		deferredRelease := false
+		for _, later := range ops {
+			if later.kind != unlock || later.expr != op.expr {
+				continue
+			}
+			if later.deferred {
+				deferredRelease = true
+				continue
+			}
+			if later.pos > op.pos &&
+				(releaseAt == token.Pos(-1) || later.pos < releaseAt) {
+				releaseAt = later.pos
+			}
+		}
+		if releaseAt == token.Pos(-1) && !deferredRelease {
+			if !lockHelper {
+				pass.Reportf("mutex-discipline", op.pos,
+					"%s is locked but never unlocked in this function",
+					op.expr)
+			}
+			continue
+		}
+		// Held window: acquire → first immediate release, or scope end when
+		// only a deferred release exists.
+		end := releaseAt
+		if end == token.Pos(-1) {
+			end = body.End()
+		}
+		for _, b := range ops[i+1:] {
+			if b.kind == opBlocking && b.pos > op.pos && b.pos < end {
+				pass.Reportf("mutex-discipline", b.pos,
+					"%s while holding %s; blocking under a lock stalls every "+
+						"other goroutine contending for it", b.desc, op.expr)
+			}
+		}
+	}
+}
+
+// collectLockOps gathers the scope's lock-relevant operations in source
+// order, without descending into nested function literals (separate scopes).
+func collectLockOps(pass *Pass, body *ast.BlockStmt) []lockOp {
+	var ops []lockOp
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				walk(node.Call, true)
+				return false
+			case *ast.CallExpr:
+				if op, ok := lockCallOp(pass, node, deferred); ok {
+					ops = append(ops, op)
+					return true
+				}
+			case *ast.SendStmt:
+				ops = append(ops, lockOp{kind: opBlocking, pos: node.Pos(),
+					desc: "channel send"})
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					ops = append(ops, lockOp{kind: opBlocking,
+						pos: node.Pos(), desc: "channel receive"})
+				}
+			case *ast.SelectStmt:
+				ops = append(ops, lockOp{kind: opBlocking, pos: node.Pos(),
+					desc: "select"})
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					if op, ok := lockCopyOp(pass, rhs); ok {
+						ops = append(ops, op)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range node.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, rhs := range vs.Values {
+						if op, ok := lockCopyOp(pass, rhs); ok {
+							ops = append(ops, op)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	// ast.Inspect on DeferStmt bodies may interleave; restore source order.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].pos < ops[j-1].pos; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	return ops
+}
+
+// lockCallOp classifies a call as a lock/unlock on a sync primitive or a
+// blocking WaitGroup.Wait.
+func lockCallOp(pass *Pass, call *ast.CallExpr, deferred bool) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	if fn.Name() == "Wait" {
+		return lockOp{kind: opBlocking, pos: call.Pos(),
+			desc: "sync.WaitGroup.Wait"}, true
+	}
+	kind, ok := lockMethodKinds[fn.Name()]
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{
+		kind:     kind,
+		expr:     types.ExprString(sel.X),
+		pos:      call.Pos(),
+		deferred: deferred,
+	}, true
+}
+
+// lockCopyOp flags reading an existing sync lock value into a new location.
+// Fresh composite literals (sync.Mutex{}) are fine; selecting or
+// dereferencing an existing one is a copy.
+func lockCopyOp(pass *Pass, rhs ast.Expr) (lockOp, bool) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr, *ast.Ident:
+	default:
+		return lockOp{}, false
+	}
+	tv, ok := pass.Info.Types[rhs]
+	if !ok || !isSyncValue(tv.Type) {
+		return lockOp{}, false
+	}
+	return lockOp{kind: opCopy, pos: rhs.Pos(),
+		desc: types.ExprString(rhs)}, true
+}

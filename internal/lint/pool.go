@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolLifecycle checks free-list discipline for types annotated
+// //triosim:pooled (the engine's funcEvent records, the network's flow
+// objects, the executor's completion records). Pooled objects are recycled:
+// after a value is handed back to its pool, the pool may recycle it at any
+// moment, so touching it again reads or corrupts another owner's state —
+// the classic use-after-free, reintroduced on purpose for allocation-free
+// steady state.
+//
+// Per function:
+//
+//   - use-after-put: any use of a pooled variable in a statement after the
+//     one that released it (putX(v), pool.put(v), freeList = append(freeList,
+//     v), ...). Reassigning the variable first (v = getX()) resets tracking.
+//   - double put: the same variable released twice with no intervening
+//     reassignment.
+//
+// Release points are recognized by name: a call whose callee name starts
+// with put/release/recycle/free (any case) taking the pooled value as an
+// argument, or an append of the pooled value assigned to a field/variable
+// whose name contains "free" or "pool".
+var PoolLifecycle = &Analyzer{
+	Name: "pool-lifecycle",
+	Doc: "flag use-after-Put and double-Put of //triosim:pooled values " +
+		"(recycled free-list objects: funcEvent, flow, doneRec)",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkPoolScope(pass, fd.Body)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkPoolScope(pass, fl.Body)
+				}
+				return true
+			})
+		}
+		checkPoolHasRelease(pass)
+	},
+}
+
+// checkPoolHasRelease verifies, once per defining package, that every
+// //triosim:pooled type actually has a release path somewhere in the
+// package — a pool annotation without a Put means every "pooled" object
+// leaks and the free list never fills.
+func checkPoolHasRelease(pass *Pass) {
+	if pass.ann == nil {
+		return
+	}
+	released := map[string]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			for _, id := range releasedIdents(pass, stmt) {
+				if tv, ok := pass.Info.Types[id]; ok {
+					released[typeKey(tv.Type)] = true
+				}
+			}
+			return true
+		})
+	}
+	for key, pos := range pass.ann.Pooled {
+		if immutableOwner(key) != pass.PkgPath || released[key] {
+			continue
+		}
+		pass.Reportf("pool-lifecycle", pos,
+			"type %s is annotated //triosim:pooled but its package has no "+
+				"release path (put*/release*/recycle*/free* or append to a "+
+				"free list); pooled values leak", key)
+	}
+}
+
+// checkPoolScope walks one function body's statement lists looking for
+// release points, then scans the statements after each release.
+func checkPoolScope(pass *Pass, body *ast.BlockStmt) {
+	walkStmtLists(body, func(list []ast.Stmt) {
+		for i, stmt := range list {
+			// Only direct releases count here: a release nested in an inner
+			// block (conditional early-exit) is checked against the inner
+			// list when walkStmtLists reaches it, not against statements
+			// that only run when the branch was NOT taken.
+			// defer pool.put(v) releases at scope end; later uses are fine.
+			switch stmt.(type) {
+			case *ast.ExprStmt, *ast.AssignStmt:
+			default:
+				continue
+			}
+			for _, rel := range releasedIdents(pass, stmt) {
+				reportUseAfterPut(pass, rel, list[i+1:])
+			}
+		}
+	})
+}
+
+// walkStmtLists invokes fn on every statement list in the body: the body
+// itself and each nested block (if/for/switch/select bodies), excluding
+// nested function literals, which are their own scopes.
+func walkStmtLists(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			fn(node.List)
+		case *ast.CaseClause:
+			fn(node.Body)
+		case *ast.CommClause:
+			fn(node.Body)
+		}
+		return true
+	})
+}
+
+// releaseName reports whether a callee name reads as a pool-release
+// operation.
+func releaseName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"put", "release", "recycle", "free"} {
+		if strings.HasPrefix(lower, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// poolStoreName reports whether the destination of an append looks like a
+// free list ("freeList", "eventPool", ...).
+func poolStoreName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "free") || strings.Contains(lower, "pool")
+}
+
+// releasedIdents returns the pooled-typed identifiers the statement hands
+// back to a pool, if any.
+func releasedIdents(pass *Pass, stmt ast.Stmt) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			name := calleeName(node)
+			if name == "" || !releaseName(name) {
+				return true
+			}
+			for _, arg := range node.Args {
+				if id := pooledIdent(pass, arg); id != nil {
+					out = append(out, id)
+				}
+			}
+		case *ast.AssignStmt:
+			// freeList = append(freeList, v)
+			for i, rhs := range node.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(node.Lhs) <= i {
+					continue
+				}
+				fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || fn.Name != "append" || len(call.Args) < 2 {
+					continue
+				}
+				if !poolStoreName(lastSelName(node.Lhs[i])) {
+					continue
+				}
+				for _, arg := range call.Args[1:] {
+					if id := pooledIdent(pass, arg); id != nil {
+						out = append(out, id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeName extracts the simple name of a call's callee ("putRec" from
+// x.putRec(v) or putRec(v)).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// lastSelName renders the final identifier of an lvalue expression
+// ("freeList" from e.freeList).
+func lastSelName(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// pooledIdent returns the identifier when the expression is a plain variable
+// of a //triosim:pooled type.
+func pooledIdent(pass *Pass, expr ast.Expr) *ast.Ident {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	tv, ok := pass.Info.Types[id]
+	if !ok || !pass.IsPooled(tv.Type) {
+		return nil
+	}
+	return id
+}
+
+// reportUseAfterPut scans the statements following a release for uses of the
+// released variable, stopping at a reassignment.
+func reportUseAfterPut(pass *Pass, rel *ast.Ident, rest []ast.Stmt) {
+	obj := pass.Info.ObjectOf(rel)
+	if obj == nil {
+		return
+	}
+	for _, stmt := range rest {
+		if reassignsIdent(pass, stmt, obj) {
+			return
+		}
+		var useAfter *ast.Ident
+		rereleased := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if useAfter != nil || rereleased {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.Info.ObjectOf(id) != obj {
+				return true
+			}
+			// A second release of the same value is a double-put, a
+			// stronger diagnosis than use-after-put.
+			for _, again := range releasedIdents(pass, stmt) {
+				if again == id {
+					rereleased = true
+					return false
+				}
+			}
+			useAfter = id
+			return false
+		})
+		switch {
+		case rereleased:
+			pass.Reportf("pool-lifecycle", stmt.Pos(),
+				"%s is released to its pool twice; the pool will hand the "+
+					"same object to two owners", rel.Name)
+			return
+		case useAfter != nil:
+			pass.Reportf("pool-lifecycle", useAfter.Pos(),
+				"%s is used after being released to its pool (released at "+
+					"line %d); the pool may already have recycled it",
+				rel.Name, pass.Fset.Position(rel.Pos()).Line)
+			return
+		}
+	}
+}
+
+// reassignsIdent reports whether the statement assigns a new value to the
+// object's variable (making later uses safe again).
+func reassignsIdent(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if ok && pass.Info.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

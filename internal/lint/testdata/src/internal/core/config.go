@@ -1,0 +1,20 @@
+package core
+
+import "context"
+
+// Config mirrors the real core.Config surface the ctx-propagation analyzer
+// matches on: a struct named Config with a context.Context field.
+type Config struct {
+	Model   string
+	Context context.Context
+}
+
+// Result is a stub simulation result.
+type Result struct {
+	Events int
+}
+
+// Simulate is the stub long-running entry point.
+func Simulate(cfg Config) (*Result, error) {
+	return &Result{}, nil
+}

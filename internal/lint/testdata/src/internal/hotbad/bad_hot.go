@@ -1,0 +1,34 @@
+// Package hotbad holds hotpath-alloc positive fixtures: every allocation
+// class the analyzer names, inside //triosim:hotpath functions.
+package hotbad
+
+type item struct {
+	vals []float64
+}
+
+func sink(v interface{}) {}
+
+var results []int
+
+// Churn allocates six different ways on a declared hot path.
+//
+//triosim:hotpath
+func Churn(it *item, n int) {
+	buf := make([]float64, n)
+
+	p := &item{}
+	_ = p
+
+	weights := []float64{1, 2, 3}
+	_ = weights
+
+	results = append(results, n)
+
+	f := func() int { return n }
+	_ = f()
+
+	box := item{}
+	sink(box)
+
+	_ = buf
+}

@@ -1,0 +1,25 @@
+package hotbad
+
+// scratch is the preallocated buffer Steady reuses.
+var scratch []float64
+
+// Steady shows the allowed hot-path idioms: value struct literals, re-slice
+// append (reuse of the backing array), pointer-shaped values to interface
+// parameters, and calls to non-allocating helpers. Silent.
+//
+//triosim:hotpath
+func Steady(it *item, x float64) float64 {
+	scratch = append(scratch[:0], x, x*2)
+	probe := item{vals: scratch}
+	sink(it) // pointers fit the interface word: no box
+	return probe.vals[0] + sum(probe.vals)
+}
+
+// sum is not annotated; its body is out of scope for hotpath-alloc.
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+package hotbad
+
+// warm allocates once on its cold first call; the suppression records the
+// amortization argument. No findings.
+//
+//triosim:hotpath
+func warm(n int) []float64 {
+	if scratch == nil {
+		scratch = make([]float64, 0, n) //triosim:nolint hotpath-alloc -- amortized: first-call growth only
+	}
+	return scratch
+}

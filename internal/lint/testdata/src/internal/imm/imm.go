@@ -1,0 +1,26 @@
+// Package imm defines an annotated immutable type for the
+// publish-then-mutate fixtures, mirroring trace.Trace: constructor, Clone
+// boundary, in-package mutation API.
+package imm
+
+// Entry is a cached record shared read-only once published.
+//
+//triosim:immutable
+type Entry struct {
+	N     int
+	Items []int
+}
+
+// New returns a fresh entry (the constructor consumers may mutate through).
+func New(n int) *Entry {
+	e := &Entry{N: n}
+	e.Items = append(e.Items, n)
+	return e
+}
+
+// Clone is the copy-on-write boundary.
+func (e *Entry) Clone() *Entry {
+	out := &Entry{N: e.N}
+	out.Items = append([]int(nil), e.Items...)
+	return out
+}

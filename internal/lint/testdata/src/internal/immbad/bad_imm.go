@@ -1,0 +1,27 @@
+// Package immbad mutates published //triosim:immutable values — the
+// publish-then-mutate positive fixtures.
+package immbad
+
+import "triosim/internal/imm"
+
+// Tweak writes through a shared entry it did not construct.
+func Tweak(e *imm.Entry) {
+	e.N = 42
+}
+
+// AliasWrite mutates through a slice aliased out of a shared entry.
+func AliasWrite(e *imm.Entry) {
+	items := e.Items
+	items[0] = 7
+}
+
+// FreshIsFine mutates values it provably owns: a constructor result and a
+// clone. Both are silent.
+func FreshIsFine(e *imm.Entry) *imm.Entry {
+	mine := imm.New(1)
+	mine.N = 2
+	c := e.Clone()
+	c.N = 3
+	c.Items[0] = 4
+	return c
+}

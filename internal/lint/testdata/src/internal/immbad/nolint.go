@@ -1,0 +1,9 @@
+package immbad
+
+import "triosim/internal/imm"
+
+// Repair documents an intentional in-place fix on a shared entry. No
+// findings.
+func Repair(e *imm.Entry) {
+	e.N = 0 //triosim:nolint publish-then-mutate -- fixture: documented single-writer repair before publication
+}

@@ -1,0 +1,49 @@
+// Package mutexbad holds mutex-discipline fixture violations. It sits
+// outside the sim-package set (where sync is banned outright by
+// no-goroutine-in-sim), mirroring the real consumers: sweep, tracecache,
+// monitor.
+package mutexbad
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	n     int
+	ready chan struct{}
+}
+
+// MissingUnlock acquires and never releases.
+func (g *guarded) MissingUnlock() int {
+	g.mu.Lock()
+	return g.n
+}
+
+// DoubleDeferUnlock defer-unlocks the same mutex twice; the second defer
+// fires on an unheld mutex.
+func (g *guarded) DoubleDeferUnlock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	defer g.mu.Unlock()
+}
+
+// ByValue takes a lock by value; the copy locks independently.
+func ByValue(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// CopyLock reads a lock into a new variable.
+func (g *guarded) CopyLock() {
+	mu2 := g.mu
+	mu2.Lock()
+	mu2.Unlock()
+}
+
+// BlockedUnderLock receives from a channel while holding the mutex.
+func (g *guarded) BlockedUnderLock() {
+	g.mu.Lock()
+	<-g.ready
+	g.mu.Unlock()
+}

@@ -1,0 +1,19 @@
+package mutexbad
+
+import "sync"
+
+// lockHandoff hands the mutex to the caller by design; the suppression
+// documents it. No findings.
+type lockHandoff struct {
+	mu sync.Mutex
+}
+
+// Acquire intentionally returns with the lock held.
+func (h *lockHandoff) Acquire() {
+	h.mu.Lock() //triosim:nolint mutex-discipline -- handoff: the caller releases via Release
+}
+
+// Release frees the handed-off lock.
+func (h *lockHandoff) Release() {
+	h.mu.Unlock()
+}

@@ -1,0 +1,40 @@
+package poolbad
+
+// leaky is annotated pooled but the package never releases one — the
+// missing-Put declaration-site finding.
+//
+//triosim:pooled
+type leaky struct {
+	n int
+}
+
+// NewLeaky allocates a "pooled" record nothing ever recycles.
+func NewLeaky() *leaky {
+	return &leaky{}
+}
+
+// UseAfterPut touches a record after handing it back to the pool.
+func (p *pool) UseAfterPut() int {
+	r := p.get()
+	r.n = 9
+	p.put(r)
+	return r.n
+}
+
+// DoublePut releases the same record twice.
+func (p *pool) DoublePut() {
+	r := p.get()
+	p.put(r)
+	p.put(r)
+}
+
+// ReacquireIsFine reassigns the variable after the release; later uses refer
+// to the new record. Silent.
+func (p *pool) ReacquireIsFine() int {
+	r := p.get()
+	p.put(r)
+	r = p.get()
+	n := r.n
+	p.put(r)
+	return n
+}

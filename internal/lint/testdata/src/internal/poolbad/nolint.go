@@ -1,0 +1,8 @@
+package poolbad
+
+// Requeue re-releases deliberately (a drain path that tolerates duplicates).
+// No findings.
+func (p *pool) Requeue(r *rec) {
+	p.put(r)
+	p.put(r) //triosim:nolint pool-lifecycle -- fixture: drain path tolerates duplicate entries
+}

@@ -1,0 +1,42 @@
+// Package poolbad exercises the pool-lifecycle fixtures: a correctly
+// plumbed free list in this file, the violations in bad_pool.go.
+package poolbad
+
+// rec is a recycled completion record, mirroring the executor's doneRec.
+//
+//triosim:pooled
+type rec struct {
+	n    int
+	name string
+}
+
+// pool is a trivial LIFO free list.
+type pool struct {
+	free []*rec
+}
+
+// get pops the free list or allocates.
+func (p *pool) get() *rec {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &rec{}
+}
+
+// put returns a record to the free list.
+func (p *pool) put(r *rec) {
+	r.name = ""
+	p.free = append(p.free, r)
+}
+
+// Roundtrip is the clean pattern: copy what you need, then release last.
+func (p *pool) Roundtrip() int {
+	r := p.get()
+	r.n = 1
+	n := r.n
+	p.put(r)
+	return n
+}

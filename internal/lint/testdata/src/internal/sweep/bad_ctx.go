@@ -1,0 +1,59 @@
+// Package sweep holds the ctx-propagation fixtures: it sits at the
+// module-relative path the analyzer treats as a cancellable orchestration
+// package, and these functions all take a context.
+package sweep
+
+import (
+	"context"
+	"time"
+
+	"triosim/internal/core"
+)
+
+// Worker blocks three ways a cancellable function must not, then launches an
+// uncancellable run.
+func Worker(ctx context.Context, jobs chan string, out chan *core.Result) error {
+	time.Sleep(10 * time.Millisecond)
+
+	model := <-jobs
+
+	cfg := core.Config{Model: model}
+	res, err := core.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+
+	out <- res
+	return nil
+}
+
+// GoodWorker threads cancellation correctly everywhere: select around the
+// channel ops, Context set before the run. Silent.
+func GoodWorker(ctx context.Context, jobs chan string, out chan *core.Result) error {
+	var model string
+	select {
+	case model = <-jobs:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	cfg := core.Config{Model: model}
+	cfg.Context = ctx
+	res, err := core.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+
+	select {
+	case out <- res:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// NoCtx takes no context, so it has not opted into cancellation; its bare
+// receive is out of scope. Silent.
+func NoCtx(jobs chan string) string {
+	return <-jobs
+}

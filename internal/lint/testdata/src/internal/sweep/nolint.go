@@ -1,0 +1,12 @@
+package sweep
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff documents a fixed settle delay that must not be cut short by
+// cancellation. No findings.
+func Backoff(ctx context.Context) {
+	time.Sleep(time.Millisecond) //triosim:nolint ctx-propagation -- fixture: settle delay must complete even on shutdown
+}

@@ -26,7 +26,12 @@ type FlowObserver interface {
 	RatesRecomputed(flows int, now sim.VTime)
 }
 
-// flow is one in-flight message in the flow network.
+// flow is one in-flight message in the flow network. Completed flows are
+// recycled through FlowNetwork.freeFlows (releaseFlow/acquireFlow); after
+// releaseFlow, only the monotonic gen field distinguishes a stale delivery
+// event's reference from the object's next life.
+//
+//triosim:pooled
 type flow struct {
 	id        int
 	route     []DirLink
@@ -330,12 +335,15 @@ func (n *FlowNetwork) completeFlow(f *flow, gen int, now sim.VTime) {
 // arithmetic — capacity reset, fair-share division, freeze order, capacity
 // charging order — is exactly the from-scratch solve's, so the resulting
 // rates are bit-identical (TestMaxMinMatchesReferenceSolve pins this).
+//
+//triosim:hotpath
 func (n *FlowNetwork) computeRates() {
 	if n.keysDirty {
 		n.linkKeys = n.linkKeys[:0]
 		for k := range n.links {
-			n.linkKeys = append(n.linkKeys, k)
+			n.linkKeys = append(n.linkKeys, k) //triosim:nolint hotpath-alloc -- runs only when a new directed link first appears (keysDirty), bounded by 2x the link count
 		}
+		//triosim:nolint hotpath-alloc -- same keysDirty-gated rebuild: sorting the fresh key slice is not steady-state work
 		sort.Slice(n.linkKeys, func(i, j int) bool {
 			if n.linkKeys[i].Link != n.linkKeys[j].Link {
 				return n.linkKeys[i].Link < n.linkKeys[j].Link

@@ -38,7 +38,11 @@ type coeff struct {
 	minFLOPs, maxFLOPs float64
 }
 
-// Model is a fitted per-operator-type regression model.
+// Model is a fitted per-operator-type regression model. Fitted models are
+// cached and shared across concurrent scenarios (tracecache timer entries),
+// so they are frozen after Fit returns.
+//
+//triosim:immutable
 type Model struct {
 	Device string
 	coeffs map[string]*coeff

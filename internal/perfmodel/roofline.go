@@ -20,7 +20,9 @@ import (
 // (every matmul in a 12-layer transformer is identical) gives Li's Model
 // nothing to fit a slope from, while the roofline transfers scaling
 // information across types. The cost is per-type bias. HybridModel picks
-// per type.
+// per type. Like Model, fitted rooflines are cached and shared read-only.
+//
+//triosim:immutable
 type RooflineModel struct {
 	Device string
 	// P is achieved FLOP/s, W achieved bytes/s, C per-kernel overhead (s).
@@ -139,7 +141,9 @@ func (m *RooflineModel) OpTime(name string, flops, bytes float64,
 // size diversity to be trustworthy, and with the pooled roofline otherwise
 // — the integration mode §8.2 describes ("TrioSim allows the integration of
 // alternative compute models ... offering users the flexibility to refine
-// predictions").
+// predictions"). Like its components, a fitted hybrid is shared read-only.
+//
+//triosim:immutable
 type HybridModel struct {
 	Li       *Model
 	Roofline *RooflineModel

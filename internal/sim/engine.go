@@ -74,6 +74,8 @@ var _ Engine = (*SerialEngine)(nil)
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
 // Schedule enqueues e.
+//
+//triosim:hotpath
 func (eng *SerialEngine) Schedule(e Event) {
 	eng.seq++
 	eng.queue.push(queuedEvent{
@@ -150,12 +152,14 @@ func (eng *SerialEngine) RegisterHook(h Hook) {
 // order either way). Secondary events are never batched: a secondary handler
 // may schedule a primary event at the current time, which must precede the
 // remaining secondaries.
+//
+//triosim:hotpath
 func (eng *SerialEngine) Run() error {
 	eng.terminated = false
 	for eng.queue.len() > 0 && !eng.terminated {
 		qe := eng.queue.pop()
 		if eng.started && qe.time < eng.now {
-			return fmt.Errorf("%w: event at %v, now %v",
+			return fmt.Errorf("%w: event at %v, now %v", //triosim:nolint hotpath-alloc -- cold error path: a past-dated event aborts the run
 				ErrPastEvent, qe.time, eng.now)
 		}
 		eng.started = true
@@ -168,7 +172,7 @@ func (eng *SerialEngine) Run() error {
 				if head.time != qe.time || head.secondary {
 					break
 				}
-				eng.cohort = append(eng.cohort, eng.queue.pop())
+				eng.cohort = append(eng.cohort, eng.queue.pop()) //triosim:nolint hotpath-alloc -- amortized: the cohort buffer grows to the largest batch once, then is re-sliced
 			}
 		}
 

@@ -53,6 +53,8 @@ func (f HandlerFunc) Handle(e Event) error { return f(e) }
 // events drawn from a SerialEngine's free list (via ScheduleFunc); the engine
 // recycles those after dispatch, so nothing may retain them past the event's
 // own handler and hooks.
+//
+//triosim:pooled
 type funcEvent struct {
 	EventBase
 	fn     func(now VTime) error

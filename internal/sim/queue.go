@@ -45,12 +45,16 @@ func (h *heap4[T]) len() int { return len(h.items) }
 func (h *heap4[T]) peek() T { return h.items[0] }
 
 // push inserts v, keeping the heap property.
+//
+//triosim:hotpath
 func (h *heap4[T]) push(v T) {
-	h.items = append(h.items, v)
+	h.items = append(h.items, v) //triosim:nolint hotpath-alloc -- amortized: the heap's backing array doubles until the queue's high-water mark, then is reused
 	h.siftUp(len(h.items) - 1)
 }
 
 // pop removes and returns the minimum element.
+//
+//triosim:hotpath
 func (h *heap4[T]) pop() T {
 	root := h.items[0]
 	n := len(h.items) - 1
@@ -64,6 +68,9 @@ func (h *heap4[T]) pop() T {
 	return root
 }
 
+// siftUp restores the heap property upward from slot i.
+//
+//triosim:hotpath
 func (h *heap4[T]) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 4
@@ -75,6 +82,9 @@ func (h *heap4[T]) siftUp(i int) {
 	}
 }
 
+// siftDown restores the heap property downward from slot i.
+//
+//triosim:hotpath
 func (h *heap4[T]) siftDown(i int) {
 	n := len(h.items)
 	for {

@@ -63,6 +63,8 @@ type laneState struct {
 // completion. The method values onTimer/onComm are bound once when the
 // record is first allocated and reused across recycles, so steady-state
 // dispatch allocates nothing.
+//
+//triosim:pooled
 type doneRec struct {
 	x     *Executor
 	t     *Task

@@ -87,7 +87,12 @@ func (o *Op) BytesIn(tab *tensor.Table) int64 { return tab.TotalBytes(o.Inputs) 
 // BytesOut returns the total output bytes of the op according to tab.
 func (o *Op) BytesOut(tab *tensor.Table) int64 { return tab.TotalBytes(o.Outputs) }
 
-// Trace is a complete single-GPU trace.
+// Trace is a complete single-GPU trace. Traces are shared read-only — the
+// trace cache hands the same *Trace to every concurrent scenario — so once a
+// trace escapes its builder it must not be mutated; Clone is the sanctioned
+// copy-on-write boundary (enforced by triosimvet's publish-then-mutate).
+//
+//triosim:immutable
 type Trace struct {
 	// Model is the workload name, e.g. "resnet50".
 	Model string

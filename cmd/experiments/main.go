@@ -36,7 +36,16 @@ func main() {
 		"disable the per-figure shared trace cache (A/B measurement; output is identical either way)")
 	faultSeed := flag.Int64("fault-seed", 0,
 		"add a seeded generated fault scenario to the resilience figure")
+	traceOut := flag.String("trace-out", "",
+		"directory for per-cell span-level Chrome trace-event JSON files (created if missing)")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	var custom *faults.Schedule
 	if *faultsPath != "" {
@@ -55,7 +64,7 @@ func main() {
 		}
 	}
 	opts := experiments.Options{Workers: *workers, Timeout: *timeout,
-		NoTraceCache: *noTraceCache}
+		NoTraceCache: *noTraceCache, TraceDir: *traceOut}
 	failed := false
 	for _, r := range experiments.AllFaults(*quick, opts, custom, *faultSeed) {
 		if len(want) > 0 && !want[r.ID] {

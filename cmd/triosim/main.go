@@ -14,12 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"time"
 
 	"triosim"
 	"triosim/internal/config"
 	"triosim/internal/monitor"
+	"triosim/internal/timeline"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 		memCheck     = flag.Bool("memory", false, "estimate per-GPU peak memory and capacity fit")
 		timelineOut  = flag.String("timeline", "", "write a Chrome-trace timeline JSON here")
 		timelineHTML = flag.String("timeline-html", "", "write a self-contained HTML timeline viewer here")
+		traceOut     = flag.String("trace-out", "", "write the span-level Chrome trace-event JSON here (open in Perfetto or chrome://tracing)")
 		metricsOut   = flag.String("metrics-out", "", "write the telemetry RunReport JSON here")
 		monitorAddr  = flag.String("monitor", "", "serve live /status, /metrics, /healthz on this address (e.g. :8080)")
 		faultsPath   = flag.String("faults", "", "inject a fault schedule JSON (triosim.faults/v1; see docs/RESILIENCE.md)")
@@ -67,7 +70,7 @@ func main() {
 			log.Fatal(err)
 		}
 		runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
-			*metricsOut, *monitorAddr, *faultsPath, *faultSeed)
+			*traceOut, *metricsOut, *monitorAddr, *faultsPath, *faultSeed)
 		return
 	}
 
@@ -101,12 +104,12 @@ func main() {
 	}
 
 	runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
-		*metricsOut, *monitorAddr, *faultsPath, *faultSeed)
+		*traceOut, *metricsOut, *monitorAddr, *faultsPath, *faultSeed)
 }
 
 // runAndReport executes one simulation and prints the result block.
 func runAndReport(cfg triosim.Config, validate, memCheck bool,
-	timelineOut, timelineHTML, metricsOut, monitorAddr,
+	timelineOut, timelineHTML, traceOut, metricsOut, monitorAddr,
 	faultsPath string, faultSeed int64) {
 	plat := cfg.Platform
 	// The sim core never reads the host clock (triosimvet: no-wallclock);
@@ -114,6 +117,10 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 	cfg.Clock = time.Now
 	if metricsOut != "" {
 		cfg.Telemetry = true
+	}
+	if traceOut != "" || timelineHTML != "" {
+		// The HTML view highlights the critical path, so it needs spans too.
+		cfg.SpanTrace = true
 	}
 	// Fault injection runs a fault-free baseline first: it sizes seeded
 	// schedules (the generator needs a horizon) and anchors the slowdown
@@ -183,6 +190,18 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 	fmt.Printf("host staging:    %v\n", res.HostLoadTime)
 	fmt.Printf("simulator:       %d tasks, %d events, %v wall clock\n",
 		res.Tasks, res.Events, res.WallClock)
+	if cp := res.CriticalPath; cp != nil && cp.LengthSec > 0 {
+		pct := func(v float64) float64 { return 100 * v / cp.LengthSec }
+		fmt.Printf("critical path:   %d steps over %.6gs — compute %.1f%%, comm %.1f%%, idle %.1f%%, fault-stretch %.1f%%\n",
+			len(cp.Steps), cp.LengthSec,
+			pct(cp.Attribution.ComputeSec), pct(cp.Attribution.CommSec),
+			pct(cp.Attribution.IdleSec), pct(cp.Attribution.FaultStretchSec))
+		if len(cp.Slack) > 0 {
+			s := cp.Slack[0]
+			fmt.Printf("nearest slack:   %s on %s (%.6gs of slack)\n",
+				s.Name, s.Track, s.SlackSec)
+		}
+	}
 
 	if cfg.Faults != nil {
 		fmt.Printf("faults:          %d windows, %d failures\n",
@@ -258,6 +277,17 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 			timelineOut)
 	}
 
+	if traceOut != "" {
+		if res.Spans == nil {
+			log.Fatal("-trace-out: run recorded no spans")
+		}
+		if err := res.Spans.WriteChromeTraceFile(traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("span trace:      %s (open in Perfetto / chrome://tracing)\n",
+			traceOut)
+	}
+
 	if timelineHTML != "" {
 		f, err := os.Create(timelineHTML)
 		if err != nil {
@@ -266,11 +296,63 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 		defer f.Close()
 		title := fmt.Sprintf("%s · %s · %s", cfg.Model, plat.Name,
 			cfg.Parallelism)
-		if err := res.Timeline.ExportHTML(f, title); err != nil {
+		critical, summary := criticalOverlay(res)
+		if err := res.Timeline.ExportHTMLHighlight(f, title, critical,
+			summary); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("timeline html:   %s\n", timelineHTML)
 	}
+}
+
+// criticalOverlay builds the HTML viewer's critical-path matcher and summary
+// lines from the run's critical-path report (nil, nil when none).
+func criticalOverlay(res *triosim.Result) (func(*timeline.Interval) bool,
+	[]string) {
+	cp := res.CriticalPath
+	if cp == nil || len(cp.Steps) == 0 {
+		return nil, nil
+	}
+	// Match a timeline interval to a critical step by label and (tolerant)
+	// start/end: the two views are recorded independently but from the same
+	// virtual times.
+	type window struct{ start, end float64 }
+	steps := map[string][]window{}
+	for _, st := range cp.Steps {
+		steps[st.Name] = append(steps[st.Name], window{st.StartSec, st.EndSec})
+	}
+	eps := 1e-9 * math.Max(1, cp.MakespanSec)
+	critical := func(iv *timeline.Interval) bool {
+		for _, w := range steps[iv.Label] {
+			if math.Abs(iv.Start.Seconds()-w.start) <= eps &&
+				math.Abs(iv.End.Seconds()-w.end) <= eps {
+				return true
+			}
+		}
+		return false
+	}
+	pct := func(v float64) float64 {
+		if cp.LengthSec <= 0 {
+			return 0
+		}
+		return 100 * v / cp.LengthSec
+	}
+	summary := []string{
+		fmt.Sprintf("critical path: %d steps over %.6gs — compute %.1f%%, comm %.1f%%, idle %.1f%%, fault-stretch %.1f%%, other %.1f%%",
+			len(cp.Steps), cp.LengthSec,
+			pct(cp.Attribution.ComputeSec), pct(cp.Attribution.CommSec),
+			pct(cp.Attribution.IdleSec), pct(cp.Attribution.FaultStretchSec),
+			pct(cp.Attribution.HostLoadSec+cp.Attribution.OtherSec)),
+	}
+	for i, s := range cp.Slack {
+		if i >= 3 {
+			break
+		}
+		summary = append(summary, fmt.Sprintf(
+			"near-critical: %s on %s — slack %.6gs", s.Name, s.Track,
+			s.SlackSec))
+	}
+	return critical, summary
 }
 
 func gb(b int64) float64 { return float64(b) / (1 << 30) }

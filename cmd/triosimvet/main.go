@@ -16,6 +16,9 @@
 //	                            # compare event-schedule digests
 //	triosimvet -report r.json   # validate a telemetry RunReport's schema
 //	                            # and accounting invariants
+//	triosimvet -trace-check t.json
+//	                            # validate a Chrome trace-event JSON export
+//	                            # (well-formed phases, per-track monotonic ts)
 //
 // Exit status: 0 clean, 1 findings or replay divergence, 2 operational error.
 package main
@@ -32,6 +35,7 @@ import (
 	"triosim/internal/gpu"
 	"triosim/internal/lint"
 	"triosim/internal/sim"
+	"triosim/internal/spantrace"
 	"triosim/internal/sweep"
 	"triosim/internal/telemetry"
 	"triosim/internal/tracecache"
@@ -55,6 +59,8 @@ func main() {
 			"write the current findings to a baseline file and exit 0")
 		reportPath = flag.String("report", "",
 			"validate a telemetry RunReport JSON file instead of static analysis")
+		traceCheckPath = flag.String("trace-check", "",
+			"validate a Chrome trace-event JSON file instead of static analysis")
 		cacheSmoke = flag.Bool("cache-smoke", false,
 			"run the trace-cache effectiveness smoke: a small sweep twice over one shared cache (second pass must hit, digests must match a cache-off run)")
 	)
@@ -62,6 +68,9 @@ func main() {
 
 	if *reportPath != "" {
 		os.Exit(runReportCheck(*reportPath))
+	}
+	if *traceCheckPath != "" {
+		os.Exit(runTraceCheck(*traceCheckPath))
 	}
 	if *cacheSmoke {
 		os.Exit(runCacheSmoke(*replayModel))
@@ -101,6 +110,23 @@ func runReportCheck(path string) int {
 			tc.TraceHits, tc.TraceMisses, tc.TimerHits, tc.TimerMisses,
 			tc.Traces, tc.Bytes)
 	}
+	return 0
+}
+
+// runTraceCheck validates a Chrome trace-event JSON export: every event has
+// a known phase, duration events carry ts/pid/tid with per-track monotonic
+// timestamps, counters carry values, and flow ends match flow starts.
+func runTraceCheck(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -trace-check:", err)
+		return 2
+	}
+	if err := spantrace.ValidateChromeTrace(data); err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -trace-check:", err)
+		return 1
+	}
+	fmt.Printf("trace ok: %s (%d bytes)\n", path, len(data))
 	return 0
 }
 

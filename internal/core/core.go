@@ -19,6 +19,7 @@ import (
 	"triosim/internal/network"
 	"triosim/internal/perfmodel"
 	"triosim/internal/sim"
+	"triosim/internal/spantrace"
 	"triosim/internal/task"
 	"triosim/internal/telemetry"
 	"triosim/internal/timeline"
@@ -105,6 +106,12 @@ type Config struct {
 	// (implies Telemetry). Share one registry with a monitor.RTM to serve a
 	// live Prometheus /metrics surface.
 	Metrics *telemetry.Registry
+	// SpanTrace enables the span recorder: Result.Spans carries the
+	// virtual-time span log (one span per task and fault window plus counter
+	// series) and Result.CriticalPath its critical-path analysis. Like
+	// Telemetry, observation is side-effect-free: Result.EventDigest is
+	// identical with or without it (pinned by a regression test).
+	SpanTrace bool
 	// Hooks are extra engine hooks registered before the run (e.g. a
 	// monitor.RTM progress hook). Hooks must not schedule events.
 	Hooks []sim.Hook
@@ -185,6 +192,13 @@ type Result struct {
 	// Report is the structured telemetry RunReport (nil unless
 	// Config.Telemetry or Config.Metrics enabled collection).
 	Report *telemetry.RunReport
+	// Spans is the virtual-time span log (nil unless Config.SpanTrace).
+	// Export with Spans.WriteChromeTrace for Perfetto / chrome://tracing.
+	Spans *spantrace.Log
+	// CriticalPath is the makespan-setting chain extracted from Spans with
+	// per-category attribution and a near-critical slack table (nil unless
+	// Config.SpanTrace).
+	CriticalPath *spantrace.Report
 	// Resilience is the checkpoint/restart overlay's accounting (nil unless
 	// Config.Faults was set): the makespan extended with checkpoint pauses,
 	// failure restarts, and replayed work.
@@ -317,6 +331,18 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	tl := timeline.New()
 	x := task.NewExecutor(eng, net, res.Graph, tl)
 
+	// Self-profiling: time the max-min solver on the injected clock (the sim
+	// core never reads the host clock itself). Wall time feeds counter
+	// tracks and gauges only — virtual time is unaffected.
+	net.SolveClock = cfg.Clock
+
+	var rec *spantrace.Recorder
+	if cfg.SpanTrace {
+		rec = spantrace.NewRecorder(res.Graph, topo)
+		x.Observe(rec)
+		eng.RegisterHook(rec.EngineHook(eng.Pending))
+	}
+
 	var inj *faults.Injector
 	if cfg.Faults != nil {
 		var err error
@@ -332,10 +358,16 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 		inj.Arm()
 		for _, w := range inj.Windows() {
 			tl.Add(faults.TimelineResource, w.Label(), "fault", w.Start, w.End)
+			if rec != nil {
+				rec.AddFault(w.Label(), w.Start, w.End)
+			}
 		}
 		for _, f := range inj.Failures() {
 			tl.Add(faults.TimelineResource, faults.FailLabel(f), "fault",
 				f.At, f.At)
+			if rec != nil {
+				rec.AddFault(faults.FailLabel(f), f.At, f.At)
+			}
 		}
 	}
 
@@ -347,8 +379,15 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 		}
 		coll = telemetry.NewCollector(reg, topo, collLog)
 		eng.RegisterHook(coll.EngineHook(eng.Pending))
-		net.Observer = coll
 		x.Observe(coll)
+	}
+	switch {
+	case coll != nil && rec != nil:
+		net.Observer = network.MultiFlowObserver{coll, rec}
+	case coll != nil:
+		net.Observer = coll
+	case rec != nil:
+		net.Observer = rec
 	}
 	for _, h := range cfg.Hooks {
 		eng.RegisterHook(h)
@@ -396,6 +435,19 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	if cfg.Clock != nil {
 		out.WallClock = cfg.Clock().Sub(start)
 	}
+	if rec != nil {
+		// End-of-run self-profiling totals on the counter tracks. The solver
+		// wall-time sample exists only when a clock was injected, so traces
+		// from clockless runs stay fully deterministic.
+		rec.Sample(spantrace.CounterQueueHighWatr, eng.CurrentTime(),
+			float64(eng.QueueHighWater()))
+		if cfg.Clock != nil {
+			rec.Sample(spantrace.CounterSolveWallMs, eng.CurrentTime(),
+				net.SolveWall.Seconds()*1e3)
+		}
+		out.Spans = rec.Finalize()
+		out.CriticalPath = out.Spans.CriticalPath(0)
+	}
 	if cfg.Faults != nil {
 		rc := faults.ResilienceConfig{Work: makespan}
 		if cp := cfg.Faults.Checkpoint; cp != nil {
@@ -430,8 +482,10 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 			QueueHighWater:  eng.QueueHighWater(),
 			NetTotalBytes:   net.TotalBytes,
 			NetTransfers:    net.TotalTransfers,
+			NetSolveSeconds: net.SolveWall.Seconds(),
 			Parallel:        res.Meta,
 		})
+		out.Report.CriticalPath = out.CriticalPath
 		if cfg.Clock != nil && out.WallClock > 0 {
 			out.Report.Engine.WallSeconds = out.WallClock.Seconds()
 			out.Report.Engine.EventsPerSecond =
@@ -586,18 +640,42 @@ func fitTimerCached(cfg Config, tr *trace.Trace) (extrapolator.OpTimer, error) {
 // the RunReport byte-identity guarantee and is omitted when no cache is
 // configured.
 func attachCacheStats(cfg Config, res *Result) {
-	if cfg.Cache == nil || res.Report == nil {
+	if cfg.Cache == nil {
 		return
 	}
 	st := cfg.Cache.Stats()
-	res.Report.TraceCache = &telemetry.TraceCacheStat{
-		TraceHits:   st.TraceHits,
-		TraceMisses: st.TraceMisses,
-		TimerHits:   st.TimerHits,
-		TimerMisses: st.TimerMisses,
-		Traces:      st.Traces,
-		Timers:      st.Timers,
-		Bytes:       st.Bytes,
+	if res.Report != nil {
+		res.Report.TraceCache = &telemetry.TraceCacheStat{
+			TraceHits:   st.TraceHits,
+			TraceMisses: st.TraceMisses,
+			TimerHits:   st.TimerHits,
+			TimerMisses: st.TimerMisses,
+			Traces:      st.Traces,
+			Timers:      st.Timers,
+			Bytes:       st.Bytes,
+		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("triosim_tracecache_trace_hits", "", "",
+			"trace cache trace hits (store-wide)").Set(float64(st.TraceHits))
+		cfg.Metrics.Gauge("triosim_tracecache_trace_misses", "", "",
+			"trace cache trace misses (store-wide)").Set(float64(st.TraceMisses))
+		cfg.Metrics.Gauge("triosim_tracecache_timer_hits", "", "",
+			"trace cache timer hits (store-wide)").Set(float64(st.TimerHits))
+		cfg.Metrics.Gauge("triosim_tracecache_timer_misses", "", "",
+			"trace cache timer misses (store-wide)").Set(float64(st.TimerMisses))
+		cfg.Metrics.Gauge("triosim_tracecache_bytes", "", "",
+			"trace cache resident bytes (store-wide)").Set(float64(st.Bytes))
+	}
+	if res.Spans != nil {
+		// Store-wide totals on the trace's counter tracks, stamped at the end
+		// of the run.
+		at := res.TotalTime
+		res.Spans.Sample(spantrace.CounterCacheTrHits, at, float64(st.TraceHits))
+		res.Spans.Sample(spantrace.CounterCacheTrMiss, at, float64(st.TraceMisses))
+		res.Spans.Sample(spantrace.CounterCacheTmHits, at, float64(st.TimerHits))
+		res.Spans.Sample(spantrace.CounterCacheTmMiss, at, float64(st.TimerMisses))
+		res.Spans.Sample(spantrace.CounterCacheBytes, at, float64(st.Bytes))
 	}
 }
 
@@ -698,13 +776,21 @@ type Comparison struct {
 
 // Validate runs both paths and compares per-iteration times.
 func Validate(cfg Config) (*Comparison, error) {
+	cmp, _, _, err := ValidatePair(cfg)
+	return cmp, err
+}
+
+// ValidatePair is Validate returning the two underlying results as well, so
+// callers can export the prediction's telemetry or span trace alongside the
+// comparison (cmd/experiments does).
+func ValidatePair(cfg Config) (*Comparison, *Result, *Result, error) {
 	pred, err := Simulate(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	actual, err := GroundTruth(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	p := float64(pred.PerIteration)
 	a := float64(actual.PerIteration)
@@ -718,7 +804,7 @@ func Validate(cfg Config) (*Comparison, error) {
 		Actual:     actual.PerIteration,
 		Error:      diff / a,
 		Normalized: p / a,
-	}, nil
+	}, pred, actual, nil
 }
 
 // MemoryReport is the per-GPU peak-memory estimate for a configuration.

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"triosim/internal/telemetry"
+	"triosim/internal/tracecache"
+)
+
+// TestPromGaugesForEngineAndCache: a metrics-enabled run exports the engine
+// queue high-water and the trace-cache hit/miss/bytes stats as Prometheus
+// gauges — the series the monitor's /metrics endpoint serves.
+func TestPromGaugesForEngineAndCache(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := Config{
+		Model: "resnet18", Platform: p1(), Parallelism: DDP,
+		TraceBatch: 32,
+		Metrics:    reg,
+		Cache:      tracecache.New(),
+	}
+	if _, err := Simulate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"triosim_engine_queue_high_water",
+		"triosim_tracecache_trace_hits",
+		"triosim_tracecache_trace_misses",
+		"triosim_tracecache_timer_hits",
+		"triosim_tracecache_timer_misses",
+		"triosim_tracecache_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus export missing %s:\n%s", want, out)
+		}
+	}
+	// The high-water gauge carries the engine's real value, not zero.
+	hw := reg.Gauge("triosim_engine_queue_high_water", "", "", "")
+	if hw.Value() <= 0 {
+		t.Fatalf("queue high-water gauge = %g, want > 0", hw.Value())
+	}
+	// A cold cache records misses, no hits.
+	if v := reg.Gauge("triosim_tracecache_trace_misses", "", "", "").Value(); v <= 0 {
+		t.Fatalf("trace-miss gauge = %g, want > 0 on a cold cache", v)
+	}
+}

@@ -122,12 +122,16 @@ func Fig13Opts(quick bool, opts Options) (*Figure, error) {
 		c := c
 		cells[i] = func(ctx context.Context) (vals, error) {
 			p1 := gpu.P1
-			res, err := core.Simulate(opts.cached(core.Config{
+			cfg := opts.cached(core.Config{
 				Model: c.model, Platform: &p1, Parallelism: c.par,
 				TraceBatch: traceBatchFor(c.model), Context: ctx,
-			}))
+			})
+			res, err := core.Simulate(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig13/%s/%s: %w", c.model, c.par, err)
+			}
+			if err := opts.exportSpans(cfg, res); err != nil {
+				return nil, err
 			}
 			return vals{
 				"comm_s":     float64(res.CommTime),

@@ -154,6 +154,9 @@ func ResilienceOpts(quick bool, opts Options, custom *faults.Schedule,
 						sc.name, err)
 				}
 			}
+			if err := opts.exportSpans(cfg, res); err != nil {
+				return nil, err
+			}
 			v := vals{
 				"total_s":  float64(res.TotalTime),
 				"slowdown": float64(res.TotalTime) / float64(base.TotalTime),

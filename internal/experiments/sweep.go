@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"triosim/internal/core"
@@ -27,6 +29,13 @@ type Options struct {
 	// Figure output is byte-identical either way (the golden tests compare
 	// cache-on vs cache-off directly); the switch exists for A/B measurement.
 	NoTraceCache bool
+	// TraceDir, when non-empty, enables span tracing on every cell threaded
+	// through cached() and writes each simulation's Chrome trace-event JSON
+	// into the directory. Filenames are config-addressed (model, platform,
+	// parallelism, GPU count, batch, iterations), so two cells running the
+	// same configuration overwrite each other with identical bytes —
+	// parallel-safe without coordination. The directory must exist.
+	TraceDir string
 	// cache is the figure run's shared store, installed by withCache at the
 	// top of each figure generator.
 	cache *tracecache.Store
@@ -52,12 +61,44 @@ func (o Options) withCache() Options {
 	return o
 }
 
-// cached threads the figure's shared cache into one cell's Config.
+// cached threads the figure's shared cache (and the trace-export switch)
+// into one cell's Config.
 func (o Options) cached(cfg core.Config) core.Config {
 	if cfg.Cache == nil {
 		cfg.Cache = o.cache
 	}
+	if o.TraceDir != "" {
+		cfg.SpanTrace = true
+	}
 	return cfg
+}
+
+// cellName renders a config-addressed filename stem for one cell's trace.
+func cellName(cfg core.Config) string {
+	platform := "none"
+	if cfg.Platform != nil {
+		platform = cfg.Platform.Name
+	}
+	par := string(cfg.Parallelism)
+	if par == "" {
+		par = "single"
+	}
+	return sweep.SanitizeName(fmt.Sprintf("%s_%s_%s_g%d_b%d_i%d",
+		cfg.Model, platform, par, cfg.NumGPUs, cfg.GlobalBatch,
+		cfg.Iterations))
+}
+
+// exportSpans writes one simulation's Chrome trace into TraceDir (no-op when
+// trace export is off or the run recorded no spans).
+func (o Options) exportSpans(cfg core.Config, res *core.Result) error {
+	if o.TraceDir == "" || res == nil || res.Spans == nil {
+		return nil
+	}
+	path := filepath.Join(o.TraceDir, cellName(cfg)+".trace.json")
+	if err := res.Spans.WriteChromeTraceFile(path); err != nil {
+		return fmt.Errorf("experiments: write trace: %w", err)
+	}
+	return nil
 }
 
 // vals is one cell's named numeric outputs (a Row's Values).
@@ -73,8 +114,12 @@ func runCells[T any](o Options, cells []sweep.Job[T]) ([]T, error) {
 // shared trace cache — and returns the standard validation row values.
 func (o Options) validateCell(ctx context.Context, cfg core.Config) (vals, error) {
 	cfg.Context = ctx
-	cmp, err := core.Validate(o.cached(cfg))
+	cfg = o.cached(cfg)
+	cmp, pred, _, err := core.ValidatePair(cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := o.exportSpans(cfg, pred); err != nil {
 		return nil, err
 	}
 	return vals{

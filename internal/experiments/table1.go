@@ -67,6 +67,9 @@ func Table1Opts(quick bool, opts Options) (*Figure, error) {
 				return nil, fmt.Errorf("table1/%s/%s: %w", c.model,
 					c.variant, err)
 			}
+			if err := opts.exportSpans(cfg, trio); err != nil {
+				return nil, err
+			}
 			tr, err := hwsim.CollectTrace(c.model, traceBatchFor(c.model),
 				&p2.GPU)
 			if err != nil {

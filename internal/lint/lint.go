@@ -150,6 +150,7 @@ var simPackages = []string{
 	"internal/extrapolator",
 	"internal/hwsim",
 	"internal/telemetry",
+	"internal/spantrace",
 }
 
 // isSimPackage reports whether relPath is under the determinism contract.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"triosim/internal/sim"
 )
@@ -24,6 +25,28 @@ type FlowObserver interface {
 	FlowFinished(route []DirLink, bytes float64, start, end sim.VTime)
 	// RatesRecomputed fires after each max-min fair-share recomputation.
 	RatesRecomputed(flows int, now sim.VTime)
+}
+
+// MultiFlowObserver fans every notification out to each member in order,
+// letting several observers (telemetry collector, span recorder) share the
+// network's single Observer slot.
+type MultiFlowObserver []FlowObserver
+
+var _ FlowObserver = MultiFlowObserver(nil)
+
+// FlowFinished implements FlowObserver.
+func (m MultiFlowObserver) FlowFinished(route []DirLink, bytes float64,
+	start, end sim.VTime) {
+	for _, o := range m {
+		o.FlowFinished(route, bytes, start, end)
+	}
+}
+
+// RatesRecomputed implements FlowObserver.
+func (m MultiFlowObserver) RatesRecomputed(flows int, now sim.VTime) {
+	for _, o := range m {
+		o.RatesRecomputed(flows, now)
+	}
 }
 
 // flow is one in-flight message in the flow network. Completed flows are
@@ -115,6 +138,18 @@ type FlowNetwork struct {
 	// Observer optionally receives flow-completion and rate-recompute
 	// notifications (telemetry). Set before the first Send.
 	Observer FlowObserver
+
+	// SolveClock, when set, times each max-min solve on the host clock for
+	// self-profiling (ROADMAP: profile the solver at scale). It is an
+	// injected clock — never time.Now directly — so the wall-clock read
+	// stays out of the deterministic simulation core and the no-wallclock
+	// analyzer holds. The measured wall time feeds SolveWall and never
+	// influences virtual time.
+	SolveClock func() time.Time
+	// SolveWall accumulates host time spent inside computeRates.
+	SolveWall time.Duration
+	// Solves counts max-min recomputations.
+	Solves int
 }
 
 // NewFlowNetwork builds a flow network over topo driven by eng.
@@ -280,7 +315,14 @@ func (n *FlowNetwork) advance(now sim.VTime) {
 // reallocate recomputes max-min fair rates and reschedules every flow's
 // delivery event.
 func (n *FlowNetwork) reallocate(now sim.VTime) {
-	n.computeRates()
+	n.Solves++
+	if n.SolveClock != nil {
+		t0 := n.SolveClock()
+		n.computeRates()
+		n.SolveWall += n.SolveClock().Sub(t0)
+	} else {
+		n.computeRates()
+	}
 	// Size-dependent achieved fraction: the unachieved share of a flow's
 	// allocation is protocol dead time, not reusable by other flows.
 	for _, f := range n.ordered {

@@ -1,0 +1,374 @@
+// Chrome trace-event export: the completed span Log rendered as a JSON
+// object Perfetto and chrome://tracing load directly. Layout:
+//
+//   - pid 1 "GPU lanes": one thread per GPU compute stream;
+//   - pid 2 "Network": one thread per transfer route ("gpu0->gpu1");
+//   - pid 3 "Scheduler": the sync (barrier/delay) lane and fault windows;
+//   - pid 4 "Simulator": counter tracks (queue depth, in-flight flows,
+//     re-solve count, per-link cumulative bytes, self-profiling totals).
+//
+// Cross-track dependency edges become flow arrows ("s"/"f" pairs). All
+// events are emitted sorted by (pid, tid, ts), so per-track timestamps are
+// monotonic — the property ValidateChromeTrace (and the check.sh smoke leg)
+// gates on.
+package spantrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// chromeEvent is one trace event. Field presence follows the trace-event
+// format: "X" complete events carry ts/dur, "M" metadata carries args,
+// "s"/"f" flow events carry an id, "C" counters carry args values.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object-format trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Export process ids.
+const (
+	pidGPU     = 1
+	pidNetwork = 2
+	pidSched   = 3
+	pidCounter = 4
+)
+
+// maxFlowArrows caps emitted dependency arrows: graphs have O(tasks) edges
+// and Perfetto renders tens of thousands fine, but beyond that the arrows
+// are visual noise and double the file size. The dropped count is reported
+// in otherData (no silent truncation).
+const maxFlowArrows = 20000
+
+// trackKey classifies a track name into its process.
+func trackPID(name string) int {
+	switch {
+	case strings.HasPrefix(name, "gpu") && !strings.Contains(name, "->"):
+		return pidGPU
+	case strings.Contains(name, "->"):
+		return pidNetwork
+	default:
+		return pidSched
+	}
+}
+
+// trackLess orders tracks within one process: GPU lanes numerically
+// ("gpu2" before "gpu10"), everything else lexicographically.
+func trackLess(a, b string) bool {
+	na, aok := numericSuffix(a, "gpu")
+	nb, bok := numericSuffix(b, "gpu")
+	if aok && bok {
+		return na < nb
+	}
+	return a < b
+}
+
+// numericSuffix parses names like "gpu12".
+func numericSuffix(s, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, prefix)
+	if !ok || rest == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// WriteChromeTrace renders the log as a Chrome trace-event JSON object.
+// Output is deterministic: same log, same bytes.
+func (l *Log) WriteChromeTrace(w io.Writer) error {
+	// Assign (pid, tid) per track.
+	type trackInfo struct {
+		name string
+		pid  int
+		tid  int
+	}
+	byID := map[int32]*trackInfo{}
+	var perPID [5][]*trackInfo
+	for i := range l.Spans {
+		id := l.Spans[i].Track
+		if byID[id] != nil {
+			continue
+		}
+		ti := &trackInfo{name: l.Name(id), pid: trackPID(l.Name(id))}
+		byID[id] = ti
+		perPID[ti.pid] = append(perPID[ti.pid], ti)
+	}
+	for _, tracks := range perPID {
+		sort.Slice(tracks, func(a, b int) bool {
+			return trackLess(tracks[a].name, tracks[b].name)
+		})
+		for i, ti := range tracks {
+			ti.tid = i + 1
+		}
+	}
+
+	var events []chromeEvent
+
+	// Process and thread metadata.
+	procNames := map[int]string{
+		pidGPU:     "GPU lanes",
+		pidNetwork: "Network",
+		pidSched:   "Scheduler",
+		pidCounter: "Simulator",
+	}
+	for _, pid := range []int{pidGPU, pidNetwork, pidSched, pidCounter} {
+		if pid != pidCounter && len(perPID[pid]) == 0 {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": procNames[pid]},
+		})
+		for _, ti := range perPID[pid] {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: ti.tid,
+				Args: map[string]any{"name": ti.name},
+			})
+		}
+	}
+
+	// Complete events, sorted per track by (ts, -dur, task) so enclosing
+	// spans precede nested ones and per-track timestamps are monotonic.
+	xs := make([]int, 0, len(l.Spans))
+	for i := range l.Spans {
+		xs = append(xs, i)
+	}
+	sort.SliceStable(xs, func(a, b int) bool {
+		sa, sb := &l.Spans[xs[a]], &l.Spans[xs[b]]
+		ta, tb := byID[sa.Track], byID[sb.Track]
+		if ta.pid != tb.pid {
+			return ta.pid < tb.pid
+		}
+		if ta.tid != tb.tid {
+			return ta.tid < tb.tid
+		}
+		if sa.Start != sb.Start {
+			return sa.Start.Before(sb.Start)
+		}
+		if sa.End != sb.End {
+			return sa.End.After(sb.End)
+		}
+		return sa.TaskID < sb.TaskID
+	})
+	for _, i := range xs {
+		sp := &l.Spans[i]
+		ti := byID[sp.Track]
+		dur := sp.Duration().Microseconds()
+		ev := chromeEvent{
+			Name: l.Name(sp.Name),
+			Cat:  sp.Cat.String(),
+			Ph:   "X",
+			Ts:   sp.Start.Microseconds(),
+			Dur:  &dur,
+			PID:  ti.pid,
+			TID:  ti.tid,
+		}
+		args := map[string]any{}
+		if sp.TaskID >= 0 {
+			args["task"] = sp.TaskID
+		}
+		if sp.Cat == Compute && sp.Nominal.After(0) &&
+			sp.Duration().After(sp.Nominal) {
+			args["nominal_us"] = sp.Nominal.Microseconds()
+		}
+		if sp.Coll >= 0 {
+			args["collective"] = l.Name(sp.Coll)
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	// Flow arrows for cross-track dependency edges.
+	arrowID := 0
+	dropped := 0
+	l.Deps(func(from, to int) {
+		u, v := &l.Spans[from], &l.Spans[to]
+		if u.Track == v.Track {
+			return // same-lane edges are visible as adjacency
+		}
+		if arrowID >= maxFlowArrows {
+			dropped++
+			return
+		}
+		arrowID++
+		tu, tv := byID[u.Track], byID[v.Track]
+		events = append(events,
+			chromeEvent{
+				Name: "dep", Cat: "dep", Ph: "s", ID: arrowID,
+				Ts: u.End.Microseconds(), PID: tu.pid, TID: tu.tid,
+			},
+			chromeEvent{
+				Name: "dep", Cat: "dep", Ph: "f", BP: "e", ID: arrowID,
+				Ts: v.Start.Microseconds(), PID: tv.pid, TID: tv.tid,
+			})
+	})
+
+	// Counter tracks, one per series, sorted by name then time.
+	counters := append([]*CounterSeries(nil), l.Counters...)
+	sort.Slice(counters, func(a, b int) bool {
+		return counters[a].Name < counters[b].Name
+	})
+	for _, cs := range counters {
+		for _, s := range cs.Samples {
+			events = append(events, chromeEvent{
+				Name: cs.Name, Ph: "C", Ts: s.T.Microseconds(),
+				PID: pidCounter, TID: 0,
+				Args: map[string]any{"value": s.V},
+			})
+		}
+	}
+
+	tr := chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	}
+	if dropped > 0 {
+		tr.OtherData = map[string]any{"dropped_flow_arrows": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// WriteChromeTraceFile writes the trace to path (creating/truncating it).
+func (l *Log) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rawEvent is the schema-check view of one trace event.
+type rawEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	ID   *int           `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+// rawTrace accepts both the object format ({"traceEvents": [...]}) and the
+// bare-array format.
+type rawTrace struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+}
+
+// validPhases are the trace-event phase codes the validator accepts.
+var validPhases = map[string]bool{
+	"X": true, "B": true, "E": true, "M": true, "C": true,
+	"s": true, "t": true, "f": true, "b": true, "e": true, "n": true,
+	"i": true, "I": true,
+}
+
+// ValidateChromeTrace schema-checks an exported trace: every event has a
+// known ph; "X" events carry ts >= 0, dur >= 0, pid and tid, with
+// non-decreasing timestamps per (pid, tid) track; counters carry values;
+// flow arrows pair up ("f" ids must have a matching "s"). This is the
+// check.sh smoke gate (triosimvet -trace-check).
+func ValidateChromeTrace(data []byte) error {
+	var tr rawTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		var arr []rawEvent
+		if aerr := json.Unmarshal(data, &arr); aerr != nil {
+			return fmt.Errorf("spantrace: trace is neither an event object nor an array: %w", err)
+		}
+		tr.TraceEvents = arr
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("spantrace: trace has no events")
+	}
+	lastTs := map[[2]int]float64{}
+	flowStarts := map[int]bool{}
+	var flowEnds []int
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("spantrace: event %d has no ph", i)
+		}
+		if !validPhases[ev.Ph] {
+			return fmt.Errorf("spantrace: event %d has unknown ph %q", i, ev.Ph)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts == nil || ev.PID == nil || ev.TID == nil {
+				return fmt.Errorf("spantrace: X event %d (%q) missing ts/pid/tid",
+					i, ev.Name)
+			}
+			if *ev.Ts < 0 {
+				return fmt.Errorf("spantrace: X event %d (%q) has negative ts",
+					i, ev.Name)
+			}
+			if ev.Dur != nil && *ev.Dur < 0 {
+				return fmt.Errorf("spantrace: X event %d (%q) has negative dur",
+					i, ev.Name)
+			}
+			key := [2]int{*ev.PID, *ev.TID}
+			if prev, ok := lastTs[key]; ok && *ev.Ts < prev {
+				return fmt.Errorf(
+					"spantrace: X event %d (%q) goes back in time on track pid=%d tid=%d (%g < %g)",
+					i, ev.Name, *ev.PID, *ev.TID, *ev.Ts, prev)
+			}
+			lastTs[key] = *ev.Ts
+		case "C":
+			if ev.Ts == nil || ev.PID == nil {
+				return fmt.Errorf("spantrace: C event %d (%q) missing ts/pid",
+					i, ev.Name)
+			}
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("spantrace: C event %d (%q) has no values",
+					i, ev.Name)
+			}
+		case "s", "t", "f":
+			if ev.ID == nil || ev.Ts == nil {
+				return fmt.Errorf("spantrace: flow event %d (%q) missing id/ts",
+					i, ev.Name)
+			}
+			if ev.Ph == "s" {
+				flowStarts[*ev.ID] = true
+			} else if ev.Ph == "f" {
+				flowEnds = append(flowEnds, *ev.ID)
+			}
+		case "M":
+			if ev.Name == "" {
+				return fmt.Errorf("spantrace: metadata event %d has no name", i)
+			}
+		}
+	}
+	for _, id := range flowEnds {
+		if !flowStarts[id] {
+			return fmt.Errorf("spantrace: flow end id %d has no matching start", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Critical-path extraction over the completed span DAG.
+//
+// The DAG's edges are (a) the task graph's dependency edges mapped onto the
+// recorded spans and (b) serialization edges between consecutive compute
+// spans on the same GPU lane (the executor runs each GPU's compute stream
+// serially, a constraint the task graph itself does not encode). A backward
+// CPM pass over the observed times yields per-span slack; the chain walk
+// from the last-finishing span back through its latest-finishing
+// predecessors yields the makespan-setting path, with every gap between
+// consecutive steps attributed as idle (network queueing, lane waits, or
+// event-ordering latency the span DAG does not model as an edge).
+package spantrace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Attribution partitions the critical path's length by category. The fields
+// sum to Report.LengthSec exactly: every step's duration lands in its
+// category (compute spans split into nominal compute and fault stretch),
+// and the gaps between steps land in IdleSec.
+type Attribution struct {
+	ComputeSec      float64 `json:"compute_sec"`
+	CommSec         float64 `json:"comm_sec"`
+	HostLoadSec     float64 `json:"hostload_sec"`
+	IdleSec         float64 `json:"idle_sec"`
+	FaultStretchSec float64 `json:"fault_stretch_sec"`
+	// OtherSec is barrier and delay time on the chain.
+	OtherSec float64 `json:"other_sec"`
+}
+
+// Sum returns the partition total (== Report.LengthSec).
+func (a Attribution) Sum() float64 {
+	return a.ComputeSec + a.CommSec + a.HostLoadSec + a.IdleSec +
+		a.FaultStretchSec + a.OtherSec
+}
+
+// Step is one span on the critical path.
+type Step struct {
+	// Task is the task-graph id.
+	Task     int    `json:"task"`
+	Name     string `json:"name"`
+	Track    string `json:"track"`
+	Category string `json:"category"`
+	// Collective is the owning collective's label, if any.
+	Collective string  `json:"collective,omitempty"`
+	StartSec   float64 `json:"start_sec"`
+	EndSec     float64 `json:"end_sec"`
+	// WaitSec is the idle gap between the previous step's end (or the log
+	// base for the first step) and this step's start.
+	WaitSec float64 `json:"wait_sec"`
+	// FaultStretchSec is the portion of a compute step's duration beyond its
+	// nominal (pre-stretch) duration.
+	FaultStretchSec float64 `json:"fault_stretch_sec,omitempty"`
+}
+
+// SlackEntry is one near-critical span: how much later it could have
+// finished without moving the makespan.
+type SlackEntry struct {
+	Task     int     `json:"task"`
+	Name     string  `json:"name"`
+	Track    string  `json:"track"`
+	Category string  `json:"category"`
+	StartSec float64 `json:"start_sec"`
+	DurSec   float64 `json:"dur_sec"`
+	SlackSec float64 `json:"slack_sec"`
+}
+
+// Report is the critical-path analysis of one run.
+type Report struct {
+	// MakespanSec is the span log's total extent (last end − first start).
+	MakespanSec float64 `json:"makespan_sec"`
+	// LengthSec is the critical chain's total length including gaps. It
+	// equals MakespanSec by construction: the chain spans base→last-end and
+	// every gap is accounted as idle.
+	LengthSec   float64     `json:"length_sec"`
+	Steps       []Step      `json:"steps"`
+	Attribution Attribution `json:"attribution"`
+	// Slack is the top-K near-critical stragglers, ascending slack.
+	Slack []SlackEntry `json:"slack,omitempty"`
+}
+
+// DefaultSlackTop is the slack-table size CriticalPath uses for topK <= 0.
+const DefaultSlackTop = 10
+
+// slackEps ignores float-noise slack when classifying spans as critical.
+const slackEps = 1e-12
+
+// CriticalPath extracts the makespan-setting chain from the log. topK bounds
+// the slack table (<= 0 means DefaultSlackTop). Fault-window spans are
+// markers, not work, and are excluded from the DAG.
+func (l *Log) CriticalPath(topK int) *Report {
+	if topK <= 0 {
+		topK = DefaultSlackTop
+	}
+	rep := &Report{}
+
+	// Working set: indices of non-fault spans.
+	work := make([]int, 0, len(l.Spans))
+	for i := range l.Spans {
+		if l.Spans[i].Cat != Fault {
+			work = append(work, i)
+		}
+	}
+	if len(work) == 0 {
+		return rep
+	}
+
+	base, endMax := l.Spans[work[0]].Start, l.Spans[work[0]].End
+	for _, i := range work[1:] {
+		sp := &l.Spans[i]
+		if sp.Start.Before(base) {
+			base = sp.Start
+		}
+		if sp.End.After(endMax) {
+			endMax = sp.End
+		}
+	}
+	rep.MakespanSec = (endMax - base).Seconds()
+
+	preds := l.buildEdges(work)
+
+	// Backward CPM pass in reverse topological order: LF(sink) = endMax;
+	// LF(u) = min over successors v of (LF(v) − dur(v)); slack = LF − End.
+	// Kahn order (not start-time order) keeps zero-duration same-timestamp
+	// chains — barrier cascades — correctly ordered.
+	order, ok := topoOrder(len(l.Spans), work, preds)
+	if !ok {
+		// A cyclic span DAG cannot happen for a validated task graph; fall
+		// back to an empty report rather than guessing.
+		return rep
+	}
+	lf := make([]float64, len(l.Spans))
+	hasSucc := make([]bool, len(l.Spans))
+	for i := range lf {
+		lf[i] = math.Inf(1)
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		sp := &l.Spans[v]
+		if !hasSucc[v] {
+			lf[v] = endMax.Seconds()
+		}
+		ls := lf[v] - sp.Duration().Seconds()
+		for _, u := range preds[v] {
+			if ls < lf[u] {
+				lf[u] = ls
+			}
+			hasSucc[u] = true
+		}
+	}
+
+	// Chain walk: start at the last-finishing span (ties: lowest index) and
+	// repeatedly step to the latest-finishing predecessor.
+	cur := work[0]
+	for _, i := range work[1:] {
+		if l.Spans[i].End.After(l.Spans[cur].End) {
+			cur = i
+		}
+	}
+	var chain []int
+	for {
+		chain = append(chain, cur)
+		best := -1
+		for _, u := range preds[cur] {
+			if best < 0 || l.Spans[u].End.After(l.Spans[best].End) ||
+				(l.Spans[u].End == l.Spans[best].End && u < best) {
+				best = u
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur = best
+	}
+	// chain is end→start; reverse it.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	prevEnd := base
+	for _, i := range chain {
+		sp := &l.Spans[i]
+		wait := (sp.Start - prevEnd).Seconds()
+		if wait < 0 {
+			// Overlapping predecessor (a dependency that finished after this
+			// span started cannot happen; lane edges guarantee ordering).
+			// Clamp defensively so the partition still sums.
+			wait = 0
+		}
+		dur := sp.Duration().Seconds()
+		stretch := 0.0
+		if sp.Cat == Compute && sp.Nominal.After(0) &&
+			sp.Duration().After(sp.Nominal) {
+			stretch = (sp.Duration() - sp.Nominal).Seconds()
+		}
+		step := Step{
+			Task:            int(sp.TaskID),
+			Name:            l.Name(sp.Name),
+			Track:           l.Name(sp.Track),
+			Category:        sp.Cat.String(),
+			Collective:      l.Name(sp.Coll),
+			StartSec:        sp.Start.Seconds(),
+			EndSec:          sp.End.Seconds(),
+			WaitSec:         wait,
+			FaultStretchSec: stretch,
+		}
+		rep.Steps = append(rep.Steps, step)
+		rep.Attribution.IdleSec += wait
+		switch sp.Cat {
+		case Compute:
+			rep.Attribution.ComputeSec += dur - stretch
+			rep.Attribution.FaultStretchSec += stretch
+		case Comm:
+			rep.Attribution.CommSec += dur
+		case HostLoad:
+			rep.Attribution.HostLoadSec += dur
+		default:
+			rep.Attribution.OtherSec += dur
+		}
+		rep.LengthSec += wait + dur
+		prevEnd = sp.End
+	}
+	// Any tail gap (the last-finishing span IS the chain tail, so none) —
+	// LengthSec now equals endMax − base up to float association order.
+
+	// Slack table: positive-slack spans with real duration, ascending slack.
+	var entries []SlackEntry
+	for _, i := range work {
+		sp := &l.Spans[i]
+		s := lf[i] - sp.End.Seconds()
+		if s <= slackEps || !sp.End.After(sp.Start) {
+			continue
+		}
+		entries = append(entries, SlackEntry{
+			Task:     int(sp.TaskID),
+			Name:     l.Name(sp.Name),
+			Track:    l.Name(sp.Track),
+			Category: sp.Cat.String(),
+			StartSec: sp.Start.Seconds(),
+			DurSec:   sp.Duration().Seconds(),
+			SlackSec: s,
+		})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].SlackSec != entries[b].SlackSec {
+			return entries[a].SlackSec < entries[b].SlackSec
+		}
+		if entries[a].StartSec != entries[b].StartSec {
+			return entries[a].StartSec < entries[b].StartSec
+		}
+		return entries[a].Task < entries[b].Task
+	})
+	if len(entries) > topK {
+		entries = entries[:topK]
+	}
+	rep.Slack = entries
+	return rep
+}
+
+// buildEdges assembles the predecessor lists: task-graph dependencies plus
+// per-GPU lane serialization between consecutive compute spans.
+func (l *Log) buildEdges(work []int) [][]int {
+	preds := make([][]int, len(l.Spans))
+	l.Deps(func(from, to int) {
+		preds[to] = append(preds[to], from)
+	})
+
+	// Lane edges: compute spans grouped by track, ordered by start time
+	// (record order breaks exact ties — it is completion order, which for a
+	// serial lane equals start order).
+	byTrack := map[int32][]int{}
+	var tracks []int32
+	for _, i := range work {
+		sp := &l.Spans[i]
+		if sp.Cat != Compute {
+			continue
+		}
+		if _, ok := byTrack[sp.Track]; !ok {
+			tracks = append(tracks, sp.Track)
+		}
+		byTrack[sp.Track] = append(byTrack[sp.Track], i)
+	}
+	sort.Slice(tracks, func(a, b int) bool { return tracks[a] < tracks[b] })
+	for _, tr := range tracks {
+		lane := byTrack[tr]
+		sort.SliceStable(lane, func(a, b int) bool {
+			return l.Spans[lane[a]].Start.Before(l.Spans[lane[b]].Start)
+		})
+		for k := 1; k < len(lane); k++ {
+			preds[lane[k]] = append(preds[lane[k]], lane[k-1])
+		}
+	}
+	return preds
+}
+
+// topoOrder returns a topological order of the working set (Kahn). ok is
+// false if the edge set is cyclic.
+func topoOrder(n int, work []int, preds [][]int) ([]int, bool) {
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	inWork := make([]bool, n)
+	for _, i := range work {
+		inWork[i] = true
+	}
+	for _, v := range work {
+		for _, u := range preds[v] {
+			indeg[v]++
+			succs[u] = append(succs[u], v)
+		}
+	}
+	queue := make([]int, 0, len(work))
+	for _, i := range work {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, len(work))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 && inWork[v] {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order, len(order) == len(work)
+}
+
+// Validate checks the report's internal invariants: the chain covers the
+// makespan exactly, the attribution partitions the length, and steps are
+// time-ordered. Mirrors telemetry.RunReport.Validate's style so triosimvet
+// -report can gate on it.
+func (r *Report) Validate() error {
+	tol := 1e-6 * math.Max(1e-12, r.MakespanSec)
+	if r.LengthSec < 0 || r.MakespanSec < 0 {
+		return fmt.Errorf("spantrace: negative critical-path report")
+	}
+	if r.LengthSec > r.MakespanSec+tol {
+		return fmt.Errorf("spantrace: critical path %g exceeds makespan %g",
+			r.LengthSec, r.MakespanSec)
+	}
+	if d := math.Abs(r.Attribution.Sum() - r.LengthSec); d > tol {
+		return fmt.Errorf(
+			"spantrace: attribution sums to %g, path length is %g",
+			r.Attribution.Sum(), r.LengthSec)
+	}
+	prev := math.Inf(-1)
+	for _, st := range r.Steps {
+		if st.EndSec < st.StartSec {
+			return fmt.Errorf("spantrace: step %q ends before it starts", st.Name)
+		}
+		if st.StartSec < prev-tol {
+			return fmt.Errorf("spantrace: step %q starts before its predecessor ended", st.Name)
+		}
+		prev = st.EndSec
+	}
+	for i := 1; i < len(r.Slack); i++ {
+		if r.Slack[i].SlackSec < r.Slack[i-1].SlackSec {
+			return fmt.Errorf("spantrace: slack table out of order")
+		}
+	}
+	return nil
+}

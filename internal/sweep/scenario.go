@@ -3,10 +3,26 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"triosim/internal/core"
 	"triosim/internal/tracecache"
 )
+
+// SanitizeName maps a scenario name onto a safe filename stem: every byte
+// outside [a-zA-Z0-9._-] becomes '-'.
+func SanitizeName(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
 
 // Scenario is one named simulation configuration in a sweep.
 type Scenario struct {
@@ -53,6 +69,9 @@ func Simulate(opts Options, scenarios []Scenario) []Result[SimResult] {
 			if cfg.Cache == nil {
 				cfg.Cache = cache
 			}
+			if opts.TraceDir != "" {
+				cfg.SpanTrace = true
+			}
 			res, err := core.Simulate(cfg)
 			if err != nil {
 				// Name the scenario: a per-scenario timeout surfaces from
@@ -60,6 +79,15 @@ func Simulate(opts Options, scenarios []Scenario) []Result[SimResult] {
 				// sweep without saying *which* scenario it killed.
 				return SimResult{Name: sc.Name},
 					fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+			}
+			if opts.TraceDir != "" && res.Spans != nil {
+				path := filepath.Join(opts.TraceDir,
+					SanitizeName(sc.Name)+".trace.json")
+				if err := res.Spans.WriteChromeTraceFile(path); err != nil {
+					return SimResult{Name: sc.Name},
+						fmt.Errorf("sweep: scenario %q: write trace: %w",
+							sc.Name, err)
+				}
 			}
 			return SimResult{Name: sc.Name, Res: res}, nil
 		}

@@ -47,6 +47,12 @@ type Options struct {
 	// results — the cache only skips redundant rebuilds — so this exists for
 	// A/B measurement and debugging, not correctness.
 	NoTraceCache bool
+	// TraceDir, when non-empty, enables span tracing (core.Config.SpanTrace)
+	// on every Simulate scenario and writes each scenario's Chrome
+	// trace-event JSON to <TraceDir>/<scenario-name>.trace.json. The
+	// directory must exist. Workers write disjoint files (one per scenario),
+	// so no synchronization is needed.
+	TraceDir string
 }
 
 func (o Options) workers() int {

@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"triosim/internal/spantrace"
+)
+
+// TestSimulateTraceDir: with TraceDir set, each scenario enables span tracing
+// and writes a valid, sanitized-name Chrome trace file; without it, no traces
+// are recorded.
+func TestSimulateTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	scs := []Scenario{
+		quickScenario("ddp", "ddp"),
+		quickScenario("tp/odd name", "tp"), // '/' must not escape the dir
+	}
+	res := Simulate(Options{Workers: 2, TraceDir: dir}, scs)
+	if err := FirstErr(res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d trace files, want 2", len(entries))
+	}
+	for _, name := range []string{"ddp", "tp-odd-name"} {
+		path := filepath.Join(dir, name+".trace.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing trace for %s: %v", name, err)
+		}
+		if err := spantrace.ValidateChromeTrace(data); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// Digest identity vs a traceless sweep (tracing is observation-only).
+	plain := Simulate(Options{Workers: 2}, scs)
+	if err := FirstErr(plain); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Value.Res.EventDigest != plain[i].Value.Res.EventDigest {
+			t.Fatalf("%s: TraceDir perturbed the digest",
+				res[i].Value.Name)
+		}
+	}
+}
+
+// TestSanitizeName pins the filename mapping.
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ddp":           "ddp",
+		"tp/odd name":   "tp-odd-name",
+		"a.b_c-9":       "a.b_c-9",
+		"weird:chars*?": "weird-chars--",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Fatalf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

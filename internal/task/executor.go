@@ -8,9 +8,11 @@ import (
 	"triosim/internal/timeline"
 )
 
-// Observer is notified when a resource-occupying task finishes. It must be
-// side-effect-free with respect to the event schedule: observers may record
-// but never call Schedule, so the dispatched schedule (and the replay
+// Observer is notified when a task finishes: resource-occupying tasks
+// (compute, comm, hostload) with their occupancy interval, and instantaneous
+// or waiting tasks (barriers, delays) with their resolution window. It must
+// be side-effect-free with respect to the event schedule: observers may
+// record but never call Schedule, so the dispatched schedule (and the replay
 // digest) is identical with or without them.
 type Observer interface {
 	TaskDone(t *Task, start, end sim.VTime)
@@ -193,10 +195,11 @@ func (x *Executor) ready(t *Task, now sim.VTime) {
 		r.t, r.start, r.phase = t, now, phase
 		x.net.Send(t.Src, t.Dst, t.Bytes, r.onComm)
 	case Barrier:
+		x.notify(t, now, now)
 		x.complete(t, now)
 	case Delay:
 		r := x.getRec()
-		r.t, r.delay = t, true
+		r.t, r.start, r.delay = t, now, true
 		sim.ScheduleFunc(x.eng, now+t.Duration, r.onTimer)
 	}
 }
@@ -231,6 +234,7 @@ func (r *doneRec) timerDone(done sim.VTime) error {
 	x, t, gpu, start, delay := r.x, r.t, r.gpu, r.start, r.delay
 	x.putRec(r)
 	if delay {
+		x.notify(t, start, done)
 		x.complete(t, done)
 		return nil
 	}

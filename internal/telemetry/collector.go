@@ -362,7 +362,11 @@ type RunInfo struct {
 	// NetTotalBytes / NetTransfers come from the flow network's own stats.
 	NetTotalBytes float64
 	NetTransfers  int
-	Parallel      ParallelStat
+	// NetSolveSeconds is the host time the flow network spent inside max-min
+	// solves (zero unless the caller injected a clock — see
+	// network.FlowNetwork.SolveClock).
+	NetSolveSeconds float64
+	Parallel        ParallelStat
 }
 
 // Finalize computes the per-GPU exposed-time partition, final link
@@ -437,6 +441,12 @@ func (c *Collector) Finalize(info RunInfo) *RunReport {
 	rep.Network.TotalBytes = info.NetTotalBytes
 	rep.Network.Transfers = info.NetTransfers
 	rep.Network.RateRecomputes = c.recomputes
+	rep.Network.SolveSeconds = info.NetSolveSeconds
+	if info.NetSolveSeconds > 0 {
+		c.reg.Gauge("triosim_net_solve_wall_seconds", "", "",
+			"Host time spent inside max-min fair-share solves.").
+			Set(info.NetSolveSeconds)
+	}
 
 	// Collectives, sorted by label.
 	labels := make([]string, 0, len(c.coll))
@@ -489,6 +499,12 @@ func (c *Collector) Finalize(info RunInfo) *RunReport {
 	c.reg.Gauge("triosim_event_queue_depth_peak", "", "",
 		"High-water mark of the engine's pending-event queue.").
 		Set(float64(c.queuePeak))
+	// The merged high-water (engine's Schedule-time tracking vs the hook's
+	// after-event probe) — the EngineStat value the JSON report carries.
+	c.reg.Gauge("triosim_engine_queue_high_water", "", "",
+		"Peak pending-event count (engine Schedule-time high-water merged "+
+			"with the dispatch-probe peak).").
+		Set(float64(rep.Engine.QueueHighWater))
 	c.reg.Gauge("triosim_virtual_time_seconds", "", "",
 		"Virtual-time frontier of the simulation.").Set(c.lastVTime)
 

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"triosim/internal/spantrace"
 )
 
 // ReportSchema versions the RunReport JSON layout. Consumers (triosimvet
@@ -48,6 +50,10 @@ type RunReport struct {
 	// is NOT covered by the byte-identity guarantee above: the same config
 	// reports different hit counts depending on what ran before it.
 	TraceCache *TraceCacheStat `json:"trace_cache,omitempty"`
+	// CriticalPath is the makespan-setting chain through the span DAG with
+	// per-category attribution and the near-critical slack table (nil unless
+	// the run enabled span tracing — core.Config.SpanTrace).
+	CriticalPath *spantrace.Report `json:"critical_path,omitempty"`
 
 	// Metrics is the raw registry dump backing the aggregates above.
 	Metrics []MetricPoint `json:"metrics,omitempty"`
@@ -84,6 +90,9 @@ type NetStat struct {
 	RateRecomputes int     `json:"rate_recomputes"`
 	// MaxLinkUtilization is the highest per-direction link utilization.
 	MaxLinkUtilization float64 `json:"max_link_utilization"`
+	// SolveSeconds is host time inside max-min solves (self-profiling;
+	// wall-clock derived, only set when the caller injected a Clock).
+	SolveSeconds float64 `json:"solve_wall_seconds,omitempty"`
 }
 
 // CollectiveStat is one collective operation instance (e.g. one DDP bucket's
@@ -252,6 +261,11 @@ func (r *RunReport) Validate() error {
 				return fmt.Errorf("telemetry: fault window %s/%s ends before it starts",
 					w.Kind, w.Resource)
 			}
+		}
+	}
+	if cp := r.CriticalPath; cp != nil {
+		if err := cp.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

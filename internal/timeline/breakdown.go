@@ -96,13 +96,17 @@ func (tl *Timeline) Breakdown() []ResourceBreakdown {
 	byPhase := map[string]map[string][]vspan{} // resource → phase → spans
 	for i := range tl.Intervals {
 		iv := &tl.Intervals[i]
-		if iv.End.AtOrBefore(iv.Start) {
-			continue
-		}
+		// Seed the resource's row before skipping zero-duration intervals:
+		// a lane whose only activity is instantaneous (barrier cascades,
+		// GPUFail markers) must still get an (all-idle) breakdown row, or the
+		// HTML view's table and lanes fall out of alignment.
 		m := byPhase[iv.Resource]
 		if m == nil {
 			m = map[string][]vspan{}
 			byPhase[iv.Resource] = m
+		}
+		if iv.End.AtOrBefore(iv.Start) {
+			continue
 		}
 		m[iv.Phase] = append(m[iv.Phase],
 			vspan{float64(iv.Start), float64(iv.End)})

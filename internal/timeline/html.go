@@ -9,11 +9,56 @@ import (
 	"triosim/internal/sim"
 )
 
+// phaseColors pins the well-known phases to fixed colors; every other phase
+// gets a deterministic palette color via phaseColor, so a given phase name
+// renders identically across runs and machines (no map-iteration or
+// insertion-order dependence).
+var phaseColors = map[string]string{
+	"compute":  "#4878cf",
+	"comm":     "#d65f5f",
+	"hostload": "#6acc65",
+	"fault":    "#ee854a",
+	"barrier":  "#956cb4",
+	"delay":    "#8c613c",
+}
+
+// phasePalette colors unknown phases; chosen to stay distinguishable from the
+// pinned colors above.
+var phasePalette = [...]string{
+	"#797979", "#d5bb67", "#82c6e2", "#dc7ec0",
+	"#4c72b0", "#55a868", "#c44e52", "#8172b3",
+}
+
+// phaseColor returns the stable color for a phase name: pinned phases first,
+// otherwise an FNV-1a hash of the name indexes the fallback palette.
+func phaseColor(phase string) string {
+	if c, ok := phaseColors[phase]; ok {
+		return c
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(phase); i++ {
+		h ^= uint32(phase[i])
+		h *= 16777619
+	}
+	return phasePalette[h%uint32(len(phasePalette))]
+}
+
 // ExportHTML writes a self-contained Daisen-style timeline viewer: one SVG
 // lane per resource, intervals as colored bars (compute / comm / hostload),
 // hover titles with labels and durations. No external assets — open the
 // file in any browser.
 func (tl *Timeline) ExportHTML(w io.Writer, title string) error {
+	return tl.ExportHTMLHighlight(w, title, nil, nil)
+}
+
+// ExportHTMLHighlight is ExportHTML with an optional critical-path overlay:
+// intervals for which critical returns true are drawn at full opacity with a
+// dark outline (everything else is dimmed), and the summary lines — e.g. the
+// critical path's per-category attribution — render under the legend.
+// Both critical and summary may be nil.
+func (tl *Timeline) ExportHTMLHighlight(w io.Writer, title string,
+	critical func(*Interval) bool, summary []string) error {
+
 	start, end := tl.Span()
 	span := float64(end - start)
 	if span <= 0 {
@@ -34,13 +79,6 @@ func (tl *Timeline) ExportHTML(w io.Writer, title string) error {
 	)
 	height := topPad + float64(len(resources))*(laneHeight+laneGap) + 20
 
-	colors := map[string]string{
-		"compute":  "#4878cf",
-		"comm":     "#d65f5f",
-		"hostload": "#6acc65",
-		"fault":    "#ee854a",
-	}
-
 	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
 <html><head><meta charset="utf-8"><title>%s</title>
 <style>
@@ -49,6 +87,7 @@ svg { background: white; border: 1px solid #ddd; }
 .lane-label { font-size: 12px; fill: #333; }
 .axis { font-size: 10px; fill: #777; }
 .legend { font-size: 12px; }
+.critpath { font-size: 12px; color: #444; }
 table.breakdown { border-collapse: collapse; font-size: 12px; margin-bottom: 12px; }
 table.breakdown th, table.breakdown td { border: 1px solid #ddd; padding: 3px 8px; text-align: right; }
 table.breakdown th:first-child, table.breakdown td:first-child { text-align: left; }
@@ -61,12 +100,20 @@ table.breakdown th:first-child, table.breakdown td:first-child { text-align: lef
 <span style="color:%s">&#9632;</span> fault window
 — span %s</p>
 `, html.EscapeString(title), html.EscapeString(title),
-		colors["compute"], colors["comm"], colors["hostload"],
-		colors["fault"], (end-start).String()); err != nil {
+		phaseColor("compute"), phaseColor("comm"), phaseColor("hostload"),
+		phaseColor("fault"), (end-start).String()); err != nil {
 		return err
 	}
+	for _, line := range summary {
+		if _, err := fmt.Fprintf(w, "<p class=\"critpath\">%s</p>\n",
+			html.EscapeString(line)); err != nil {
+			return err
+		}
+	}
 
-	// Per-resource breakdown summary above the lanes.
+	// Per-resource breakdown summary above the lanes. Breakdown emits one row
+	// per resource — including resources whose only activity is instantaneous
+	// — so the table rows align one-to-one with the SVG lanes below.
 	fmt.Fprint(w, `<table class="breakdown">
 <tr><th>resource</th><th>compute (s)</th><th>comm (s)</th><th>exposed comm (s)</th><th>host load (s)</th><th>idle (s)</th><th>busy %</th></tr>
 `)
@@ -125,13 +172,18 @@ table.breakdown th:first-child, table.breakdown td:first-child { text-align: lef
 			wpx = 0.5
 		}
 		y := topPad + float64(lane)*(laneHeight+laneGap)
-		color := colors[iv.Phase]
-		if color == "" {
-			color = "#999999"
+		color := phaseColor(iv.Phase)
+		opacity, stroke := "0.85", ""
+		if critical != nil {
+			if critical(iv) {
+				opacity, stroke = "1.0", ` stroke="#222" stroke-width="1.5"`
+			} else {
+				opacity = "0.35"
+			}
 		}
 		fmt.Fprintf(w,
-			`<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="%s" opacity="0.85"><title>%s [%s] %s–%s (%s)</title></rect>`+"\n",
-			x, y+3, wpx, laneHeight-6, color,
+			`<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="%s" opacity="%s"%s><title>%s [%s] %s–%s (%s)</title></rect>`+"\n",
+			x, y+3, wpx, laneHeight-6, color, opacity, stroke,
 			html.EscapeString(iv.Label), iv.Phase,
 			iv.Start.String(), iv.End.String(), iv.Duration().String())
 	}

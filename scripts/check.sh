@@ -45,6 +45,14 @@ go run ./cmd/triosim -model resnet50 -platform P2 -parallelism ddp \
   -trace-batch 32 -metrics-out "$tmpdir/report.json" >/dev/null
 go run ./cmd/triosimvet -report "$tmpdir/report.json"
 
+echo "==> span-trace smoke (-trace-out Chrome JSON + trace-event schema validation)"
+# TRIOSIM_TRACE_OUT, when set (CI), keeps the exported trace as a build
+# artifact next to the triosimvet findings.
+trace_out="${TRIOSIM_TRACE_OUT:-$tmpdir/trace.json}"
+go run ./cmd/triosim -model resnet18 -platform P1 -parallelism ddp \
+  -trace-batch 32 -trace-out "$trace_out" >/dev/null
+go run ./cmd/triosimvet -trace-check "$trace_out"
+
 echo "==> bench smoke + benchdiff gate (allocs/op vs committed BENCH_*.json)"
 go test -run '^$' -bench . -benchmem -benchtime 1x . >"$tmpdir/bench.txt"
 go run ./cmd/benchdiff -out "$tmpdir/bench.json" "$tmpdir/bench.txt"

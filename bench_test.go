@@ -476,6 +476,45 @@ func BenchmarkSweepCached(b *testing.B) {
 	}
 }
 
+// servingGrid is the scheduler-comparison serving sweep in quick shape: one
+// seeded Poisson workload on P1 served under each admission policy.
+func servingGrid() []sweep.ServeScenario {
+	var scs []sweep.ServeScenario
+	for _, sched := range ServingSchedulers() {
+		sched := sched
+		scs = append(scs, sweep.ServeScenario{
+			Name: sched,
+			Build: func() ServeConfig {
+				return ServeConfig{
+					Platform: P1(),
+					Serving: ServingConfig{
+						Model:     "gpt2",
+						Scheduler: sched,
+						MaxBatch:  4,
+						Arrivals: ServingArrivalConfig{
+							Seed: 7, Rate: 300, Requests: 32,
+						},
+					},
+				}
+			},
+		})
+	}
+	return scs
+}
+
+// The request-level serving layer's cost per swept scenario (arrival
+// generation, continuous batching, KV accounting, percentile aggregation),
+// allocs gated via BENCH_*.json.
+func BenchmarkServingSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sweep.Serve(sweep.Options{Workers: 1}, servingGrid())
+		if err := sweep.FirstErr(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Substrate micro-benches ----
 
 func BenchmarkEventEngine(b *testing.B) {

@@ -50,8 +50,32 @@ func main() {
 		monitorAddr  = flag.String("monitor", "", "serve live /status, /metrics, /healthz on this address (e.g. :8080)")
 		faultsPath   = flag.String("faults", "", "inject a fault schedule JSON (triosim.faults/v1; see docs/RESILIENCE.md)")
 		faultSeed    = flag.Int64("fault-seed", 0, "generate a seeded fault schedule sized to the fault-free baseline")
+
+		serveSim      = flag.Bool("serve-sim", false, "run a request-level inference-serving simulation instead of training (see docs/SERVING.md)")
+		serveSched    = flag.String("serve-sched", "fifo", "serving scheduler: fifo, priority, or sjf")
+		serveRequests = flag.Int("serve-requests", 0, "serving workload length (default 64)")
+		serveRate     = flag.Float64("serve-rate", 0, "Poisson arrival rate in req/s (default 100)")
+		serveSeed     = flag.Int64("serve-seed", 0, "serving workload seed (default 1)")
+		serveBatch    = flag.Int("serve-batch", 0, "continuous-batch cap per replica (default 8)")
+		serveReplicas = flag.Int("serve-replicas", 0, "model replicas (default: all platform GPUs)")
+		serveWorkload = flag.String("serve-workload", "", "request trace JSON instead of the Poisson generator")
 	)
 	flag.Parse()
+
+	if *serveSim {
+		runServing(serveFlags{
+			model:    *model,
+			platform: *platform,
+			sched:    *serveSched,
+			requests: *serveRequests,
+			rate:     *serveRate,
+			seed:     *serveSeed,
+			batch:    *serveBatch,
+			replicas: *serveReplicas,
+			workload: *serveWorkload,
+		}, *metricsOut, *traceOut, *faultsPath)
+		return
+	}
 
 	if *listModels {
 		for _, m := range triosim.Models() {

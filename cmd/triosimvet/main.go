@@ -14,6 +14,10 @@
 //	                            # accept the current findings as the baseline
 //	triosimvet -replay          # runtime gate: run a workload twice and
 //	                            # compare event-schedule digests
+//	triosimvet -replay -replay-serving
+//	                            # also gate the request-level serving layer
+//	                            # (same seed replays, different seed moves
+//	                            # the digest, observers don't perturb it)
 //	triosimvet -report r.json   # validate a telemetry RunReport's schema
 //	                            # and accounting invariants
 //	triosimvet -trace-check t.json
@@ -34,6 +38,7 @@ import (
 	"triosim/internal/faults"
 	"triosim/internal/gpu"
 	"triosim/internal/lint"
+	"triosim/internal/serving"
 	"triosim/internal/sim"
 	"triosim/internal/spantrace"
 	"triosim/internal/sweep"
@@ -53,6 +58,8 @@ func main() {
 			"with -replay: also check fault-injection determinism (no-op schedule identity + seeded-schedule replay)")
 		replayFaultSeed = flag.Int64("replay-fault-seed", 7,
 			"fault-generator seed for -replay-faults")
+		replayServing = flag.Bool("replay-serving", false,
+			"with -replay: also check request-level serving determinism (seeded replay identity, seed sensitivity, observer transparency)")
 		baselinePath = flag.String("baseline", "",
 			"compare findings against an accepted-findings baseline file; only new findings fail")
 		writeBaseline = flag.String("write-baseline", "",
@@ -76,8 +83,12 @@ func main() {
 		os.Exit(runCacheSmoke(*replayModel))
 	}
 	if *replay {
-		os.Exit(runReplay(*replayModel, *replayRuns, *replayFaults,
-			*replayFaultSeed))
+		code := runReplay(*replayModel, *replayRuns, *replayFaults,
+			*replayFaultSeed)
+		if code == 0 && *replayServing {
+			code = runServingReplay(*replayRuns)
+		}
+		os.Exit(code)
 	}
 	os.Exit(runLint(*jsonOut, *baselinePath, *writeBaseline))
 }
@@ -326,6 +337,83 @@ func runFaultReplay(cfg core.Config, base *core.Result, seed int64) int {
 	}
 	fmt.Printf("fault replay ok: no-op identity + seed %d ×2 runs, digest %#x, %d events, %v simulated\n",
 		seed, first.EventDigest, first.Events, first.TotalTime)
+	return 0
+}
+
+// runServingReplay extends the replay gate to the request-level serving
+// layer: the same seeded serving configuration must replay to a
+// byte-identical event schedule, a different arrival seed must move the
+// digest, and attaching observers (telemetry + span tracing) must leave the
+// schedule untouched.
+func runServingReplay(runs int) int {
+	cfg := func(seed int64, observe bool) core.ServeConfig {
+		p := gpu.P1
+		return core.ServeConfig{
+			Platform:  &p,
+			Telemetry: observe,
+			SpanTrace: observe,
+			Serving: serving.Config{
+				Model:    "gpt2",
+				MaxBatch: 4,
+				Arrivals: serving.ArrivalConfig{
+					Seed: 7, Rate: 300, Requests: 32,
+				},
+			},
+		}
+	}
+	base := cfg(7, false)
+	var first *core.ServeResult
+	for i := 0; i < runs; i++ {
+		res, err := core.Serve(base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "triosimvet: -replay-serving:", err)
+			return 2
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.EventDigest != first.EventDigest ||
+			res.Events != first.Events ||
+			res.TotalTime != first.TotalTime {
+			fmt.Fprintf(os.Stderr,
+				"triosimvet: serving replay divergence on run %d: digest %#x (%d events, %v) vs %#x (%d events, %v)\n",
+				i+1, res.EventDigest, res.Events, res.TotalTime,
+				first.EventDigest, first.Events, first.TotalTime)
+			return 1
+		}
+	}
+
+	// A different arrival seed must change the workload, and with it the
+	// event schedule — otherwise the seed isn't reaching the generator.
+	reseeded := cfg(7, false)
+	reseeded.Serving.Arrivals.Seed = 8
+	other, err := core.Serve(reseeded)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-serving:", err)
+		return 2
+	}
+	if other.EventDigest == first.EventDigest {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: serving arrival seed had no effect on the digest (%#x)\n",
+			first.EventDigest)
+		return 1
+	}
+
+	// Observers (telemetry collector + span recorder) must be record-only.
+	obs, err := core.Serve(cfg(7, true))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triosimvet: -replay-serving:", err)
+		return 2
+	}
+	if obs.EventDigest != first.EventDigest || obs.Events != first.Events {
+		fmt.Fprintf(os.Stderr,
+			"triosimvet: serving observers perturbed the schedule: digest %#x (%d events) vs %#x (%d events)\n",
+			obs.EventDigest, obs.Events, first.EventDigest, first.Events)
+		return 1
+	}
+	fmt.Printf("serving replay ok: gpt2 ×%d runs (+1 reseeded, +1 observed), digest %#x, %d events, %v simulated\n",
+		runs, first.EventDigest, first.Events, first.TotalTime)
 	return 0
 }
 

@@ -193,6 +193,9 @@ func allRunners(quick bool, opts Options, custom *faults.Schedule,
 		{"resilience", func() (*Figure, error) {
 			return ResilienceOpts(quick, opts, custom, faultSeed)
 		}},
+		{"serving", func() (*Figure, error) {
+			return ServingOpts(quick, opts)
+		}},
 	}
 }
 

@@ -122,6 +122,15 @@ func TestGoldenResilience(t *testing.T) {
 	})
 }
 
+func TestGoldenServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure regeneration; run without -short")
+	}
+	checkGolden(t, "serving", func(o Options) (*Figure, error) {
+		return ServingOpts(true, o)
+	})
+}
+
 // The acceptance criterion for the sweep engine: a quick-mode figure run is
 // at least 2× faster in parallel than serially on a machine with ≥4 cores.
 // The comparison uses Fig7 (a pure per-model grid with no shared stages).

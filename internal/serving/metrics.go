@@ -1,0 +1,107 @@
+package serving
+
+import (
+	"math"
+	"sort"
+)
+
+// LatencyStats summarizes a latency sample deterministically. Percentiles
+// use the nearest-rank method on the sorted sample — sorted[ceil(q·n)−1] —
+// so a given sample always yields the same quantile values, bit for bit, on
+// every platform (no interpolation, no floating accumulation order).
+type LatencyStats struct {
+	MeanSec float64 `json:"mean_sec"`
+	P50Sec  float64 `json:"p50_sec"`
+	P90Sec  float64 `json:"p90_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+	P999Sec float64 `json:"p999_sec"`
+	MaxSec  float64 `json:"p100_sec"`
+}
+
+// nearestRank returns sorted[ceil(q·n)−1] (q in (0,1], sorted non-empty).
+func nearestRank(sorted []float64, q float64) float64 {
+	r := int(math.Ceil(q * float64(len(sorted))))
+	if r < 1 {
+		r = 1
+	}
+	if r > len(sorted) {
+		r = len(sorted)
+	}
+	return sorted[r-1]
+}
+
+// summarize computes LatencyStats over a sample (seconds). Empty samples
+// yield the zero value.
+func summarize(sample []float64) LatencyStats {
+	if len(sample) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencyStats{
+		MeanSec: sum / float64(len(sorted)),
+		P50Sec:  nearestRank(sorted, 0.50),
+		P90Sec:  nearestRank(sorted, 0.90),
+		P99Sec:  nearestRank(sorted, 0.99),
+		P999Sec: nearestRank(sorted, 0.999),
+		MaxSec:  sorted[len(sorted)-1],
+	}
+}
+
+// RequestMetric is one request's observed lifecycle, all in seconds of
+// virtual time.
+type RequestMetric struct {
+	ID            int     `json:"id"`
+	Replica       int     `json:"replica"`
+	ArrivalSec    float64 `json:"arrival_sec"`
+	FirstTokenSec float64 `json:"first_token_sec"`
+	DoneSec       float64 `json:"done_sec"`
+	PromptTokens  int     `json:"prompt_tokens"`
+	OutputTokens  int     `json:"output_tokens"`
+}
+
+// ReplicaStat aggregates one replica's serving activity.
+type ReplicaStat struct {
+	Replica     int     `json:"replica"`
+	Served      int     `json:"served"`
+	Steps       int     `json:"steps"`
+	MeanBatch   float64 `json:"mean_batch"`
+	BusySec     float64 `json:"busy_sec"`
+	Utilization float64 `json:"utilization"`
+	KVPeakBytes float64 `json:"kv_peak_bytes"`
+	QueuePeak   int     `json:"queue_peak"`
+}
+
+// Metrics is the request-level result of a serving run.
+type Metrics struct {
+	Scheduler string `json:"scheduler"`
+	Replicas  int    `json:"replicas"`
+	MaxBatch  int    `json:"max_batch"`
+	Requests  int    `json:"requests"`
+	Completed int    `json:"completed"`
+	// OfferedRate is requests over the arrival span; ThroughputRPS is
+	// completions over the makespan (arrival of the first request to
+	// delivery of the last response).
+	OfferedRPS    float64 `json:"offered_rps"`
+	MakespanSec   float64 `json:"makespan_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	TokensPerSec  float64 `json:"tokens_per_sec"`
+	// Latency is arrival→response-delivered; TTFT is arrival→first token.
+	Latency LatencyStats `json:"latency"`
+	TTFT    LatencyStats `json:"ttft"`
+	// Steps counts batched model steps across replicas; MeanBatch is the
+	// mean number of requests per step, and BatchingEfficiency normalizes
+	// it by MaxBatch.
+	Steps              int     `json:"steps"`
+	MeanBatch          float64 `json:"mean_batch"`
+	BatchingEfficiency float64 `json:"batching_efficiency"`
+	GeneratedTokens    int     `json:"generated_tokens"`
+	KVPeakBytes        float64 `json:"kv_peak_bytes"`
+
+	PerReplica []ReplicaStat   `json:"per_replica"`
+	PerRequest []RequestMetric `json:"per_request"`
+}

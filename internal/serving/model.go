@@ -1,0 +1,81 @@
+package serving
+
+import (
+	"math"
+
+	"triosim/internal/gpu"
+	"triosim/internal/models"
+	"triosim/internal/sim"
+)
+
+// costModel prices prefill and decode steps for one transformer replica on
+// one GPU using the paper's roofline form: a step takes the larger of its
+// compute time (FLOPs over effective throughput) and its memory time (bytes
+// moved over effective bandwidth). The weight read is shared by every
+// request in the batch — that sharing is where continuous batching earns
+// its throughput.
+type costModel struct {
+	spec        models.TransformerSpec
+	gpuSpec     *gpu.Spec
+	weightBytes float64
+	kvPerToken  float64
+	// flopsPerToken is the dense compute per processed token; attnPerCtx the
+	// additional attention compute per token of cached context.
+	flopsPerToken float64
+	attnPerCtx    float64
+}
+
+func newCostModel(model string, spec *gpu.Spec) (*costModel, error) {
+	ts, err := models.TransformerSpecOf(model)
+	if err != nil {
+		return nil, err
+	}
+	return &costModel{
+		spec:          ts,
+		gpuSpec:       spec,
+		weightBytes:   ts.WeightBytes(),
+		kvPerToken:    ts.KVBytesPerToken(),
+		flopsPerToken: ts.DecodeFLOPsPerToken(),
+		attnPerCtx:    ts.AttnFLOPsPerCtxToken(),
+	}, nil
+}
+
+// kvBudget is the KV-cache capacity of one replica: GPU memory minus the
+// resident weights.
+func (m *costModel) kvBudget() float64 {
+	return float64(m.gpuSpec.MemCapacity) - m.weightBytes
+}
+
+// stepwork accumulates one batched step's cost terms.
+type stepwork struct {
+	flops float64
+	bytes float64
+}
+
+// addPrefill prices processing a whole prompt of p tokens in one step:
+// dense compute for every token plus causal attention over the growing
+// context (sum of 1..p ≈ p(p+1)/2 context-token pairs), KV writes for all p
+// tokens.
+func (m *costModel) addPrefill(w *stepwork, p int) {
+	fp := float64(p)
+	w.flops += fp*m.flopsPerToken + m.attnPerCtx*fp*(fp+1)/2
+	w.bytes += fp * m.kvPerToken
+}
+
+// addDecode prices generating one token with ctx tokens already cached:
+// dense compute for the one token, attention over the context, a read of
+// the cached KV entries, and the new token's KV write.
+func (m *costModel) addDecode(w *stepwork, ctx int) {
+	w.flops += m.flopsPerToken + m.attnPerCtx*float64(ctx)
+	w.bytes += (float64(ctx) + 1) * m.kvPerToken
+}
+
+// stepTime converts an accumulated batch step into time. The batch shares
+// one weight sweep, so weightBytes enters once per step regardless of batch
+// size.
+func (m *costModel) stepTime(w stepwork) sim.VTime {
+	g := m.gpuSpec
+	compute := w.flops / (g.PeakFLOPS * g.Utilization(w.flops))
+	memory := (w.bytes + m.weightBytes) / (g.MemBandwidth * g.MemEff)
+	return sim.VTime(math.Max(compute, memory))
+}

@@ -1,0 +1,74 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy orders a replica's admission queue. Less reports whether request a
+// should be served before request b; every policy breaks ties by request ID
+// so the order (and therefore the event schedule) is total and
+// deterministic.
+type Policy interface {
+	Name() string
+	Less(a, b *Request) bool
+}
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return "fifo" }
+func (fifoPolicy) Less(a, b *Request) bool {
+	// Requests are numbered in arrival order, so ID order is arrival order.
+	return a.ID < b.ID
+}
+
+type priorityPolicy struct{}
+
+func (priorityPolicy) Name() string { return "priority" }
+func (priorityPolicy) Less(a, b *Request) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.ID < b.ID
+}
+
+type sjfPolicy struct{}
+
+func (sjfPolicy) Name() string { return "sjf" }
+func (sjfPolicy) Less(a, b *Request) bool {
+	ja, jb := a.PromptTokens+a.OutputTokens, b.PromptTokens+b.OutputTokens
+	if ja != jb {
+		return ja < jb
+	}
+	return a.ID < b.ID
+}
+
+// PolicyByName resolves a scheduler name ("fifo", "priority", "sjf").
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "fifo":
+		return fifoPolicy{}, nil
+	case "priority":
+		return priorityPolicy{}, nil
+	case "sjf":
+		return sjfPolicy{}, nil
+	}
+	return nil, fmt.Errorf("serving: unknown scheduler %q (have %v)",
+		name, Policies())
+}
+
+// Policies lists the scheduler names.
+func Policies() []string { return []string{"fifo", "priority", "sjf"} }
+
+// insertByPolicy places request id into the queue (a slice of request
+// indices into reqs) at its policy position, via binary search: stable with
+// respect to equal-order requests already queued.
+func insertByPolicy(queue []int, id int, reqs []Request, pol Policy) []int {
+	pos := sort.Search(len(queue), func(i int) bool {
+		return pol.Less(&reqs[id], &reqs[queue[i]])
+	})
+	queue = append(queue, 0)
+	copy(queue[pos+1:], queue[pos:])
+	queue[pos] = id
+	return queue
+}

@@ -1,0 +1,58 @@
+package serving
+
+import "testing"
+
+func TestPolicyOrdering(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, PromptTokens: 50, OutputTokens: 50, Priority: 0},
+		{ID: 1, PromptTokens: 10, OutputTokens: 10, Priority: 2},
+		{ID: 2, PromptTokens: 30, OutputTokens: 5, Priority: 1},
+		{ID: 3, PromptTokens: 10, OutputTokens: 10, Priority: 2},
+	}
+	cases := []struct {
+		sched string
+		want  []int
+	}{
+		{"fifo", []int{0, 1, 2, 3}},
+		{"priority", []int{1, 3, 2, 0}},
+		{"sjf", []int{1, 3, 2, 0}},
+	}
+	for _, tc := range cases {
+		pol, err := PolicyByName(tc.sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q []int
+		for id := range reqs {
+			q = insertByPolicy(q, id, reqs, pol)
+		}
+		for i, want := range tc.want {
+			if q[i] != want {
+				t.Fatalf("%s order %v, want %v", tc.sched, q, tc.want)
+			}
+		}
+	}
+}
+
+func TestPolicyTiesBreakByID(t *testing.T) {
+	a := &Request{ID: 1, PromptTokens: 5, OutputTokens: 5, Priority: 1}
+	b := &Request{ID: 2, PromptTokens: 5, OutputTokens: 5, Priority: 1}
+	for _, name := range Policies() {
+		pol, _ := PolicyByName(name)
+		if !pol.Less(a, b) || pol.Less(b, a) {
+			t.Fatalf("%s: equal-order requests must break ties by ID", name)
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	if p, err := PolicyByName(""); err != nil || p.Name() != "fifo" {
+		t.Fatalf("empty name: %v, %v", p, err)
+	}
+	if _, err := PolicyByName("round-robin"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if len(Policies()) != 3 {
+		t.Fatalf("policies: %v", Policies())
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+// Feed drives an open-loop event source through the engine lazily: next is
+// pulled for one item at a time, and the following item is only scheduled
+// after the current one fires. An arrival process of N requests therefore
+// holds one pending event, not N — the queue depth (and QueueHighWater)
+// stays independent of workload length.
+//
+// next returns the item's firing time, its action, and ok=false when the
+// source is exhausted. Times must be non-decreasing across calls (an
+// arrival process); a time earlier than the engine's current time is
+// clamped to now. Feed must be called before the engine runs or from within
+// a handler.
+func Feed(eng Engine, next func() (VTime, func(now VTime) error, bool)) {
+	t, fire, ok := next()
+	if !ok {
+		return
+	}
+	var step func(now VTime) error
+	step = func(now VTime) error {
+		if err := fire(now); err != nil {
+			return err
+		}
+		nt, nf, nok := next()
+		if !nok {
+			return nil
+		}
+		fire = nf
+		ScheduleFunc(eng, nt.Max(now), step)
+		return nil
+	}
+	ScheduleFunc(eng, t, step)
+}

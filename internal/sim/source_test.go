@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFeedDeliversInOrder(t *testing.T) {
+	eng := NewSerialEngine()
+	times := []VTime{1 * MSec, 2 * MSec, 2 * MSec, 5 * MSec}
+	i := 0
+	var got []VTime
+	Feed(eng, func() (VTime, func(VTime) error, bool) {
+		if i >= len(times) {
+			return 0, nil, false
+		}
+		at := times[i]
+		i++
+		return at, func(now VTime) error {
+			got = append(got, now)
+			return nil
+		}, true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("fired %d items, want %d", len(got), len(times))
+	}
+	for j, at := range times {
+		if got[j] != at {
+			t.Fatalf("item %d fired at %v, want %v", j, got[j], at)
+		}
+	}
+}
+
+func TestFeedIsLazy(t *testing.T) {
+	// A 10k-item source must never hold more than one pending feed event.
+	eng := NewSerialEngine()
+	const n = 10000
+	i := 0
+	Feed(eng, func() (VTime, func(VTime) error, bool) {
+		if i >= n {
+			return 0, nil, false
+		}
+		at := VTime(i) * USec
+		i++
+		return at, func(VTime) error { return nil }, true
+	})
+	if p := eng.Pending(); p != 1 {
+		t.Fatalf("feed enqueued %d events up front, want 1", p)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("consumed %d items, want %d", i, n)
+	}
+	if hw := eng.QueueHighWater(); hw > 2 {
+		t.Fatalf("queue high-water %d, want <= 2 (lazy feed)", hw)
+	}
+}
+
+func TestFeedEmptyAndError(t *testing.T) {
+	eng := NewSerialEngine()
+	Feed(eng, func() (VTime, func(VTime) error, bool) { return 0, nil, false })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	i := 0
+	Feed(eng, func() (VTime, func(VTime) error, bool) {
+		i++
+		return VTime(i) * USec, func(VTime) error {
+			if i >= 2 {
+				return boom
+			}
+			return nil
+		}, true
+	})
+	if err := eng.Run(); !errors.Is(err, boom) {
+		t.Fatalf("engine error = %v, want %v", err, boom)
+	}
+}
+
+func TestFeedClampsPastTimes(t *testing.T) {
+	// A source whose next time is earlier than the current dispatch time is
+	// clamped to now rather than scheduled in the past.
+	eng := NewSerialEngine()
+	times := []VTime{2 * MSec, 1 * MSec}
+	i := 0
+	var got []VTime
+	Feed(eng, func() (VTime, func(VTime) error, bool) {
+		if i >= len(times) {
+			return 0, nil, false
+		}
+		at := times[i]
+		i++
+		return at, func(now VTime) error {
+			got = append(got, now)
+			return nil
+		}, true
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 2*MSec {
+		t.Fatalf("got %v, want second item clamped to 2ms", got)
+	}
+}

@@ -97,10 +97,12 @@ func (l *Log) CriticalPath(topK int) *Report {
 	}
 	rep := &Report{}
 
-	// Working set: indices of non-fault spans.
+	// Working set: indices of executed-activity spans. Fault windows and
+	// request lifetimes overlay the activities that realize them, so they
+	// are annotations, not path segments.
 	work := make([]int, 0, len(l.Spans))
 	for i := range l.Spans {
-		if l.Spans[i].Cat != Fault {
+		if c := l.Spans[i].Cat; c != Fault && c != Request {
 			work = append(work, i)
 		}
 	}

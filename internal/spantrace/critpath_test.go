@@ -237,7 +237,7 @@ func TestReportValidateRejects(t *testing.T) {
 			Steps:       []Step{{Name: "x", StartSec: 1, EndSec: 0}}},
 		{MakespanSec: 1, LengthSec: 1,
 			Attribution: Attribution{ComputeSec: 1},
-			Slack: []SlackEntry{{SlackSec: 2}, {SlackSec: 1}}},
+			Slack:       []SlackEntry{{SlackSec: 2}, {SlackSec: 1}}},
 	}
 	for i, r := range bad {
 		if err := r.Validate(); err == nil {

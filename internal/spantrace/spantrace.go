@@ -22,7 +22,8 @@ import (
 type Category uint8
 
 // Span categories. The first five mirror task.Kind; Fault marks an injected
-// fault window rather than an executed task.
+// fault window rather than an executed task, and Request marks a serving
+// request's arrival-to-delivery lifetime.
 const (
 	Compute Category = iota
 	Comm
@@ -30,10 +31,11 @@ const (
 	Barrier
 	Delay
 	Fault
+	Request
 )
 
 var categoryNames = [...]string{
-	"compute", "comm", "hostload", "barrier", "delay", "fault",
+	"compute", "comm", "hostload", "barrier", "delay", "fault", "request",
 }
 
 // String returns the category name.
@@ -387,12 +389,19 @@ func (r *Recorder) syncTrack() int32 {
 
 // AddFault records one injected fault window as a span on the "faults" track.
 func (r *Recorder) AddFault(label string, start, end sim.VTime) {
+	r.AddSpan(faultTrackName, label, Fault, start, end)
+}
+
+// AddSpan records one externally produced span (no task identity) on the
+// named track. The serving layer uses it for request-lifetime spans.
+func (r *Recorder) AddSpan(track, label string, cat Category,
+	start, end sim.VTime) {
 	r.push(Span{
 		TaskID: -1,
 		Name:   r.intern(label),
-		Track:  r.intern(faultTrackName),
+		Track:  r.intern(track),
 		Coll:   -1,
-		Cat:    Fault,
+		Cat:    cat,
 		Start:  start,
 		End:    end,
 	})

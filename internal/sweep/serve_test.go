@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"triosim/internal/core"
+	"triosim/internal/gpu"
+	"triosim/internal/serving"
+)
+
+func serveScenarios() []ServeScenario {
+	var scs []ServeScenario
+	for _, sched := range serving.Policies() {
+		sched := sched
+		scs = append(scs, ServeScenario{
+			Name: "gpt2-" + sched,
+			Build: func() core.ServeConfig {
+				p := gpu.P1
+				return core.ServeConfig{
+					Platform:  &p,
+					Telemetry: true,
+					Serving: serving.Config{
+						Model:     "gpt2",
+						Scheduler: sched,
+						MaxBatch:  4,
+						Arrivals: serving.ArrivalConfig{
+							Seed: 5, Rate: 300, Requests: 32,
+							PromptMin: 8, PromptMax: 48,
+							OutputMin: 4, OutputMax: 16,
+							PriorityLevels: 3,
+						},
+					},
+				}
+			},
+		})
+	}
+	return scs
+}
+
+func TestServeParallelMatchesSerial(t *testing.T) {
+	serial, err := Values(Serve(Options{Workers: 1}, serveScenarios()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Values(Serve(Options{Workers: 8}, serveScenarios()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d serial vs %d parallel results",
+			len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name {
+			t.Fatalf("result %d: %q vs %q", i, s.Name, p.Name)
+		}
+		if s.Res.EventDigest != p.Res.EventDigest ||
+			s.Res.Events != p.Res.Events {
+			t.Fatalf("%s: serial %#x/%d vs parallel %#x/%d", s.Name,
+				s.Res.EventDigest, s.Res.Events,
+				p.Res.EventDigest, p.Res.Events)
+		}
+		if s.Res.Metrics.Latency != p.Res.Metrics.Latency {
+			t.Fatalf("%s: latency stats diverge across pools", s.Name)
+		}
+	}
+}
+
+// TestServeConcurrentHammer runs repeated overlapping serving sweeps; under
+// -race (the check.sh hammer leg) this guards the pool's result slots and
+// the per-scenario isolation of engines and topologies.
+func TestServeConcurrentHammer(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		if err := FirstErr(Serve(Options{Workers: 6},
+			serveScenarios())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServeErrorNamesScenario(t *testing.T) {
+	res := Serve(Options{Workers: 1}, []ServeScenario{{
+		Name: "broken",
+		Build: func() core.ServeConfig {
+			p := gpu.P1
+			return core.ServeConfig{
+				Platform: &p,
+				Serving:  serving.Config{Model: "no-such-model"},
+			}
+		},
+	}})
+	err := FirstErr(res)
+	if err == nil {
+		t.Fatal("broken scenario succeeded")
+	}
+	if want := `scenario "broken"`; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the scenario", err)
+	}
+}

@@ -18,6 +18,19 @@ type Observer interface {
 	TaskDone(t *Task, start, end sim.VTime)
 }
 
+// Observers fans TaskDone out to a list, in registration order. The
+// executor notifies through one, and the serving layer uses one to report
+// its synthesized per-step tasks to the telemetry collector and the span
+// recorder.
+type Observers []Observer
+
+// TaskDone notifies every observer.
+func (os Observers) TaskDone(t *Task, start, end sim.VTime) {
+	for _, o := range os {
+		o.TaskDone(t, start, end)
+	}
+}
+
 // Executor runs a task graph on the event engine: compute tasks occupy their
 // GPU's compute stream serially (in ready order), communication tasks go to
 // the network model (which shares bandwidth among concurrent transfers), and
@@ -27,7 +40,7 @@ type Executor struct {
 	net   network.Network
 	graph *Graph
 	tl    *timeline.Timeline
-	obs   []Observer
+	obs   Observers
 
 	// Stretch optionally scales compute-task durations per GPU: a task
 	// starting at time at on gpu runs for Duration×Stretch(gpu, at). The
@@ -97,9 +110,7 @@ func (x *Executor) Observe(o Observer) {
 
 // notify reports a finished resource-occupying task to every observer.
 func (x *Executor) notify(t *Task, start, end sim.VTime) {
-	for _, o := range x.obs {
-		o.TaskDone(t, start, end)
-	}
+	x.obs.TaskDone(t, start, end)
 }
 
 // lane returns gpu's lane, growing the lane table on first sight of the GPU.

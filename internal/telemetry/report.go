@@ -44,6 +44,9 @@ type RunReport struct {
 	// Faults carries fault-injection and resilience accounting (nil unless
 	// the run had a fault schedule configured).
 	Faults *FaultReport `json:"faults,omitempty"`
+	// Serving carries the request-level inference-serving section (nil
+	// unless the run was a serving simulation — core.Serve).
+	Serving *ServingStat `json:"serving,omitempty"`
 	// TraceCache carries the shared trace cache's counters (nil unless the
 	// run used a cache). The counters accumulate across every simulation
 	// sharing the store, so this section — unlike the rest of the report —
@@ -178,6 +181,50 @@ type FaultReport struct {
 	Goodput float64 `json:"goodput"`
 }
 
+// LatencyQuantiles summarizes a latency sample with deterministic
+// nearest-rank percentiles (sorted[ceil(q·n)−1]) — no interpolation, so a
+// given sample always reports the same values bit for bit.
+type LatencyQuantiles struct {
+	MeanSec float64 `json:"mean_sec"`
+	P50Sec  float64 `json:"p50_sec"`
+	P90Sec  float64 `json:"p90_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+	P999Sec float64 `json:"p999_sec"`
+	MaxSec  float64 `json:"p100_sec"`
+}
+
+// monotone reports whether the quantiles are ordered p50 ≤ p90 ≤ p99 ≤
+// p999 ≤ max and non-negative.
+func (q LatencyQuantiles) monotone() bool {
+	return q.P50Sec >= 0 && q.P50Sec <= q.P90Sec && q.P90Sec <= q.P99Sec &&
+		q.P99Sec <= q.P999Sec && q.P999Sec <= q.MaxSec
+}
+
+// ServingStat is the request-level serving section of a RunReport: offered
+// vs achieved load, latency and time-to-first-token tails, and continuous
+// batching efficiency.
+type ServingStat struct {
+	Scheduler string `json:"scheduler"`
+	Replicas  int    `json:"replicas"`
+	MaxBatch  int    `json:"max_batch"`
+	Requests  int    `json:"requests"`
+	Completed int    `json:"completed"`
+
+	OfferedRPS    float64 `json:"offered_rps"`
+	MakespanSec   float64 `json:"makespan_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	TokensPerSec  float64 `json:"tokens_per_sec"`
+
+	Latency LatencyQuantiles `json:"latency"`
+	TTFT    LatencyQuantiles `json:"ttft"`
+
+	Steps              int     `json:"steps"`
+	MeanBatch          float64 `json:"mean_batch"`
+	BatchingEfficiency float64 `json:"batching_efficiency"`
+	GeneratedTokens    int     `json:"generated_tokens"`
+	KVPeakBytes        float64 `json:"kv_peak_bytes"`
+}
+
 // FaultWindow is one fault event's footprint (GPUFail markers have
 // StartSec == EndSec).
 type FaultWindow struct {
@@ -261,6 +308,28 @@ func (r *RunReport) Validate() error {
 				return fmt.Errorf("telemetry: fault window %s/%s ends before it starts",
 					w.Kind, w.Resource)
 			}
+		}
+	}
+	if s := r.Serving; s != nil {
+		if s.Completed > s.Requests || s.Completed < 0 {
+			return fmt.Errorf("telemetry: serving completed %d of %d requests",
+				s.Completed, s.Requests)
+		}
+		if s.BatchingEfficiency < 0 || s.BatchingEfficiency > 1+sumTolerance {
+			return fmt.Errorf("telemetry: serving batching efficiency %g out of [0,1]",
+				s.BatchingEfficiency)
+		}
+		if s.ThroughputRPS < 0 || s.TokensPerSec < 0 || s.MakespanSec < 0 ||
+			s.KVPeakBytes < 0 || s.GeneratedTokens < 0 || s.Steps < 0 {
+			return fmt.Errorf("telemetry: serving section has negative fields")
+		}
+		if !s.Latency.monotone() {
+			return fmt.Errorf("telemetry: serving latency quantiles not monotone: %+v",
+				s.Latency)
+		}
+		if !s.TTFT.monotone() {
+			return fmt.Errorf("telemetry: serving TTFT quantiles not monotone: %+v",
+				s.TTFT)
 		}
 	}
 	if cp := r.CriticalPath; cp != nil {

@@ -16,9 +16,9 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> race hammer (sweep pool + monitor + faults + trace cache, repeated runs)"
+echo "==> race hammer (sweep pool + monitor + faults + trace cache + serving, repeated runs)"
 go test -race -count=2 ./internal/sweep/... ./internal/monitor/... \
-  ./internal/faults/... ./internal/tracecache/...
+  ./internal/faults/... ./internal/tracecache/... ./internal/serving/...
 
 echo "==> triosimvet (static determinism + concurrency-safety analyzers, baseline-gated)"
 # Gate on findings NOT in the committed baseline (new violations only); the
@@ -32,8 +32,8 @@ else
   go run ./cmd/triosimvet -baseline lint.baseline.json ./...
 fi
 
-echo "==> triosimvet -replay (double-run event-digest check + fault injection)"
-go run ./cmd/triosimvet -replay -replay-faults
+echo "==> triosimvet -replay (double-run event-digest check + fault injection + serving)"
+go run ./cmd/triosimvet -replay -replay-faults -replay-serving
 
 echo "==> triosimvet -cache-smoke (trace-cache hit counters + digest identity)"
 go run ./cmd/triosimvet -cache-smoke
@@ -44,6 +44,11 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/triosim -model resnet50 -platform P2 -parallelism ddp \
   -trace-batch 32 -metrics-out "$tmpdir/report.json" >/dev/null
 go run ./cmd/triosimvet -report "$tmpdir/report.json"
+
+echo "==> serving smoke (-serve-sim + RunReport schema validation)"
+go run ./cmd/triosim -serve-sim -model gpt2 -platform P1 -serve-requests 24 \
+  -serve-rate 200 -serve-seed 7 -metrics-out "$tmpdir/serving.json" >/dev/null
+go run ./cmd/triosimvet -report "$tmpdir/serving.json"
 
 echo "==> span-trace smoke (-trace-out Chrome JSON + trace-event schema validation)"
 # TRIOSIM_TRACE_OUT, when set (CI), keeps the exported trace as a build

@@ -31,6 +31,7 @@ import (
 	"triosim/internal/hwsim"
 	"triosim/internal/models"
 	"triosim/internal/network"
+	"triosim/internal/serving"
 	"triosim/internal/sim"
 	"triosim/internal/telemetry"
 	"triosim/internal/trace"
@@ -206,6 +207,47 @@ func OptimalCheckpointInterval(cost, mtbf VTime) VTime {
 // BuildTopology constructs the interconnect topology Simulate would use for
 // the platform — handy for sizing fault schedules (GPU and link counts).
 func BuildTopology(p *Platform) *Topology { return core.BuildTopology(p) }
+
+// ServeConfig describes one request-level inference-serving simulation;
+// see internal/core and docs/SERVING.md.
+type ServeConfig = core.ServeConfig
+
+// ServeResult is a serving simulation's output: request-level latency
+// tails, throughput, batching efficiency, and the replay digest.
+type ServeResult = core.ServeResult
+
+// ServingConfig is the serving workload: model, scheduler, batch cap, and
+// arrivals.
+type ServingConfig = serving.Config
+
+// ServingMetrics is the request-level outcome attached to ServeResult.
+type ServingMetrics = serving.Metrics
+
+// ServingRequest is one inference request in a serving workload.
+type ServingRequest = serving.Request
+
+// ServingArrivalConfig parameterizes the seeded Poisson workload generator.
+type ServingArrivalConfig = serving.ArrivalConfig
+
+// Serve runs one request-level inference-serving simulation: seeded
+// arrivals, continuous batching with KV-cache accounting, and deterministic
+// latency percentiles.
+func Serve(cfg ServeConfig) (*ServeResult, error) { return core.Serve(cfg) }
+
+// ServingSchedulers lists the admission policies Serve accepts (fifo,
+// priority, sjf).
+func ServingSchedulers() []string { return serving.Policies() }
+
+// GenerateServingWorkload draws a seeded Poisson request workload.
+func GenerateServingWorkload(cfg ServingArrivalConfig) ([]ServingRequest, error) {
+	return serving.GenerateWorkload(cfg)
+}
+
+// LoadServingWorkload reads a request trace (JSON array of requests,
+// arrival_sec ascending) from disk.
+func LoadServingWorkload(path string) ([]ServingRequest, error) {
+	return serving.LoadWorkload(path)
+}
 
 // NetworkConfig parameterizes the topology builders.
 type NetworkConfig = network.Config

@@ -47,6 +47,7 @@ func main() {
 		timelineHTML = flag.String("timeline-html", "", "write a self-contained HTML timeline viewer here")
 		traceOut     = flag.String("trace-out", "", "write the span-level Chrome trace-event JSON here (open in Perfetto or chrome://tracing)")
 		metricsOut   = flag.String("metrics-out", "", "write the telemetry RunReport JSON here")
+		determ       = flag.Bool("deterministic", false, "omit wall-clock fields so the RunReport is byte-identical across runs (and to a triosimd-served report)")
 		monitorAddr  = flag.String("monitor", "", "serve live /status, /metrics, /healthz on this address (e.g. :8080)")
 		faultsPath   = flag.String("faults", "", "inject a fault schedule JSON (triosim.faults/v1; see docs/RESILIENCE.md)")
 		faultSeed    = flag.Int64("fault-seed", 0, "generate a seeded fault schedule sized to the fault-free baseline")
@@ -93,8 +94,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
-			*traceOut, *metricsOut, *monitorAddr, *faultsPath, *faultSeed)
+		runAndReport(cfg, *validate, *memCheck, *determ, *timelineOut,
+			*timelineHTML, *traceOut, *metricsOut, *monitorAddr, *faultsPath,
+			*faultSeed)
 		return
 	}
 
@@ -127,18 +129,24 @@ func main() {
 		log.Fatal("need -model or -trace (see -list-models)")
 	}
 
-	runAndReport(cfg, *validate, *memCheck, *timelineOut, *timelineHTML,
-		*traceOut, *metricsOut, *monitorAddr, *faultsPath, *faultSeed)
+	runAndReport(cfg, *validate, *memCheck, *determ, *timelineOut,
+		*timelineHTML, *traceOut, *metricsOut, *monitorAddr, *faultsPath,
+		*faultSeed)
 }
 
 // runAndReport executes one simulation and prints the result block.
-func runAndReport(cfg triosim.Config, validate, memCheck bool,
+func runAndReport(cfg triosim.Config, validate, memCheck, deterministic bool,
 	timelineOut, timelineHTML, traceOut, metricsOut, monitorAddr,
 	faultsPath string, faultSeed int64) {
 	plat := cfg.Platform
 	// The sim core never reads the host clock (triosimvet: no-wallclock);
-	// the WallClock metric is opt-in from the boundary.
-	cfg.Clock = time.Now
+	// the WallClock metric is opt-in from the boundary. -deterministic keeps
+	// the clock out so the RunReport carries no wall-clock-derived fields and
+	// is byte-identical across runs of the same configuration — the property
+	// the triosimd digest gate in scripts/check.sh compares against.
+	if !deterministic {
+		cfg.Clock = time.Now
+	}
 	if metricsOut != "" {
 		cfg.Telemetry = true
 	}
@@ -214,6 +222,7 @@ func runAndReport(cfg triosim.Config, validate, memCheck bool,
 	fmt.Printf("host staging:    %v\n", res.HostLoadTime)
 	fmt.Printf("simulator:       %d tasks, %d events, %v wall clock\n",
 		res.Tasks, res.Events, res.WallClock)
+	fmt.Printf("event digest:    %#x\n", res.EventDigest)
 	if cp := res.CriticalPath; cp != nil && cp.LengthSec > 0 {
 		pct := func(v float64) float64 { return 100 * v / cp.LengthSec }
 		fmt.Printf("critical path:   %d steps over %.6gs — compute %.1f%%, comm %.1f%%, idle %.1f%%, fault-stretch %.1f%%\n",

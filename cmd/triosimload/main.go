@@ -1,0 +1,373 @@
+// Command triosimload is a closed-loop load harness for triosimd: N worker
+// goroutines each keep one request in flight — submit, poll to completion,
+// repeat — against a configurable pool of distinct configurations, so the
+// duplication ratio (and therefore the daemon's coalescing opportunity) is
+// under test control. It reports throughput, latency quantiles, and the
+// coalesce hit-rate, and can gate a daemon-served RunReport byte-for-byte
+// against a reference produced by `triosim -deterministic -metrics-out`.
+//
+//	triosimload -addr localhost:8321 -requests 1000 -concurrency 1000 -distinct 3
+//	triosimload -addr localhost:8321 -gate-request req.json -gate-report base.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("triosimload: ")
+
+	var (
+		addr        = flag.String("addr", "localhost:8321", "triosimd address (host:port)")
+		requests    = flag.Int("requests", 1000, "total requests to complete")
+		concurrency = flag.Int("concurrency", 64, "workers, each with one request in flight")
+		distinct    = flag.Int("distinct", 3, "distinct configurations in the pool (duplication ratio = requests/distinct)")
+		seed        = flag.Int64("seed", 1, "seed for the per-worker configuration choice")
+		model       = flag.String("model", "resnet18", "model for the generated pool")
+		platform    = flag.String("platform", "P1", "platform for the generated pool")
+		deadlineMS  = flag.Int64("deadline-ms", 120_000, "per-request deadline sent to the server")
+		waitReady   = flag.Duration("wait-ready", 0, "poll /readyz this long before starting (0 = don't wait)")
+		timeout     = flag.Duration("timeout", 3*time.Minute, "client-side wait bound per request")
+		requireCoal = flag.Bool("require-coalesce", false, "exit nonzero unless at least one submission coalesced")
+		gateRequest = flag.String("gate-request", "", "JSON request file for the digest-identity gate")
+		gateReport  = flag.String("gate-report", "", "reference RunReport the gated request's report must match byte-for-byte")
+	)
+	flag.Parse()
+
+	// One shared transport with a bounded connection pool: workers far
+	// outnumber sockets by design (polling requests are short), so high
+	// logical concurrency does not translate into high FD pressure.
+	conns := *concurrency
+	if conns > 256 {
+		conns = 256
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        conns,
+			MaxIdleConnsPerHost: conns,
+			MaxConnsPerHost:     conns,
+		},
+	}
+	base := "http://" + *addr
+	h := &harness{client: client, base: base}
+
+	if *waitReady > 0 {
+		if err := h.awaitReady(*waitReady); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *requests > 0 {
+		pool := buildPool(*model, *platform, *distinct, *deadlineMS)
+		ok := h.runLoad(pool, *requests, *concurrency, *seed, *timeout)
+		if !ok {
+			os.Exit(1)
+		}
+		if *requireCoal && h.coalesced.Load() == 0 {
+			log.Fatal("require-coalesce: no submission coalesced")
+		}
+	}
+
+	if *gateRequest != "" || *gateReport != "" {
+		if *gateRequest == "" || *gateReport == "" {
+			log.Fatal("gate needs both -gate-request and -gate-report")
+		}
+		if err := h.gate(*gateRequest, *gateReport, *timeout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("gate:        daemon report is byte-identical to the reference")
+	}
+}
+
+// request mirrors the server's submission schema loosely: the harness only
+// fills the generated-pool fields and passes gate files through verbatim.
+type request struct {
+	Run        map[string]any `json:"run"`
+	DeadlineMS int64          `json:"deadline_ms,omitempty"`
+}
+
+// buildPool generates n distinct simulate requests that share one trace key
+// (same model, trace batch, GPU) and differ in global batch, so a multi-run
+// load warms the daemon's trace cache while still exercising distinct
+// coalescing digests.
+func buildPool(model, platform string, n int, deadlineMS int64) [][]byte {
+	pool := make([][]byte, n)
+	for i := range pool {
+		body, err := json.Marshal(request{
+			Run: map[string]any{
+				"model":        model,
+				"platform":     platform,
+				"parallelism":  "ddp",
+				"trace_batch":  32,
+				"global_batch": 32 * (i + 1),
+			},
+			DeadlineMS: deadlineMS,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool[i] = body
+	}
+	return pool
+}
+
+type ack struct {
+	ID        string `json:"id"`
+	Digest    string `json:"digest"`
+	State     string `json:"state"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+type result struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Error       string `json:"error,omitempty"`
+	EventDigest string `json:"event_digest,omitempty"`
+}
+
+type harness struct {
+	client *http.Client
+	base   string
+
+	coalesced atomic.Uint64
+	retried   atomic.Uint64
+	failed    atomic.Uint64
+
+	mu        sync.Mutex
+	latencies []float64
+}
+
+func (h *harness) awaitReady(limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := h.client.Get(h.base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready within %v", limit)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// runLoad drives the closed loop and prints the summary. Returns false when
+// any request failed.
+func (h *harness) runLoad(pool [][]byte, total, workers int, seed int64,
+	timeout time.Duration) bool {
+
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for {
+				if next.Add(1) > int64(total) {
+					return
+				}
+				h.one(pool[rng.Intn(len(pool))], timeout)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	h.mu.Lock()
+	lats := h.latencies
+	h.mu.Unlock()
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Printf("requests:    %d in %v (%.1f req/s, %d workers, %d distinct configs)\n",
+		total, wall.Round(time.Millisecond),
+		float64(total)/wall.Seconds(), workers, len(pool))
+	fmt.Printf("coalesced:   %d (%.1f%% hit-rate), %d admission retries\n",
+		h.coalesced.Load(),
+		100*float64(h.coalesced.Load())/float64(total), h.retried.Load())
+	fmt.Printf("latency:     p50 %.3fs  p90 %.3fs  p99 %.3fs  max %.3fs\n",
+		q(0.50), q(0.90), q(0.99), q(1.0))
+	fmt.Printf("failed:      %d\n", h.failed.Load())
+	if stats := h.fetch("/v1/stats"); stats != nil {
+		fmt.Printf("server:      %s\n", strings.TrimSpace(string(stats)))
+	}
+	return h.failed.Load() == 0
+}
+
+// one completes a single closed-loop request: submit (retrying admission
+// rejections) then poll the result with backoff.
+func (h *harness) one(body []byte, timeout time.Duration) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	a, err := h.submit(body, deadline)
+	if err != nil {
+		log.Printf("submit: %v", err)
+		h.failed.Add(1)
+		return
+	}
+	if a.Coalesced {
+		h.coalesced.Add(1)
+	}
+	res, err := h.await(a.ID, deadline)
+	if err != nil {
+		log.Printf("await %s: %v", a.ID, err)
+		h.failed.Add(1)
+		return
+	}
+	if res.State != "done" {
+		log.Printf("job %s: %s: %s", a.ID, res.State, res.Error)
+		h.failed.Add(1)
+		return
+	}
+	h.mu.Lock()
+	h.latencies = append(h.latencies, time.Since(start).Seconds())
+	h.mu.Unlock()
+}
+
+func (h *harness) submit(body []byte, deadline time.Time) (*ack, error) {
+	for {
+		resp, err := h.client.Post(h.base+"/v1/jobs", "application/json",
+			bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var a ack
+			if err := json.Unmarshal(data, &a); err != nil {
+				return nil, err
+			}
+			return &a, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Overload is a signal, not an error: honor Retry-After.
+			h.retried.Add(1)
+			wait := 100 * time.Millisecond
+			if ra, err := strconv.Atoi(
+				resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			if time.Now().Add(wait).After(deadline) {
+				return nil, fmt.Errorf("gave up after %d: %s",
+					resp.StatusCode, data)
+			}
+			time.Sleep(wait)
+		default:
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+}
+
+// await polls the result endpoint with exponential backoff until the job is
+// terminal.
+func (h *harness) await(id string, deadline time.Time) (*result, error) {
+	wait := 5 * time.Millisecond
+	for {
+		resp, err := h.client.Get(h.base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var r result
+			if err := json.Unmarshal(data, &r); err != nil {
+				return nil, err
+			}
+			return &r, nil
+		case http.StatusConflict:
+			// Not terminal yet.
+		default:
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("timed out waiting for %s", id)
+		}
+		time.Sleep(wait)
+		if wait < 200*time.Millisecond {
+			wait = wait * 3 / 2
+		}
+	}
+}
+
+// fetch GETs a path, returning nil on any error (best-effort reporting).
+func (h *harness) fetch(path string) []byte {
+	resp, err := h.client.Get(h.base + path)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// gate submits the request in reqPath and compares the daemon-served
+// RunReport byte-for-byte against the reference in refPath (produced by
+// `triosim -deterministic -metrics-out`).
+func (h *harness) gate(reqPath, refPath string, timeout time.Duration) error {
+	body, err := os.ReadFile(reqPath)
+	if err != nil {
+		return err
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	a, err := h.submit(body, deadline)
+	if err != nil {
+		return fmt.Errorf("gate submit: %w", err)
+	}
+	res, err := h.await(a.ID, deadline)
+	if err != nil {
+		return fmt.Errorf("gate await: %w", err)
+	}
+	if res.State != "done" {
+		return fmt.Errorf("gate job %s: %s: %s", a.ID, res.State, res.Error)
+	}
+	got := h.fetch("/v1/jobs/" + a.ID + "/report")
+	if got == nil {
+		return fmt.Errorf("gate: no report for %s", a.ID)
+	}
+	if !bytes.Equal(got, ref) {
+		return fmt.Errorf("gate: daemon report (%d bytes, job %s, digest %s) "+
+			"differs from reference %s (%d bytes)",
+			len(got), a.ID, res.EventDigest, refPath, len(ref))
+	}
+	return nil
+}

@@ -486,6 +486,7 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 			Parallel:        res.Meta,
 		})
 		out.Report.CriticalPath = out.CriticalPath
+		out.Report.Engine.EventDigest = fmt.Sprintf("%#x", out.EventDigest)
 		if cfg.Clock != nil && out.WallClock > 0 {
 			out.Report.Engine.WallSeconds = out.WallClock.Seconds()
 			out.Report.Engine.EventsPerSecond =

@@ -211,6 +211,7 @@ func Serve(cfg ServeConfig) (*ServeResult, error) {
 			},
 		})
 		out.Report.Serving = servingStat(m)
+		out.Report.Engine.EventDigest = fmt.Sprintf("%#x", out.EventDigest)
 		if cfg.Clock != nil && out.WallClock > 0 {
 			out.Report.Engine.WallSeconds = out.WallClock.Seconds()
 			out.Report.Engine.EventsPerSecond =

@@ -1,0 +1,65 @@
+// Package digest content-addresses configuration values: it canonicalizes a
+// Go value into bytes and hashes them, so "the same configuration" has one
+// spelling everywhere it is used as a key. Two subsystems share it today —
+// the trace cache keys collected traces and fitted timers by their inputs,
+// and the triosimd server coalesces identical simulation requests into a
+// single run (singleflight) — and both must agree on what "identical" means.
+//
+// Canonical form is encoding/json: map keys are sorted by the encoder and
+// struct fields marshal in declaration order, so equal values produce equal
+// bytes regardless of map iteration order or the call site. The hash is
+// SHA-256, making accidental collisions a non-concern for cache keys; a
+// digest is therefore safe to use as a map key, a filename stem, or a wire
+// identifier.
+//
+// Every digest is bound to a domain string ("tracecache.Key",
+// "server.Request", ...). Two structurally identical values from different
+// domains digest differently, so a key type can evolve independently of
+// every other digest user without silent cross-domain aliasing.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Sum returns the hex SHA-256 digest of the domain tag plus the canonical
+// JSON encoding of v. Values containing channels, functions, or other
+// unmarshalable types return an error.
+func Sum(domain string, v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("digest: %s: %w", domain, err)
+	}
+	h := sha256.New()
+	h.Write([]byte(domain))
+	h.Write([]byte{0}) // unambiguous domain/payload separator
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// MustSum is Sum for values that are marshalable by construction (plain
+// structs of scalars and strings, like cache keys). It panics on a marshal
+// failure, which is always a programming error at the call site.
+func MustSum(domain string, v any) string {
+	d, err := Sum(domain, v)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ShortLen is the prefix length Short keeps: 12 hex chars (48 bits) is
+// plenty for display labels while staying readable in logs.
+const ShortLen = 12
+
+// Short abbreviates a digest for human-facing output (log lines, scenario
+// names). Never use the short form as a key.
+func Short(d string) string {
+	if len(d) <= ShortLen {
+		return d
+	}
+	return d[:ShortLen]
+}

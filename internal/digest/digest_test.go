@@ -1,0 +1,104 @@
+package digest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	type key struct {
+		Model string
+		Batch int
+		Noise float64
+	}
+	a := key{"resnet50", 128, 0.02}
+	d1 := MustSum("test", a)
+	d2 := MustSum("test", a)
+	if d1 != d2 {
+		t.Fatalf("same value digested differently: %s vs %s", d1, d2)
+	}
+	if len(d1) != 64 {
+		t.Fatalf("digest length %d, want 64 hex chars", len(d1))
+	}
+	if d1 != strings.ToLower(d1) {
+		t.Fatalf("digest not lower-case hex: %s", d1)
+	}
+}
+
+func TestSumDistinguishesValues(t *testing.T) {
+	type key struct {
+		Model string
+		Batch int
+	}
+	base := MustSum("test", key{"resnet50", 128})
+	for _, other := range []key{
+		{"resnet50", 64},
+		{"resnet18", 128},
+		{"", 0},
+	} {
+		if MustSum("test", other) == base {
+			t.Fatalf("distinct values %+v collided", other)
+		}
+	}
+}
+
+// Maps digest by sorted key order: two maps with the same entries inserted
+// in different orders must digest equally.
+func TestSumMapOrderIndependent(t *testing.T) {
+	m1 := map[string]int{}
+	m2 := map[string]int{}
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, k := range keys {
+		m1[k] = i
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		m2[keys[i]] = i
+	}
+	if MustSum("test", m1) != MustSum("test", m2) {
+		t.Fatal("map insertion order changed the digest")
+	}
+}
+
+// The domain tag must separate structurally identical values: a tracecache
+// key and a server request that happen to marshal identically must not
+// alias.
+func TestDomainSeparation(t *testing.T) {
+	v := struct{ Name string }{"resnet50"}
+	if Sum1, Sum2 := MustSum("tracecache.Key", v), MustSum("server.Request", v); Sum1 == Sum2 {
+		t.Fatal("different domains produced the same digest")
+	}
+}
+
+// The separator byte must prevent ambiguous (domain, payload) splits:
+// ("ab", "c"...) vs ("a", "bc"...) style re-bracketing.
+func TestDomainPayloadBoundary(t *testing.T) {
+	// domain "x" + json `"y1"` vs domain `x"y` + ... is hard to construct
+	// precisely through JSON; check the simple prefix case instead.
+	a := MustSum("ab", "c")
+	b := MustSum("a", "bc")
+	if a == b {
+		t.Fatal("domain/payload boundary is ambiguous")
+	}
+}
+
+func TestSumErrors(t *testing.T) {
+	if _, err := Sum("test", make(chan int)); err == nil {
+		t.Fatal("expected marshal error for a channel value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSum did not panic on unmarshalable value")
+		}
+	}()
+	MustSum("test", func() {})
+}
+
+func TestShort(t *testing.T) {
+	d := MustSum("test", 42)
+	if s := Short(d); len(s) != ShortLen || !strings.HasPrefix(d, s) {
+		t.Fatalf("Short(%s) = %s", d, s)
+	}
+	if Short("abc") != "abc" {
+		t.Fatal("Short must pass through already-short strings")
+	}
+}

@@ -51,9 +51,8 @@ var CtxPropagation = &Analyzer{
 }
 
 // serverPackages are the module-relative directories holding long-running,
-// cancellable orchestration: today's sweep pool and monitor, plus the
-// planned triosimd server trees so the rule is already in force when they
-// land.
+// cancellable orchestration: the sweep pool, the monitor, and the triosimd
+// server trees.
 var serverPackages = []string{
 	"internal/sweep",
 	"internal/monitor",

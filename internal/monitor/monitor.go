@@ -17,7 +17,6 @@ package monitor
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"sort"
 	"sync"
@@ -154,7 +153,9 @@ func (m *RTM) Snapshot() Snapshot {
 // writeMetrics renders the Prometheus text response: the cached registry
 // rendering (when attached) followed by the monitor's own gauges. With no
 // registry it falls back to a minimal rendering of the snapshot so /metrics
-// stays useful on bare monitors.
+// stays useful on bare monitors. All families register through a shared
+// telemetry.PromText, so a registry that already exports one of the
+// monitor's family names cannot duplicate it in the exposition.
 func (m *RTM) writeMetrics(w http.ResponseWriter) {
 	m.mu.Lock()
 	cache := m.promCache
@@ -166,15 +167,14 @@ func (m *RTM) writeMetrics(w http.ResponseWriter) {
 	m.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var buf bytes.Buffer
+	p := telemetry.NewPromText()
 	if cache != nil {
-		buf.Write(cache)
-	} else {
+		p.Raw(cache)
+	} else if p.Header("triosim_events_total", "counter",
+		"Events dispatched by the engine.") {
 		// Fallback: events by kind from the monitor's own counts.
-		buf.WriteString("# HELP triosim_events_total Events dispatched by the engine.\n")
-		buf.WriteString("# TYPE triosim_events_total counter\n")
 		if len(kinds) == 0 {
-			fmt.Fprintf(&buf, "triosim_events_total %d\n", snap.Events)
+			p.Samplef("triosim_events_total %d", snap.Events)
 		} else {
 			names := make([]string, 0, len(kinds))
 			for k := range kinds {
@@ -182,27 +182,20 @@ func (m *RTM) writeMetrics(w http.ResponseWriter) {
 			}
 			sort.Strings(names)
 			for _, k := range names {
-				fmt.Fprintf(&buf, "triosim_events_total{kind=%q} %d\n",
-					k, kinds[k])
+				p.Samplef("triosim_events_total{kind=%q} %d", k, kinds[k])
 			}
 		}
 	}
-	buf.WriteString("# HELP triosim_monitor_virtual_time_seconds Virtual-time frontier seen by the monitor.\n")
-	buf.WriteString("# TYPE triosim_monitor_virtual_time_seconds gauge\n")
-	fmt.Fprintf(&buf, "triosim_monitor_virtual_time_seconds %g\n",
-		snap.VirtualTimeSec)
-	buf.WriteString("# HELP triosim_monitor_events_per_second Wall-clock event dispatch rate (last window).\n")
-	buf.WriteString("# TYPE triosim_monitor_events_per_second gauge\n")
-	fmt.Fprintf(&buf, "triosim_monitor_events_per_second %g\n",
-		snap.EventsPerSecond)
-	buf.WriteString("# HELP triosim_monitor_done Whether the simulation finished.\n")
-	buf.WriteString("# TYPE triosim_monitor_done gauge\n")
-	done := 0
+	p.Gauge("triosim_monitor_virtual_time_seconds",
+		"Virtual-time frontier seen by the monitor.", snap.VirtualTimeSec)
+	p.Gauge("triosim_monitor_events_per_second",
+		"Wall-clock event dispatch rate (last window).", snap.EventsPerSecond)
+	done := 0.0
 	if snap.Done {
 		done = 1
 	}
-	fmt.Fprintf(&buf, "triosim_monitor_done %d\n", done)
-	_, _ = w.Write(buf.Bytes())
+	p.Gauge("triosim_monitor_done", "Whether the simulation finished.", done)
+	_, _ = w.Write(p.Bytes())
 }
 
 // Handler serves the monitoring endpoints:

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxBodyBytes bounds a submission body; simulation specs are small.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             — submit (202; 400/429/503 with Retry-After)
+//	GET    /v1/jobs/{id}        — status
+//	GET    /v1/jobs/{id}/events — NDJSON lifecycle stream
+//	GET    /v1/jobs/{id}/result — compact outcome (409 until terminal)
+//	GET    /v1/jobs/{id}/report — raw RunReport bytes (409 until done)
+//	DELETE /v1/jobs/{id}        — cancel / unsubscribe
+//	GET    /v1/stats            — aggregate counters (JSON)
+//	GET    /healthz             — liveness
+//	GET    /readyz              — readiness (503 while draining)
+//	GET    /metrics             — Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready"))
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeStatusError(w http.ResponseWriter, err error) {
+	if se, ok := err.(*StatusError); ok {
+		if se.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
+		}
+		writeJSON(w, se.Code, errorBody{Error: se.Msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var r Request
+	body := http.MaxBytesReader(w, req.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		writeStatusError(w, &StatusError{Code: http.StatusBadRequest,
+			Msg: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	ack, err := s.Submit(&r)
+	if err != nil {
+		writeStatusError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ack)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	st := s.Status(req.PathValue("id"))
+	if st == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if res := s.Result(id); res != nil {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if st := s.Status(id); st != nil {
+		writeJSON(w, http.StatusConflict,
+			errorBody{Error: "job is " + st.State + "; result not ready"})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if rep := s.Report(id); rep != nil {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(rep)
+		return
+	}
+	st := s.Status(id)
+	switch {
+	case st == nil:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+	case st.State == StateDone:
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "run produced no report"})
+	case terminal(st.State):
+		writeJSON(w, http.StatusConflict,
+			errorBody{Error: "job is " + st.State + "; no report"})
+	default:
+		writeJSON(w, http.StatusConflict,
+			errorBody{Error: "job is " + st.State + "; report not ready"})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	if !s.Cancel(req.PathValue("id")) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Canceled bool `json:"canceled"`
+	}{true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleEvents streams a run's lifecycle as NDJSON: every Event already
+// recorded, then new ones as they land, closing after the terminal event
+// (or when the client goes away).
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	r, ok := s.jobs[req.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	for {
+		s.mu.Lock()
+		pending := r.events[next:]
+		next = len(r.events)
+		ch := r.updated
+		isTerminal := terminal(r.state)
+		s.mu.Unlock()
+
+		for i := range pending {
+			if err := enc.Encode(pending[i]); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if isTerminal {
+			// The terminal event is appended in the same critical section
+			// that sets the state, so the drain above already sent it.
+			return
+		}
+		select {
+		case <-ch:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}

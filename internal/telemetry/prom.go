@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// PromText accumulates one Prometheus text-format (0.0.4) exposition from
+// several independent writers. The Prometheus format forbids registering a
+// metric family twice in one response; with more than one component writing
+// hand-rolled gauges into the same /metrics handler — the monitor's progress
+// gauges, the triosimd server's queue gauges, and both of them wanting the
+// shared trace-cache stats — nothing structurally prevented a duplicated
+// family. PromText is that missing structure: every family registers through
+// it, the first registration wins, and later attempts (same name, whichever
+// component makes them) are dropped whole rather than corrupting the
+// exposition.
+//
+// PromText is a per-response builder, not a long-lived registry: construct
+// one per HTTP request, write into it, then emit Bytes. It is not safe for
+// concurrent use.
+type PromText struct {
+	buf  bytes.Buffer
+	seen map[string]bool
+}
+
+// NewPromText returns an empty exposition builder.
+func NewPromText() *PromText {
+	return &PromText{seen: map[string]bool{}}
+}
+
+// Header registers a metric family and writes its # HELP / # TYPE preamble.
+// It returns false — and writes nothing — when the family name was already
+// registered in this exposition; the caller must then skip its samples too.
+func (p *PromText) Header(name, kind, help string) bool {
+	if p.seen[name] {
+		return false
+	}
+	p.seen[name] = true
+	if help != "" {
+		fmt.Fprintf(&p.buf, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(&p.buf, "# TYPE %s %s\n", name, kind)
+	return true
+}
+
+// Samplef appends one raw sample line. Only call it after a true Header for
+// the family the sample belongs to.
+func (p *PromText) Samplef(format string, args ...any) {
+	fmt.Fprintf(&p.buf, format, args...)
+	p.buf.WriteByte('\n')
+}
+
+// Gauge registers and writes one unlabeled gauge sample.
+func (p *PromText) Gauge(name, help string, v float64) {
+	if p.Header(name, "gauge", help) {
+		p.Samplef("%s %s", name, promFloat(v))
+	}
+}
+
+// Counter registers and writes one unlabeled counter sample.
+func (p *PromText) Counter(name, help string, v float64) {
+	if p.Header(name, "counter", help) {
+		p.Samplef("%s %s", name, promFloat(v))
+	}
+}
+
+// Histogram registers and writes one unlabeled cumulative histogram.
+// bounds are upper bucket edges; counts has len(bounds)+1 entries with the
+// final one counting observations above every bound (+Inf).
+func (p *PromText) Histogram(name, help string, bounds []float64,
+	counts []uint64, sum float64, count uint64) {
+
+	if !p.Header(name, "histogram", help) {
+		return
+	}
+	cum := uint64(0)
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		p.Samplef("%s_bucket{le=%q} %d", name, promFloat(b), cum)
+	}
+	p.Samplef("%s_bucket{le=\"+Inf\"} %d", name, count)
+	p.Samplef("%s_sum %s", name, promFloat(sum))
+	p.Samplef("%s_count %d", name, count)
+}
+
+// Raw appends a pre-rendered exposition block (e.g. a cached
+// Registry.WriteProm snapshot), registering every family it declares and
+// skipping any whose name was already registered. Lines belonging to a
+// skipped family (its samples and HELP line) are dropped with it.
+func (p *PromText) Raw(block []byte) {
+	// The registry renders HELP (optional) then TYPE then samples per
+	// family. Walk lines, tracking whether the current family is kept.
+	keep := true
+	var pendingHelp string
+	for _, line := range strings.Split(string(block), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			// Buffer until the TYPE line resolves the family's fate.
+			pendingHelp = line
+		case strings.HasPrefix(line, "# TYPE "):
+			name := familyName(line)
+			keep = name != "" && !p.seen[name]
+			if keep {
+				p.seen[name] = true
+				if pendingHelp != "" {
+					p.buf.WriteString(pendingHelp)
+					p.buf.WriteByte('\n')
+				}
+				p.buf.WriteString(line)
+				p.buf.WriteByte('\n')
+			}
+			pendingHelp = ""
+		case line == "":
+			// Preserve structure only for kept content; trailing newline is
+			// added by callers' samples already.
+		default:
+			if keep {
+				p.buf.WriteString(line)
+				p.buf.WriteByte('\n')
+			}
+		}
+	}
+}
+
+// familyName extracts the metric name from a "# TYPE name kind" line.
+func familyName(typeLine string) string {
+	fields := strings.Fields(typeLine)
+	if len(fields) < 3 {
+		return ""
+	}
+	return fields[2]
+}
+
+// Bytes returns the accumulated exposition.
+func (p *PromText) Bytes() []byte { return p.buf.Bytes() }

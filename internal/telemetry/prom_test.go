@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromTextDedupesFamilies(t *testing.T) {
+	p := NewPromText()
+	p.Gauge("triosim_queue_depth", "Jobs queued.", 3)
+	p.Gauge("triosim_queue_depth", "Jobs queued (duplicate writer).", 7)
+	p.Counter("triosim_requests_total", "Requests.", 10)
+
+	out := string(p.Bytes())
+	if got := strings.Count(out, "# TYPE triosim_queue_depth "); got != 1 {
+		t.Fatalf("family declared %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, "triosim_queue_depth 3") {
+		t.Fatalf("first registration's sample missing:\n%s", out)
+	}
+	if strings.Contains(out, "triosim_queue_depth 7") {
+		t.Fatalf("duplicate registration's sample leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "triosim_requests_total 10") {
+		t.Fatalf("unrelated family lost:\n%s", out)
+	}
+}
+
+func TestPromTextHeaderContract(t *testing.T) {
+	p := NewPromText()
+	if !p.Header("m_a", "gauge", "first") {
+		t.Fatal("first Header returned false")
+	}
+	if p.Header("m_a", "counter", "second") {
+		t.Fatal("duplicate Header returned true")
+	}
+	p.Samplef("m_a %d", 1)
+	out := string(p.Bytes())
+	if !strings.Contains(out, "# HELP m_a first") ||
+		!strings.Contains(out, "# TYPE m_a gauge") {
+		t.Fatalf("preamble missing:\n%s", out)
+	}
+	if strings.Contains(out, "second") {
+		t.Fatalf("losing Header still wrote output:\n%s", out)
+	}
+}
+
+// Raw must merge a pre-rendered registry snapshot family-by-family: families
+// already registered are dropped whole (HELP, TYPE, and samples), the rest
+// pass through untouched.
+func TestPromTextRawSkipsRegisteredFamilies(t *testing.T) {
+	p := NewPromText()
+	p.Gauge("triosim_tracecache_traces", "Entries.", 5)
+
+	block := strings.Join([]string{
+		"# HELP triosim_tracecache_traces Cached traces.",
+		"# TYPE triosim_tracecache_traces gauge",
+		"triosim_tracecache_traces 99",
+		"# HELP triosim_events_total Events dispatched.",
+		"# TYPE triosim_events_total counter",
+		`triosim_events_total{kind="compute"} 12`,
+		`triosim_events_total{kind="link"} 4`,
+		"",
+	}, "\n")
+	p.Raw([]byte(block))
+
+	out := string(p.Bytes())
+	if strings.Contains(out, "triosim_tracecache_traces 99") {
+		t.Fatalf("raw block overrode an already-registered family:\n%s", out)
+	}
+	if !strings.Contains(out, "triosim_tracecache_traces 5") {
+		t.Fatalf("original sample lost:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE triosim_tracecache_traces "); got != 1 {
+		t.Fatalf("family declared %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `triosim_events_total{kind="compute"} 12`) ||
+		!strings.Contains(out, `triosim_events_total{kind="link"} 4`) {
+		t.Fatalf("fresh family from raw block lost samples:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP triosim_events_total Events dispatched.") {
+		t.Fatalf("fresh family's HELP line lost:\n%s", out)
+	}
+}
+
+// A Raw block registers its families: a later direct write of the same name
+// must lose, and a second Raw of the same block must be a no-op.
+func TestPromTextRawRegistersFamilies(t *testing.T) {
+	block := []byte("# TYPE m_raw gauge\nm_raw 1\n")
+	p := NewPromText()
+	p.Raw(block)
+	p.Gauge("m_raw", "late direct writer", 2)
+	p.Raw(block)
+
+	out := string(p.Bytes())
+	if got := strings.Count(out, "m_raw 1"); got != 1 {
+		t.Fatalf("raw sample appeared %d times, want 1:\n%s", got, out)
+	}
+	if strings.Contains(out, "m_raw 2") {
+		t.Fatalf("direct writer overrode the raw-registered family:\n%s", out)
+	}
+}
+
+func TestPromTextHistogram(t *testing.T) {
+	p := NewPromText()
+	p.Histogram("m_latency_seconds", "Latency.",
+		[]float64{0.1, 0.5}, []uint64{3, 4, 2}, 1.9, 9)
+	out := string(p.Bytes())
+	for _, want := range []string{
+		`m_latency_seconds_bucket{le="0.1"} 3`,
+		`m_latency_seconds_bucket{le="0.5"} 7`,
+		`m_latency_seconds_bucket{le="+Inf"} 9`,
+		"m_latency_seconds_sum 1.9",
+		"m_latency_seconds_count 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram rendering missing %q:\n%s", want, out)
+		}
+	}
+}

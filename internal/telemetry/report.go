@@ -137,6 +137,11 @@ type EngineStat struct {
 	ByKind []KindCount `json:"by_kind,omitempty"`
 	// QueueHighWater is the deepest the event queue got.
 	QueueHighWater int `json:"queue_high_water"`
+	// EventDigest is the hex FNV-1a digest of the dispatched event schedule
+	// ("0x..."), the run's replay-determinism fingerprint. Two reports for
+	// identical configurations must carry identical digests — the triosimd
+	// byte-identity gate leans on this field.
+	EventDigest string `json:"event_digest,omitempty"`
 	// WallSeconds and EventsPerSecond are wall-clock derived and only set
 	// when the caller injected a Clock (zero in deterministic test runs).
 	WallSeconds     float64 `json:"wall_seconds,omitempty"`

@@ -1,0 +1,56 @@
+package tracecache
+
+import (
+	"testing"
+
+	"triosim/internal/gpu"
+	"triosim/internal/hwsim"
+)
+
+// The store's identity is the canonical key digest: keys that differ in any
+// field — including a single GPU-spec scalar — must address distinct
+// entries, and the same key must always address the same one.
+func TestKeyDigestIdentity(t *testing.T) {
+	base := Key{Model: "resnet50", Batch: 128, Spec: gpu.A100,
+		NoiseAmp: hwsim.DefaultNoiseAmp}
+	if base.Digest() != base.Digest() {
+		t.Fatal("same key digested differently across calls")
+	}
+
+	custom := gpu.A100
+	custom.MemBandwidth *= 2
+	variants := []Key{
+		{Model: "resnet18", Batch: 128, Spec: gpu.A100, NoiseAmp: hwsim.DefaultNoiseAmp},
+		{Model: "resnet50", Batch: 64, Spec: gpu.A100, NoiseAmp: hwsim.DefaultNoiseAmp},
+		{Model: "resnet50", Batch: 128, Spec: gpu.A40, NoiseAmp: hwsim.DefaultNoiseAmp},
+		{Model: "resnet50", Batch: 128, Spec: custom, NoiseAmp: hwsim.DefaultNoiseAmp},
+		{Model: "resnet50", Batch: 128, Spec: gpu.A100, NoiseAmp: 0},
+	}
+	seen := map[string]Key{base.Digest(): base}
+	for _, v := range variants {
+		d := v.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("keys %+v and %+v share digest %s", prev, v, d)
+		}
+		seen[d] = v
+	}
+}
+
+func TestTimerKeyDigestIdentity(t *testing.T) {
+	trk := Key{Model: "gpt2", Batch: 32, Spec: gpu.A100,
+		NoiseAmp: hwsim.DefaultNoiseAmp}
+	a := TimerKey{Trace: trk, ComputeModel: "li", Target: gpu.A100}
+	b := TimerKey{Trace: trk, ComputeModel: "roofline", Target: gpu.A100}
+	c := TimerKey{Trace: trk, ComputeModel: "li", Target: gpu.H100}
+	if a.Digest() != a.Digest() {
+		t.Fatal("timer key digest not stable")
+	}
+	if a.Digest() == b.Digest() || a.Digest() == c.Digest() {
+		t.Fatal("distinct timer keys collided")
+	}
+	// A timer key must never alias a trace key, even if the structures were
+	// ever to marshal identically (domain separation).
+	if a.Digest() == trk.Digest() {
+		t.Fatal("timer key aliased a trace key")
+	}
+}

@@ -8,8 +8,11 @@
 // Keys are content-addressed: every input that influences the bytes of a
 // collected trace (model name, trace batch, the full GPU spec by value, the
 // timer's noise amplitude) is part of the key, so two configurations share an
-// entry exactly when the tracer would have produced identical traces. There
-// is deliberately no eviction: a sweep's working set is a handful of traces.
+// entry exactly when the tracer would have produced identical traces. The
+// key structs are canonicalized through internal/digest — the same helper
+// the triosimd server uses to coalesce identical requests — so "identical
+// configuration" has one spelling across the whole system. There is
+// deliberately no eviction: a sweep's working set is a handful of traces.
 //
 // Concurrency: reads take an RWMutex read lock (the steady state for warm
 // sweeps); the first miss for a key builds the value once while concurrent
@@ -27,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"triosim/internal/digest"
 	"triosim/internal/gpu"
 	"triosim/internal/sim"
 	"triosim/internal/trace"
@@ -48,6 +52,10 @@ type Key struct {
 	NoiseAmp float64
 }
 
+// Digest returns the key's canonical content address (internal/digest). Two
+// Keys digest equally exactly when they would cache the same trace.
+func (k Key) Digest() string { return digest.MustSum("tracecache.Key", k) }
+
 // TimerKey identifies one fitted operator timer: the trace it was fitted on,
 // the compute-model variant, and the rescale target (equal to Trace.Spec when
 // the trace GPU and the simulated platform GPU coincide).
@@ -55,6 +63,11 @@ type TimerKey struct {
 	Trace        Key
 	ComputeModel string
 	Target       gpu.Spec
+}
+
+// Digest returns the timer key's canonical content address.
+func (k TimerKey) Digest() string {
+	return digest.MustSum("tracecache.TimerKey", k)
 }
 
 // OpTimer mirrors extrapolator.OpTimer structurally, so fitted models pass
@@ -72,13 +85,16 @@ type call struct {
 	err   error
 }
 
-// Store is the shared cache. The zero value is not usable; call New.
+// Store is the shared cache. Maps are keyed by the canonical key digest
+// (Key.Digest / TimerKey.Digest), not the structs themselves, so the store's
+// notion of identity is exactly the module-wide canonical one. The zero
+// value is not usable; call New.
 type Store struct {
 	mu       sync.RWMutex
-	traces   map[Key]*trace.Trace
-	timers   map[TimerKey]OpTimer
-	inflight map[Key]*call
-	fitting  map[TimerKey]*call
+	traces   map[string]*trace.Trace
+	timers   map[string]OpTimer
+	inflight map[string]*call
+	fitting  map[string]*call
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -90,10 +106,10 @@ type Store struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		traces:   map[Key]*trace.Trace{},
-		timers:   map[TimerKey]OpTimer{},
-		inflight: map[Key]*call{},
-		fitting:  map[TimerKey]*call{},
+		traces:   map[string]*trace.Trace{},
+		timers:   map[string]OpTimer{},
+		inflight: map[string]*call{},
+		fitting:  map[string]*call{},
 	}
 }
 
@@ -104,8 +120,9 @@ func New() *Store {
 func (s *Store) GetTrace(k Key, build func() (*trace.Trace, error)) (
 	*trace.Trace, error) {
 
+	dk := k.Digest()
 	s.mu.RLock()
-	tr, ok := s.traces[k]
+	tr, ok := s.traces[dk]
 	s.mu.RUnlock()
 	if ok {
 		s.hits.Add(1)
@@ -113,12 +130,12 @@ func (s *Store) GetTrace(k Key, build func() (*trace.Trace, error)) (
 	}
 
 	s.mu.Lock()
-	if tr, ok := s.traces[k]; ok {
+	if tr, ok := s.traces[dk]; ok {
 		s.mu.Unlock()
 		s.hits.Add(1)
 		return tr, nil
 	}
-	if c, ok := s.inflight[k]; ok {
+	if c, ok := s.inflight[dk]; ok {
 		s.mu.Unlock()
 		<-c.done
 		if c.err != nil {
@@ -128,16 +145,16 @@ func (s *Store) GetTrace(k Key, build func() (*trace.Trace, error)) (
 		return c.tr, nil
 	}
 	c := &call{done: make(chan struct{})}
-	s.inflight[k] = c
+	s.inflight[dk] = c
 	s.mu.Unlock()
 
 	s.misses.Add(1)
 	c.tr, c.err = build()
 
 	s.mu.Lock()
-	delete(s.inflight, k)
+	delete(s.inflight, dk)
 	if c.err == nil {
-		s.traces[k] = c.tr
+		s.traces[dk] = c.tr
 		s.bytes.Add(approxTraceBytes(c.tr))
 	}
 	s.mu.Unlock()
@@ -151,8 +168,9 @@ func (s *Store) GetTrace(k Key, build func() (*trace.Trace, error)) (
 func (s *Store) GetTimer(k TimerKey, fit func() (OpTimer, error)) (
 	OpTimer, error) {
 
+	dk := k.Digest()
 	s.mu.RLock()
-	t, ok := s.timers[k]
+	t, ok := s.timers[dk]
 	s.mu.RUnlock()
 	if ok {
 		s.timerHits.Add(1)
@@ -160,12 +178,12 @@ func (s *Store) GetTimer(k TimerKey, fit func() (OpTimer, error)) (
 	}
 
 	s.mu.Lock()
-	if t, ok := s.timers[k]; ok {
+	if t, ok := s.timers[dk]; ok {
 		s.mu.Unlock()
 		s.timerHits.Add(1)
 		return t, nil
 	}
-	if c, ok := s.fitting[k]; ok {
+	if c, ok := s.fitting[dk]; ok {
 		s.mu.Unlock()
 		<-c.done
 		if c.err != nil {
@@ -175,16 +193,16 @@ func (s *Store) GetTimer(k TimerKey, fit func() (OpTimer, error)) (
 		return c.timer, nil
 	}
 	c := &call{done: make(chan struct{})}
-	s.fitting[k] = c
+	s.fitting[dk] = c
 	s.mu.Unlock()
 
 	s.timerMisses.Add(1)
 	c.timer, c.err = fit()
 
 	s.mu.Lock()
-	delete(s.fitting, k)
+	delete(s.fitting, dk)
 	if c.err == nil {
-		s.timers[k] = c.timer
+		s.timers[dk] = c.timer
 	}
 	s.mu.Unlock()
 	close(c.done)

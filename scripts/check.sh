@@ -16,9 +16,10 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> race hammer (sweep pool + monitor + faults + trace cache + serving, repeated runs)"
+echo "==> race hammer (sweep pool + monitor + faults + trace cache + serving + server, repeated runs)"
 go test -race -count=2 ./internal/sweep/... ./internal/monitor/... \
-  ./internal/faults/... ./internal/tracecache/... ./internal/serving/...
+  ./internal/faults/... ./internal/tracecache/... ./internal/serving/... \
+  ./internal/server/...
 
 echo "==> triosimvet (static determinism + concurrency-safety analyzers, baseline-gated)"
 # Gate on findings NOT in the committed baseline (new violations only); the
@@ -57,6 +58,40 @@ trace_out="${TRIOSIM_TRACE_OUT:-$tmpdir/trace.json}"
 go run ./cmd/triosim -model resnet18 -platform P1 -parallelism ddp \
   -trace-batch 32 -trace-out "$trace_out" >/dev/null
 go run ./cmd/triosimvet -trace-check "$trace_out"
+
+echo "==> triosimd smoke (daemon + load harness + coalescing + CLI byte-identity gate)"
+go build -o "$tmpdir/triosimd" ./cmd/triosimd
+go build -o "$tmpdir/triosimload" ./cmd/triosimload
+# Reference report from the one-shot CLI: -deterministic skips wall-clock
+# stamps, so the daemon-served report of the same spec must match it
+# byte-for-byte (the coalescing substitution guarantee, docs/SERVER.md).
+go run ./cmd/triosim -model resnet18 -platform P1 -parallelism ddp \
+  -trace-batch 32 -global-batch 64 -deterministic \
+  -metrics-out "$tmpdir/ref-report.json" >/dev/null
+cat >"$tmpdir/gate-request.json" <<'JSON'
+{"run":{"model":"resnet18","platform":"P1","parallelism":"ddp","trace_batch":32,"global_batch":64}}
+JSON
+run_daemon_load() { # $1 daemon binary, $2 requests, $3 concurrency
+  local addr_file daemon_pid addr
+  addr_file="$(mktemp "$tmpdir/addr.XXXXXX")"
+  : >"$addr_file"
+  "$1" -addr 127.0.0.1:0 -addr-file "$addr_file" &
+  daemon_pid=$!
+  for _ in $(seq 100); do [[ -s "$addr_file" ]] && break; sleep 0.1; done
+  addr="$(cat "$addr_file")"
+  [[ -n "$addr" ]] || { echo "daemon never wrote its address"; exit 1; }
+  "$tmpdir/triosimload" -addr "$addr" \
+    -requests "$2" -concurrency "$3" -distinct 3 -wait-ready 10s \
+    -require-coalesce -gate-request "$tmpdir/gate-request.json" \
+    -gate-report "$tmpdir/ref-report.json"
+  kill -TERM "$daemon_pid"
+  wait "$daemon_pid"
+}
+run_daemon_load "$tmpdir/triosimd" 1000 1000
+
+echo "==> triosimd race smoke (race-built daemon under concurrent load)"
+go build -race -o "$tmpdir/triosimd-race" ./cmd/triosimd
+run_daemon_load "$tmpdir/triosimd-race" 200 200
 
 echo "==> bench smoke + benchdiff gate (allocs/op vs committed BENCH_*.json)"
 go test -run '^$' -bench . -benchmem -benchtime 1x . >"$tmpdir/bench.txt"

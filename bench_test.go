@@ -150,6 +150,51 @@ func BenchmarkSimulateLlama8xH100(b *testing.B) {
 		Parallelism: DDP, TraceBatch: 16})
 }
 
+// ---- Cluster-scale benches (the 10k-GPU acceptance measurement) ----
+
+// BenchmarkClusterStep times one llama32-1b training step on rail fat-tree
+// clusters under DP×TP×PP with fused compute, hierarchical collectives, and
+// the approximate flow solver — the internal/experiments scale figure's
+// configuration, tracked in BENCH_*.json so cluster-scale regressions are
+// visible in benchdiff. The 10000-GPU case is the repo's acceptance bar:
+// simulating one step must stay in single-digit seconds.
+func BenchmarkClusterStep(b *testing.B) {
+	cases := []struct{ gpus, dp, tp, pp int }{
+		{64, 8, 8, 1},
+		{1024, 16, 8, 8},
+		{10000, 125, 8, 10},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%dgpus", c.gpus), func(b *testing.B) {
+			machines := c.gpus / 8
+			const traceBatch = 16
+			for i := 0; i < b.N; i++ {
+				topo := network.RailFatTree(network.ClusterConfig{
+					Machines: machines, GPUsPerMachine: 8,
+					NVLinkBandwidth: 300e9, NVLinkLatency: sim.USec,
+					NICBandwidth: 50e9, NICLatency: 2 * sim.USec,
+					FabricBandwidth: 100e9, FabricLatency: 2 * sim.USec,
+					HostBandwidth: 20e9, HostLatency: 5 * sim.USec,
+				}, 8, 2)
+				res, err := Simulate(Config{
+					Model: "llama32-1b", Platform: P3(), Topology: topo,
+					Parallelism: DPTPPP, NumGPUs: c.gpus,
+					TPRanks: c.tp, PPStages: c.pp,
+					TraceBatch: traceBatch, GlobalBatch: c.dp * 4 * traceBatch,
+					MicroBatches: 4, FuseCompute: true, NetApproxTol: 0.01,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalTime <= 0 {
+					b.Fatal("no time")
+				}
+				b.ReportMetric(res.PerIteration.Seconds()*1e3, "simulated-ms/step")
+			}
+		})
+	}
+}
+
 // ---- Ablation benches (DESIGN.md) ----
 
 // Graph-build vs execution cost: the task-graph form's overhead relative to
@@ -357,47 +402,58 @@ func BenchmarkAblationRingVsTree(b *testing.B) {
 // Fault-triggered re-solve churn: a contended ring where an injector
 // toggles link bandwidth 100 times mid-flight. Each window edge calls
 // RefreshRates, forcing the incremental max-min allocator to re-solve under
-// live flows — the overhead fault injection adds to the network model.
+// live flows — the overhead fault injection adds to the network model. The
+// flow count scales 8 → 4096 so benchdiff sees how solver churn grows with
+// load (the ring widens with the flow count to keep per-link contention,
+// not route length, the scaled variable).
 func BenchmarkFaultReallocChurn(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		eng := sim.NewSerialEngine()
-		topo := network.Ring(network.Config{
-			NumGPUs: 8, LinkBandwidth: 100e9, HostBandwidth: 20e9,
-		})
-		net := network.NewFlowNetwork(eng, topo)
-		var sched faults.Schedule
-		for l := 0; l < 4; l++ {
-			for w := 0; w < 25; w++ {
-				sched.Events = append(sched.Events, faults.Event{
-					Kind: faults.LinkDegrade, Link: l,
-					Factor:   2 + float64(w%3),
-					Start:    sim.VTime(w) * sim.MSec,
-					Duration: sim.MSec / 2,
+	for _, flows := range []int{8, 256, 4096} {
+		b.Run(fmt.Sprintf("%dflows", flows), func(b *testing.B) {
+			b.ReportAllocs()
+			nGPUs := 8
+			if flows > 256 {
+				nGPUs = 64
+			}
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewSerialEngine()
+				topo := network.Ring(network.Config{
+					NumGPUs: nGPUs, LinkBandwidth: 100e9, HostBandwidth: 20e9,
 				})
+				net := network.NewFlowNetwork(eng, topo)
+				var sched faults.Schedule
+				for l := 0; l < 4; l++ {
+					for w := 0; w < 25; w++ {
+						sched.Events = append(sched.Events, faults.Event{
+							Kind: faults.LinkDegrade, Link: l,
+							Factor:   2 + float64(w%3),
+							Start:    sim.VTime(w) * sim.MSec,
+							Duration: sim.MSec / 2,
+						})
+					}
+				}
+				inj, err := faults.NewInjector(eng, net, &sched)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inj.Arm()
+				gpus := topo.GPUs()
+				done := 0
+				for j := 0; j < flows; j++ {
+					src := gpus[j%len(gpus)]
+					dst := gpus[(j*3+1)%len(gpus)]
+					if src == dst {
+						dst = gpus[(j*3+2)%len(gpus)]
+					}
+					net.Send(src, dst, 1e9, func(sim.VTime) { done++ })
+				}
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if done != flows {
+					b.Fatal("lost flows")
+				}
 			}
-		}
-		inj, err := faults.NewInjector(eng, net, &sched)
-		if err != nil {
-			b.Fatal(err)
-		}
-		inj.Arm()
-		gpus := topo.GPUs()
-		done := 0
-		for j := 0; j < 32; j++ {
-			src := gpus[j%len(gpus)]
-			dst := gpus[(j*3+1)%len(gpus)]
-			if src == dst {
-				dst = gpus[(j*3+2)%len(gpus)]
-			}
-			net.Send(src, dst, 1e9, func(sim.VTime) { done++ })
-		}
-		if err := eng.Run(); err != nil {
-			b.Fatal(err)
-		}
-		if done != 32 {
-			b.Fatal("lost flows")
-		}
+		})
 	}
 }
 

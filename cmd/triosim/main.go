@@ -34,12 +34,17 @@ func main() {
 		listModels   = flag.Bool("list-models", false, "print workloads and exit")
 		tracePath    = flag.String("trace", "", "single-GPU trace JSON (instead of -model)")
 		platform     = flag.String("platform", "P2", "platform: P1, P2, or P3")
-		parallelism  = flag.String("parallelism", "ddp", "single, dp, ddp, tp, or pp")
+		parallelism  = flag.String("parallelism", "ddp", "single, dp, ddp, tp, pp, or dp+tp+pp")
 		traceBatch   = flag.Int("trace-batch", 128, "batch size to collect the trace at")
 		traceGPU     = flag.String("trace-gpu", "", "GPU to trace on (A40/A100/H100; default platform GPU)")
 		globalBatch  = flag.Int("global-batch", 0, "simulated total batch (default: trace batch)")
 		numGPUs      = flag.Int("gpus", 0, "GPUs to use (default: platform size)")
 		chunks       = flag.Int("chunks", 1, "GPipe micro-batches for pp")
+		collectiveAl = flag.String("collective", "", "allreduce algorithm: auto, ring, tree, or hier")
+		tpRanks      = flag.Int("tp", 0, "tensor-parallel group size for dp+tp+pp")
+		ppStages     = flag.Int("pp", 0, "pipeline stages for dp+tp+pp")
+		fuseCompute  = flag.Bool("fuse-compute", false, "collapse per-op chains into fused tasks (large-scale runs)")
+		netApproxTol = flag.Float64("net-approx-tol", 0, "flow-solver approximate-equilibrium tolerance (0 = exact)")
 		iterations   = flag.Int("iterations", 1, "training iterations to simulate")
 		validate     = flag.Bool("validate", false, "also run the hardware emulator and report error")
 		memCheck     = flag.Bool("memory", false, "estimate per-GPU peak memory and capacity fit")
@@ -114,6 +119,11 @@ func main() {
 		NumGPUs:      *numGPUs,
 		MicroBatches: *chunks,
 		Iterations:   *iterations,
+		Collective:   *collectiveAl,
+		TPRanks:      *tpRanks,
+		PPStages:     *ppStages,
+		FuseCompute:  *fuseCompute,
+		NetApproxTol: *netApproxTol,
 	}
 	if *tracePath != "" {
 		tr, err := triosim.ReadTrace(*tracePath)

@@ -1,0 +1,166 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/telemetry"
+	"triosim/internal/timeline"
+)
+
+// railSetup builds an M-machine × L-GPU rail fat-tree cluster.
+func railSetup(machines, local int) (*sim.SerialEngine,
+	*network.FlowNetwork, []network.NodeID, *network.Topology) {
+	eng := sim.NewSerialEngine()
+	topo := network.RailFatTree(network.ClusterConfig{
+		Machines: machines, GPUsPerMachine: local,
+		NVLinkBandwidth: 300e9, NICBandwidth: 50e9,
+		FabricBandwidth: 100e9, HostBandwidth: 10e9,
+	}, 4, 2)
+	return eng, network.NewFlowNetwork(eng, topo), topo.GPUs(), topo
+}
+
+// On an untiered topology the hierarchical schedule must degrade to the
+// flat ring bit-for-bit: same tasks, same makespan.
+func TestHierAllReduceFallsBackUntiered(t *testing.T) {
+	const n, B, W = 4, 400e6, 100e9
+	engH, netH, gpusH := ringSetup(n, W)
+	gH := task.NewGraph()
+	HierAllReduce(gH, netH.Topology(), gpusH, B, nil, Options{})
+	spanH, _ := execute(t, engH, netH, gH)
+
+	engR, netR, gpusR := ringSetup(n, W)
+	gR := task.NewGraph()
+	RingAllReduce(gR, gpusR, B, nil, Options{})
+	spanR, _ := execute(t, engR, netR, gR)
+
+	if spanH != spanR {
+		t.Fatalf("untiered hier %v != flat ring %v", spanH, spanR)
+	}
+}
+
+// Hierarchical AllReduce traffic: (L−1)·B intra reduce-scatter per machine,
+// 2(M−1)·B/L per rail, (L−1)·B intra all-gather per machine.
+func TestHierAllReduceTieredTraffic(t *testing.T) {
+	const machines, local, B = 4, 2, 800e6
+	eng, net, gpus, topo := railSetup(machines, local)
+	g := task.NewGraph()
+	log := telemetry.NewCollectiveLog()
+	HierAllReduce(g, topo, gpus, B, nil, Options{Label: "ar", Log: log})
+	if _, err := task.NewExecutor(eng, net, g, timeline.New()).Run(); err != nil {
+		t.Fatal(err)
+	}
+	intra := float64(machines) * 2 * float64(local-1) * B // RS + AG
+	rails := float64(local) * 2 * float64(machines-1) * (B / local)
+	want := intra + rails
+	if math.Abs(net.TotalBytes-want)/want > 1e-9 {
+		t.Fatalf("traffic %g, want %g", net.TotalBytes, want)
+	}
+	e := log.Get("ar")
+	if e == nil || e.Algo != "hier-allreduce" || e.Ranks != machines*local {
+		t.Fatalf("log entry %+v", e)
+	}
+}
+
+// With slow NICs and fast NVLink, the hierarchical schedule must beat the
+// flat ring, whose machine-major ring crosses a NIC on almost every hop.
+func TestHierAllReduceBeatsFlatRingOnTieredTopo(t *testing.T) {
+	const machines, local, B = 8, 4, 1e9
+	engH, netH, gpusH, topoH := railSetup(machines, local)
+	gH := task.NewGraph()
+	HierAllReduce(gH, topoH, gpusH, B, nil, Options{})
+	spanH, _ := execute(t, engH, netH, gH)
+
+	engR, netR, gpusR, _ := railSetup(machines, local)
+	gR := task.NewGraph()
+	RingAllReduce(gR, gpusR, B, nil, Options{})
+	spanR, _ := execute(t, engR, netR, gR)
+
+	if spanH >= spanR {
+		t.Fatalf("hier %v not faster than flat ring %v", spanH, spanR)
+	}
+}
+
+// Unequal ranks per machine cannot rail-align; the schedule must fall back
+// to the flat ring rather than emit a lopsided hierarchy.
+func TestHierAllReduceUnequalGroupsFallsBack(t *testing.T) {
+	const B = 400e6
+	eng, net, gpus, topo := railSetup(2, 2)
+	// Ranks 0,1 on machine 0 plus only rank 2 of machine 1.
+	ring := []network.NodeID{gpus[0], gpus[1], gpus[2]}
+	g := task.NewGraph()
+	log := telemetry.NewCollectiveLog()
+	HierAllReduce(g, topo, ring, B, nil, Options{Label: "ar", Log: log})
+	if _, err := task.NewExecutor(eng, net, g, timeline.New()).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e := log.Get("ar"); e == nil || e.Algo != "ring-allreduce" {
+		t.Fatalf("expected flat-ring fallback, log %+v", e)
+	}
+}
+
+func TestHierAllReduceGatesOnAllRanks(t *testing.T) {
+	const B = 100e6
+	eng, net, gpus, topo := railSetup(2, 2)
+	g := task.NewGraph()
+	hold := 50 * sim.MSec
+	gates := make([]*task.Task, len(gpus))
+	for i := range gates {
+		gates[i] = g.AddBarrier("ready")
+	}
+	d := g.AddDelay(hold, "straggler")
+	g.AddDep(d, gates[3])
+	done := HierAllReduce(g, topo, gpus, B, gates, Options{})
+	_ = done
+	span, _ := execute(t, eng, net, g)
+	if span < hold {
+		t.Fatalf("collective finished at %v before straggler gate %v",
+			span, hold)
+	}
+}
+
+func TestHierAllGatherTieredTraffic(t *testing.T) {
+	const machines, local, B = 4, 2, 800e6
+	eng, net, gpus, topo := railSetup(machines, local)
+	g := task.NewGraph()
+	HierAllGather(g, topo, gpus, B, nil, Options{})
+	if _, err := task.NewExecutor(eng, net, g, timeline.New()).Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Rails: L rings over M machines of M·B/N bytes each → L·(M−1)·M·B/N.
+	// Intra: M machines × (L−1)·B.
+	n := float64(machines * local)
+	rails := float64(local) * float64(machines-1) * float64(machines) * B / n
+	intra := float64(machines) * float64(local-1) * B
+	want := rails + intra
+	if math.Abs(net.TotalBytes-want)/want > 1e-9 {
+		t.Fatalf("traffic %g, want %g", net.TotalBytes, want)
+	}
+}
+
+// FusedRingStep compresses a pipelined ring collective into one step whose
+// wall-clock matches the multi-step ring on symmetric disjoint links.
+func TestFusedRingStepMatchesRingTime(t *testing.T) {
+	const n, B, W = 8, 800e6, 100e9
+	engF, netF, gpusF := ringSetup(n, W)
+	gF := task.NewGraph()
+	bus := 2 * float64(n-1) / float64(n)
+	FusedRingStep(gF, gpusF, B, bus, nil, Options{})
+	spanF, _ := execute(t, engF, netF, gF)
+
+	engR, netR, gpusR := ringSetup(n, W)
+	gR := task.NewGraph()
+	RingAllReduce(gR, gpusR, B, nil, Options{})
+	spanR, _ := execute(t, engR, netR, gR)
+
+	if math.Abs(float64(spanF-spanR))/float64(spanR) > 1e-6 {
+		t.Fatalf("fused %v vs ring %v", spanF, spanR)
+	}
+	if netF.TotalBytes != netR.TotalBytes {
+		t.Fatalf("fused traffic %g vs ring %g",
+			netF.TotalBytes, netR.TotalBytes)
+	}
+}

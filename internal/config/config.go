@@ -48,7 +48,9 @@ type Override struct {
 
 // TopologySpec declares an interconnect.
 type TopologySpec struct {
-	// Kind: ring, switch, pcie-tree, mesh, double-ring, chord-ring.
+	// Kind: ring, switch, pcie-tree, mesh, double-ring, chord-ring, or a
+	// hierarchical cluster kind — rail-fat-tree, dragonfly, torus3d — which
+	// uses the machines/gpus_per_machine and tiered-bandwidth fields below.
 	Kind    string `json:"kind"`
 	NumGPUs int    `json:"num_gpus"`
 	// Rows/Cols apply to mesh.
@@ -60,6 +62,71 @@ type TopologySpec struct {
 	HostLatencyUS     float64    `json:"host_latency_us"`
 	ExtraLinks        []LinkSpec `json:"extra_links,omitempty"`
 	Overrides         []Override `json:"overrides,omitempty"`
+
+	// Hierarchical cluster parameters (rail-fat-tree, dragonfly, torus3d).
+	Machines       int `json:"machines,omitempty"`
+	GPUsPerMachine int `json:"gpus_per_machine,omitempty"`
+	// NVLinkGBps is the intra-machine tier bandwidth; LinkBandwidthGBps
+	// doubles as the NIC tier and FabricGBps as the switch fabric (defaults
+	// to the NIC rate when zero).
+	NVLinkGBps float64 `json:"nvlink_gbps,omitempty"`
+	FabricGBps float64 `json:"fabric_gbps,omitempty"`
+	// LeafWidth/Spines shape the rail fat-tree; GroupSize shapes the
+	// dragonfly; X/Y/Z shape the 3D torus.
+	LeafWidth int `json:"leaf_width,omitempty"`
+	Spines    int `json:"spines,omitempty"`
+	GroupSize int `json:"group_size,omitempty"`
+	X         int `json:"x,omitempty"`
+	Y         int `json:"y,omitempty"`
+	Z         int `json:"z,omitempty"`
+}
+
+// buildCluster materializes one of the hierarchical cluster kinds.
+func (t *TopologySpec) buildCluster() (*network.Topology, error) {
+	cc := network.ClusterConfig{
+		Machines:        t.Machines,
+		GPUsPerMachine:  t.GPUsPerMachine,
+		NVLinkBandwidth: t.NVLinkGBps * 1e9,
+		NVLinkLatency:   sim.VTime(t.LinkLatencyUS) * sim.USec,
+		NICBandwidth:    t.LinkBandwidthGBps * 1e9,
+		NICLatency:      sim.VTime(t.LinkLatencyUS) * sim.USec,
+		FabricBandwidth: t.FabricGBps * 1e9,
+		FabricLatency:   sim.VTime(t.LinkLatencyUS) * sim.USec,
+		HostBandwidth:   t.HostBandwidthGBps * 1e9,
+		HostLatency:     sim.VTime(t.HostLatencyUS) * sim.USec,
+	}
+	if t.GPUsPerMachine < 1 {
+		return nil, fmt.Errorf("config: %s needs gpus_per_machine", t.Kind)
+	}
+	switch t.Kind {
+	case "rail-fat-tree":
+		if t.Machines < 1 {
+			return nil, fmt.Errorf("config: rail-fat-tree needs machines")
+		}
+		leaf, spines := t.LeafWidth, t.Spines
+		if leaf < 1 {
+			leaf = 8
+		}
+		if spines < 1 {
+			spines = 2
+		}
+		return network.RailFatTree(cc, leaf, spines), nil
+	case "dragonfly":
+		if t.Machines < 1 {
+			return nil, fmt.Errorf("config: dragonfly needs machines")
+		}
+		gs := t.GroupSize
+		if gs < 1 {
+			gs = 4
+		}
+		return network.Dragonfly(cc, gs), nil
+	case "torus3d":
+		if t.X < 1 || t.Y < 1 || t.Z < 1 {
+			return nil, fmt.Errorf("config: torus3d needs x, y, z")
+		}
+		return network.Torus3D(cc, t.X, t.Y, t.Z), nil
+	}
+	return nil, fmt.Errorf("config: unknown cluster kind %q", t.Kind)
 }
 
 // Build materializes the topology.
@@ -73,6 +140,10 @@ func (t *TopologySpec) Build() (*network.Topology, error) {
 	}
 	if cfg.LinkBandwidth <= 0 || cfg.HostBandwidth <= 0 {
 		return nil, fmt.Errorf("config: topology needs positive bandwidths")
+	}
+	switch t.Kind {
+	case "rail-fat-tree", "dragonfly", "torus3d":
+		return t.buildCluster()
 	}
 	var topo *network.Topology
 	switch t.Kind {
@@ -127,7 +198,14 @@ type RunSpec struct {
 	Iterations  int           `json:"iterations,omitempty"`
 	DPGroups    int           `json:"dp_groups,omitempty"`
 	BucketMB    float64       `json:"bucket_mb,omitempty"`
-	Topology    *TopologySpec `json:"topology,omitempty"`
+	Collective  string        `json:"collective,omitempty"`
+	TPRanks     int           `json:"tp_ranks,omitempty"`
+	PPStages    int           `json:"pp_stages,omitempty"`
+	FuseCompute bool          `json:"fuse_compute,omitempty"`
+	// NetApproxTol enables the flow network's approximate-equilibrium mode
+	// (0 = exact). See docs/TOPOLOGY.md.
+	NetApproxTol float64       `json:"net_approx_tol,omitempty"`
+	Topology     *TopologySpec `json:"topology,omitempty"`
 }
 
 // Load reads a RunSpec from a JSON file.
@@ -162,6 +240,11 @@ func (s *RunSpec) ToCore() (core.Config, error) {
 		Iterations:   s.Iterations,
 		DPGroups:     s.DPGroups,
 		BucketBytes:  s.BucketMB * (1 << 20),
+		Collective:   s.Collective,
+		TPRanks:      s.TPRanks,
+		PPStages:     s.PPStages,
+		FuseCompute:  s.FuseCompute,
+		NetApproxTol: s.NetApproxTol,
 	}
 	if s.Topology != nil {
 		topo, err := s.Topology.Build()

@@ -41,6 +41,10 @@ const (
 	// tensor parallel groups (an extension beyond the paper's DP/TP/PP).
 	DPPP Parallelism = "dp+pp"
 	DPTP Parallelism = "dp+tp"
+	// DPTPPP is full 3D parallelism (Megatron-style DP×TP×PP) for
+	// cluster-scale runs: TPRanks×PPStages GPUs per replica, the rest of
+	// NumGPUs split into data-parallel replicas.
+	DPTPPP Parallelism = "dp+tp+pp"
 	// ZeRO1 is ZeRO stage-1 data parallelism: gradients reduce-scattered,
 	// optimizer state sharded, parameters all-gathered.
 	ZeRO1 Parallelism = "zero1"
@@ -80,9 +84,22 @@ type Config struct {
 	// DPGroups is the number of data-parallel replicas for the hybrid
 	// strategies (default 2).
 	DPGroups int
-	// Collective selects the gradient AllReduce algorithm: "ring"
-	// (default) or "tree".
+	// Collective selects the gradient AllReduce algorithm: "auto"
+	// (default: hierarchical on tiered topologies, ring otherwise),
+	// "ring", "tree", or "hier".
 	Collective string
+	// TPRanks and PPStages size the tensor and pipeline dimensions of the
+	// "dp+tp+pp" strategy (default 1 each); the data-parallel dimension is
+	// NumGPUs / (TPRanks·PPStages).
+	TPRanks  int
+	PPStages int
+	// FuseCompute collapses sequential op chains into single compute tasks
+	// (see extrapolator.Config.FuseCompute). Needed for cluster-scale runs.
+	FuseCompute bool
+	// NetApproxTol enables the flow network's approximate-equilibrium mode
+	// with the given relative tolerance (0 = exact, the default). Replay
+	// digests are only stable on the exact path.
+	NetApproxTol float64
 	// InferenceOnly simulates forward-only execution (no backward pass, no
 	// gradient synchronization, no optimizer).
 	InferenceOnly bool
@@ -287,6 +304,7 @@ func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
 		BucketBytes:  cfg.BucketBytes,
 		Iterations:   cfg.Iterations,
 		Collective:   cfg.Collective,
+		FuseCompute:  cfg.FuseCompute,
 		ForwardOnly:  cfg.InferenceOnly,
 		Collectives:  collLog,
 	}
@@ -306,6 +324,19 @@ func extrapolate(cfg Config, tr *trace.Trace, topo *network.Topology,
 		return extrapolator.HybridDPPP(ecfg, hybridGroups(cfg))
 	case DPTP:
 		return extrapolator.HybridDPTP(ecfg, hybridGroups(cfg))
+	case DPTPPP:
+		tp, pp := cfg.TPRanks, cfg.PPStages
+		if tp < 1 {
+			tp = 1
+		}
+		if pp < 1 {
+			pp = 1
+		}
+		if cfg.NumGPUs%(tp*pp) != 0 {
+			return nil, fmt.Errorf("core: %d GPUs not divisible by tp·pp = %d×%d",
+				cfg.NumGPUs, tp, pp)
+		}
+		return extrapolator.Hybrid3D(ecfg, cfg.NumGPUs/(tp*pp), tp, pp)
 	case ZeRO1:
 		return extrapolator.DataParallelZeRO(ecfg)
 	}
@@ -328,6 +359,7 @@ func execute(cfg Config, topo *network.Topology, res *extrapolator.Result,
 	eng.RegisterHook(digest)
 	net := network.NewFlowNetwork(eng, topo)
 	net.RampBytes = rampBytes
+	net.ApproxTol = cfg.NetApproxTol
 	tl := timeline.New()
 	x := task.NewExecutor(eng, net, res.Graph, tl)
 
@@ -859,6 +891,21 @@ func MemoryFootprint(cfg Config) (*MemoryReport, error) {
 		mcfg.Strategy = memory.TP
 		mcfg.NumGPUs = cfg.NumGPUs / groups
 		mcfg.GlobalBatch = batch / groups
+	case DPTPPP:
+		// Conservative per-GPU bound: price the pipeline dimension only
+		// (each stage further TP-shards its weights, so the true footprint
+		// is lower).
+		tp, pp := cfg.TPRanks, cfg.PPStages
+		if tp < 1 {
+			tp = 1
+		}
+		if pp < 1 {
+			pp = 1
+		}
+		mcfg.Strategy = memory.PP
+		mcfg.NumGPUs = pp
+		mcfg.GlobalBatch = batch * tp * pp / cfg.NumGPUs
+		mcfg.StageOf = extrapolator.StageAssignment(tr, pp)
 	default:
 		return nil, fmt.Errorf("core: unknown parallelism %q", cfg.Parallelism)
 	}

@@ -190,6 +190,7 @@ func allRunners(quick bool, opts Options, custom *faults.Schedule,
 		{"fig14", func() (*Figure, error) { return Fig14(quick) }},
 		{"fig15", func() (*Figure, error) { return Fig15Opts(quick, opts) }},
 		{"fig16", func() (*Figure, error) { return Fig16Opts(quick, opts) }},
+		{"scale", func() (*Figure, error) { return Scale(quick) }},
 		{"resilience", func() (*Figure, error) {
 			return ResilienceOpts(quick, opts, custom, faultSeed)
 		}},

@@ -260,8 +260,8 @@ func TestFigurePrinting(t *testing.T) {
 
 func TestAllRunnersRegistered(t *testing.T) {
 	rs := All(true)
-	if len(rs) != 14 {
-		t.Fatalf("runners = %d, want 14 (table1 + fig6..fig16 + resilience + serving)",
+	if len(rs) != 15 {
+		t.Fatalf("runners = %d, want 15 (table1 + fig6..fig16 + resilience + serving + scale)",
 			len(rs))
 	}
 	seen := map[string]bool{}

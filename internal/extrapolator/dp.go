@@ -11,11 +11,25 @@ import (
 	"triosim/internal/trace"
 )
 
-// allReduce dispatches to the configured AllReduce algorithm.
+// allReduce dispatches to the configured AllReduce algorithm. With the
+// default "auto" selection, topologies that declare link tiers get the
+// hierarchical schedule (intra-machine reduce-scatter → per-rail
+// inter-machine ring/tree → intra-machine all-gather); flat topologies keep
+// the ring, so paper-scale replays are unchanged.
 func (b *builder) allReduce(ring []network.NodeID, bytes float64,
 	after []*task.Task, opt collective.Options) *task.Task {
-	if b.cfg.Collective == "tree" {
+	switch b.cfg.Collective {
+	case "tree":
 		return collective.TreeAllReduce(b.g, ring, bytes, after, opt)
+	case "ring":
+		return collective.RingAllReduce(b.g, ring, bytes, after, opt)
+	case "hier":
+		return collective.HierAllReduce(b.g, b.cfg.Topo, ring, bytes,
+			after, opt)
+	}
+	if b.cfg.Topo.Tiered() {
+		return collective.HierAllReduce(b.g, b.cfg.Topo, ring, bytes,
+			after, opt)
 	}
 	return collective.RingAllReduce(b.g, ring, bytes, after, opt)
 }

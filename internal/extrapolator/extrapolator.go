@@ -54,8 +54,17 @@ type Config struct {
 	// Iterations is how many training iterations to simulate (minimum 1).
 	Iterations int
 	// Collective selects the AllReduce algorithm for data-parallel
-	// gradient synchronization: "ring" (default) or "tree".
+	// gradient synchronization: "auto" (default: hierarchical on tiered
+	// topologies, ring otherwise), "ring", "tree", or "hier".
 	Collective string
+	// FuseCompute collapses each sequential op chain (per stage chunk /
+	// replica sequence) into one compute task with the summed duration, and
+	// coalesces per-layer TP syncs into one fused ring step per chunk.
+	// Durations and traffic totals are preserved; per-op task identity is
+	// not, so leave it off when per-layer telemetry matters. Essential at
+	// cluster scale, where the unfused graph would hold tens of millions of
+	// tasks.
+	FuseCompute bool
 	// ForwardOnly simulates inference: only forward operators replay, and
 	// no gradient synchronization or optimizer step occurs (the workload
 	// class Li's Model originally targeted).
@@ -92,7 +101,7 @@ func (c *Config) validate() error {
 		return fmt.Errorf("extrapolator: nil trace")
 	}
 	switch c.Collective {
-	case "", "ring", "tree":
+	case "", "auto", "ring", "tree", "hier":
 	default:
 		return fmt.Errorf("extrapolator: unknown collective %q", c.Collective)
 	}

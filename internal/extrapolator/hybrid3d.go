@@ -1,0 +1,394 @@
+package extrapolator
+
+import (
+	"fmt"
+
+	"triosim/internal/collective"
+	"triosim/internal/network"
+	"triosim/internal/sim"
+	"triosim/internal/task"
+	"triosim/internal/telemetry"
+)
+
+// Hybrid3D extrapolates the trace to full 3D parallelism — DP×TP×PP, the
+// cluster-scale Megatron-style layout: dp pipeline replicas, each a GPipe
+// pipeline of pp stages, each stage tensor-parallel across tp ranks.
+//
+// GPU layout (machine-major clusters line up automatically when tp equals
+// the machine size): replica d, stage s, rank r → physical GPU
+// d·tp·pp + s·tp + r. Stage boundaries ship sharded activations rank-to-rank
+// (rail-aligned); after the backward drain, each (stage, rank) gradient
+// shard AllReduces across the dp replicas via builder.allReduce, which
+// selects the hierarchical schedule on tiered topologies.
+//
+// With cfg.FuseCompute set, each (stage, micro-batch, rank) op chain
+// collapses into one compute task and the per-layer TP syncs coalesce into
+// one FusedRingStep per chunk — the graph-size reduction that makes
+// 10,000-GPU steps simulable in seconds.
+func Hybrid3D(cfg Config, dp, tp, pp int) (*Result, error) {
+	b, err := newBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = b.cfg
+	if dp < 1 || tp < 1 || pp < 1 {
+		return nil, fmt.Errorf("extrapolator: 3d grid %d×%d×%d", dp, tp, pp)
+	}
+	if dp*tp*pp != cfg.NumGPUs {
+		return nil, fmt.Errorf("extrapolator: 3d grid %d×%d×%d ≠ %d GPUs",
+			dp, tp, pp, cfg.NumGPUs)
+	}
+	if cfg.GlobalBatch%dp != 0 {
+		return nil, fmt.Errorf("extrapolator: batch %d not divisible by %d replicas",
+			cfg.GlobalBatch, dp)
+	}
+	m := cfg.MicroBatches
+	microScale := float64(cfg.GlobalBatch) / float64(dp) / float64(m) /
+		float64(b.tr.BatchSize)
+	shard := 1.0 / float64(tp)
+
+	// Balanced layer→stage assignment, shared by every replica.
+	stageOf := StageAssignment(b.tr, pp)
+	fwdOps := make([][]int, pp)
+	bwdOps := make([][]int, pp)
+	optOps := make([][]int, pp)
+	for _, idx := range b.fwd {
+		s := stageOf[b.tr.Ops[idx].Layer]
+		fwdOps[s] = append(fwdOps[s], idx)
+	}
+	for _, idx := range b.bwd {
+		s := stageOf[b.tr.Ops[idx].Layer]
+		bwdOps[s] = append(bwdOps[s], idx)
+	}
+	for _, idx := range b.opt {
+		s := stageOf[b.tr.Ops[idx].Layer]
+		optOps[s] = append(optOps[s], idx)
+	}
+
+	// Per-stage precomputation: fused durations, TP sync payloads, stage
+	// boundary bytes, owned gradient bytes. Identical across replicas and
+	// micro-batches, so pricing runs once, not dp·m times.
+	type stagePre struct {
+		fwdDur, bwdDur, optDur sim.VTime
+		fwdRuns, bwdRuns       []layerGroup
+		syncFwd, syncBwd       float64 // TP boundary bytes per chunk
+		boundary               float64 // activation bytes leaving the stage
+		gradBytes              float64
+	}
+	pre := make([]stagePre, pp)
+	sumDur := func(ops []int) sim.VTime {
+		var total sim.VTime
+		for _, idx := range ops {
+			op := &b.tr.Ops[idx]
+			sh := 1.0
+			if op.Parallelizable {
+				sh = shard
+			}
+			total += b.opDuration(op, microScale, sh)
+		}
+		return total
+	}
+	syncBytes := func(runs []layerGroup) float64 {
+		var total float64
+		for _, grp := range runs {
+			par := false
+			for _, idx := range grp.ops {
+				if b.tr.Ops[idx].Parallelizable {
+					par = true
+					break
+				}
+			}
+			if par && len(grp.ops) > 0 {
+				last := &b.tr.Ops[grp.ops[len(grp.ops)-1]]
+				total += b.outBytes(last, microScale)
+			}
+		}
+		return total
+	}
+	for s := 0; s < pp; s++ {
+		p := &pre[s]
+		p.fwdRuns = b.groupByLayer(fwdOps[s])
+		p.bwdRuns = b.groupByLayer(bwdOps[s])
+		p.fwdDur = sumDur(fwdOps[s])
+		p.bwdDur = sumDur(bwdOps[s])
+		p.syncFwd = syncBytes(p.fwdRuns)
+		p.syncBwd = syncBytes(p.bwdRuns)
+		if len(fwdOps[s]) > 0 {
+			last := &b.tr.Ops[fwdOps[s][len(fwdOps[s])-1]]
+			p.boundary = b.outBytes(last, microScale)
+		}
+		for _, idx := range bwdOps[s] {
+			p.gradBytes += b.gradBytesOf(&b.tr.Ops[idx])
+		}
+		for _, idx := range optOps[s] {
+			op := &b.tr.Ops[idx]
+			p.optDur += b.opDuration(op, 1, shard)
+		}
+	}
+
+	gpuAt := func(d, s, r int) int { return d*tp*pp + s*tp + r }
+	tpNodes := func(d, s int) []network.NodeID {
+		out := make([]network.NodeID, tp)
+		for r := 0; r < tp; r++ {
+			out[r] = b.gpus[gpuAt(d, s, r)]
+		}
+		return out
+	}
+
+	// emitChunk runs one (replica, stage, micro) chunk across the tp ranks:
+	// compute (fused or per-op) then the TP boundary sync. deps[r] gates
+	// rank r. Returns the per-rank completion tasks.
+	emitChunk := func(d, s int, deps [][]*task.Task, fwd bool,
+		label string) []*task.Task {
+
+		p := &pre[s]
+		dur, runs, sync := p.fwdDur, p.fwdRuns, p.syncFwd
+		if !fwd {
+			dur, runs, sync = p.bwdDur, p.bwdRuns, p.syncBwd
+		}
+		last := make([]*task.Task, tp)
+		if cfg.FuseCompute {
+			for r := 0; r < tp; r++ {
+				t := b.g.AddCompute(gpuAt(d, s, r), dur, label)
+				for _, dep := range deps[r] {
+					b.g.AddDep(dep, t)
+				}
+				last[r] = t
+			}
+			if tp > 1 && sync > 0 {
+				bus := float64(tp-1) / float64(tp)
+				if !fwd {
+					bus *= 2 // allreduce, not allgather
+				}
+				coll := collective.FusedRingStep(b.g, tpNodes(d, s), sync,
+					bus, last, collective.Options{
+						StepDelay: b.cfg.Effects.CommStepLatency,
+						Label:     label + "-tpsync",
+						Log:       b.cfg.Collectives,
+					})
+				for r := 0; r < tp; r++ {
+					last[r] = coll
+				}
+			}
+			return last
+		}
+
+		// Unfused: per-op chains with a ring collective at each
+		// parallelizable layer boundary, as in TensorParallel.
+		prev := make([]*task.Task, tp)
+		for r := 0; r < tp; r++ {
+			entry := b.g.AddBarrier(label + "-entry")
+			for _, dep := range deps[r] {
+				b.g.AddDep(dep, entry)
+			}
+			prev[r] = entry
+		}
+		for _, grp := range runs {
+			hasPar := false
+			lastOps := make([]*task.Task, tp)
+			for _, idx := range grp.ops {
+				op := &b.tr.Ops[idx]
+				sh := 1.0
+				if op.Parallelizable {
+					sh = shard
+					hasPar = true
+				}
+				for r := 0; r < tp; r++ {
+					t := b.g.AddCompute(gpuAt(d, s, r),
+						b.opDuration(op, microScale, sh), b.label(op.Name, label))
+					t.Layer = op.Layer
+					b.g.AddDep(prev[r], t)
+					prev[r] = t
+					lastOps[r] = t
+				}
+			}
+			if !hasPar || tp == 1 || len(grp.ops) == 0 {
+				continue
+			}
+			lastOp := &b.tr.Ops[grp.ops[len(grp.ops)-1]]
+			bound := b.outBytes(lastOp, microScale)
+			opts := collective.Options{
+				StepDelay: b.cfg.Effects.CommStepLatency,
+				Label:     fmt.Sprintf("%s-tp-l%d", label, grp.layer),
+				Log:       b.cfg.Collectives,
+			}
+			var coll *task.Task
+			if fwd {
+				coll = collective.RingAllGather(b.g, tpNodes(d, s), bound,
+					lastOps, opts)
+			} else {
+				coll = collective.RingAllReduce(b.g, tpNodes(d, s), bound,
+					lastOps, opts)
+			}
+			for r := 0; r < tp; r++ {
+				prev[r] = coll
+			}
+		}
+		return prev
+	}
+
+	res := &Result{Graph: b.g,
+		Meta: telemetry.ParallelStat{Strategy: "dp+tp+pp", Replicas: dp,
+			Stages: pp, TPRanks: tp, StageOfLayer: stageOf}}
+	gate := b.g.AddBarrier("start")
+	for it := 0; it < cfg.Iterations; it++ {
+		suffix := fmt.Sprintf("-it%d", it)
+		bwdDone := make([][][]*task.Task, dp) // [d][s][r]
+
+		for d := 0; d < dp; d++ {
+			dsuffix := fmt.Sprintf("%s-d%d", suffix, d)
+
+			// Forward pipeline (GPipe) with sharded rank-to-rank boundary
+			// sends: rank r of stage s ships its 1/tp activation slice to
+			// rank r of stage s+1 over the rail.
+			fwdLast := make([][][]*task.Task, pp) // [s][mb][r]
+			arrive := make([][][]*task.Task, pp)
+			for s := 0; s < pp; s++ {
+				fwdLast[s] = make([][]*task.Task, m)
+				arrive[s] = make([][]*task.Task, m)
+			}
+			for mb := 0; mb < m; mb++ {
+				load := b.stageInput(b.gpus[gpuAt(d, 0, 0)], microScale, gate,
+					fmt.Sprintf("stage-input-mb%d%s", mb, dsuffix))
+				arrive[0][mb] = make([]*task.Task, tp)
+				for r := 0; r < tp; r++ {
+					arrive[0][mb][r] = load
+				}
+			}
+			for s := 0; s < pp; s++ {
+				for mb := 0; mb < m; mb++ {
+					deps := make([][]*task.Task, tp)
+					for r := 0; r < tp; r++ {
+						deps[r] = []*task.Task{arrive[s][mb][r]}
+						if mb > 0 {
+							deps[r] = append(deps[r], fwdLast[s][mb-1][r])
+						}
+					}
+					last := emitChunk(d, s, deps, true,
+						fmt.Sprintf("fwd-s%d-mb%d%s", s, mb, dsuffix))
+					fwdLast[s][mb] = last
+					if s+1 < pp {
+						arrive[s+1][mb] = make([]*task.Task, tp)
+						for r := 0; r < tp; r++ {
+							send := b.g.AddComm(b.gpus[gpuAt(d, s, r)],
+								b.gpus[gpuAt(d, s+1, r)],
+								pre[s].boundary*shard,
+								fmt.Sprintf("act-s%d-mb%d-r%d%s", s, mb, r,
+									dsuffix))
+							send.MicroBatch = mb
+							b.g.AddDep(last[r], send)
+							arrive[s+1][mb][r] = send
+						}
+					}
+				}
+			}
+
+			if cfg.ForwardOnly {
+				bwdDone[d] = make([][]*task.Task, pp)
+				for s := 0; s < pp; s++ {
+					bwdDone[d][s] = fwdLast[s][m-1]
+				}
+				continue
+			}
+
+			// Backward: GPipe flush, reverse micro-batch order, sharded
+			// gradient sends back down the rails.
+			gradArrive := make([][][]*task.Task, pp)
+			for s := 0; s < pp; s++ {
+				gradArrive[s] = make([][]*task.Task, m)
+			}
+			bwdDone[d] = make([][]*task.Task, pp)
+			for s := pp - 1; s >= 0; s-- {
+				var prevMicro []*task.Task
+				for k := 0; k < m; k++ {
+					mb := m - 1 - k
+					deps := make([][]*task.Task, tp)
+					for r := 0; r < tp; r++ {
+						deps[r] = []*task.Task{fwdLast[s][m-1][r]}
+						if gradArrive[s][mb] != nil {
+							deps[r] = append(deps[r], gradArrive[s][mb][r])
+						}
+						if prevMicro != nil {
+							deps[r] = append(deps[r], prevMicro[r])
+						}
+					}
+					last := emitChunk(d, s, deps, false,
+						fmt.Sprintf("bwd-s%d-mb%d%s", s, mb, dsuffix))
+					prevMicro = last
+					if s > 0 {
+						gradArrive[s-1][mb] = make([]*task.Task, tp)
+						for r := 0; r < tp; r++ {
+							send := b.g.AddComm(b.gpus[gpuAt(d, s, r)],
+								b.gpus[gpuAt(d, s-1, r)],
+								pre[s-1].boundary*shard,
+								fmt.Sprintf("grad-s%d-mb%d-r%d%s", s, mb, r,
+									dsuffix))
+							send.MicroBatch = mb
+							b.g.AddDep(last[r], send)
+							gradArrive[s-1][mb][r] = send
+						}
+					}
+				}
+				bwdDone[d][s] = prevMicro
+			}
+		}
+
+		end := b.g.AddBarrier("iter-done" + suffix)
+		if cfg.ForwardOnly {
+			for d := 0; d < dp; d++ {
+				for s := 0; s < pp; s++ {
+					for r := 0; r < tp; r++ {
+						b.g.AddDep(bwdDone[d][s][r], end)
+					}
+				}
+			}
+			res.IterationEnds = append(res.IterationEnds, end)
+			gate = end
+			continue
+		}
+
+		// Cross-replica gradient AllReduce per (stage, rank) shard; the
+		// dispatcher picks the hierarchical schedule on tiered topologies.
+		// Then the sharded optimizer, fused into one task per GPU.
+		for s := 0; s < pp; s++ {
+			for r := 0; r < tp; r++ {
+				ring := make([]network.NodeID, dp)
+				gates := make([]*task.Task, dp)
+				for d := 0; d < dp; d++ {
+					ring[d] = b.gpus[gpuAt(d, s, r)]
+					gates[d] = bwdDone[d][s][r]
+				}
+				ar := b.allReduce(ring, pre[s].gradBytes*shard, gates,
+					collective.Options{
+						StepDelay: b.cfg.Effects.CommStepLatency,
+						Label: fmt.Sprintf("3d-allreduce-s%d-r%d%s", s, r,
+							suffix),
+						Log: b.cfg.Collectives,
+					})
+				for d := 0; d < dp; d++ {
+					var opt *task.Task
+					if cfg.FuseCompute {
+						opt = b.g.AddCompute(gpuAt(d, s, r), pre[s].optDur,
+							fmt.Sprintf("opt-s%d-r%d%s-d%d", s, r, suffix, d))
+						b.g.AddDep(ar, opt)
+					} else {
+						prev := ar
+						for _, idx := range optOps[s] {
+							op := &b.tr.Ops[idx]
+							t := b.g.AddCompute(gpuAt(d, s, r),
+								b.opDuration(op, 1, shard), op.Name+suffix)
+							t.Layer = op.Layer
+							b.g.AddDep(prev, t)
+							prev = t
+						}
+						opt = prev
+					}
+					b.g.AddDep(opt, end)
+				}
+			}
+		}
+		res.IterationEnds = append(res.IterationEnds, end)
+		gate = end
+	}
+	return res, nil
+}

@@ -73,16 +73,49 @@ type flow struct {
 	// mark is the computeRates solve generation that froze this flow's rate
 	// (scratch state replacing a per-solve "unassigned" set).
 	mark int
+	// seen is the solve generation that collected this flow into the dirty
+	// closure (dedup stamp; monotonic like mark, survives recycling).
+	seen int
+	// schedRate is the achieved rate the live delivery event was scheduled
+	// with (0 = starved / no event). Only the approximate mode reads it.
+	schedRate float64
+	// lastAdv is the virtual time remaining was last materialized at. The
+	// exact solver advances every flow eagerly (bit-identical float sums);
+	// the approximate mode integrates lazily per flow from lastAdv.
+	lastAdv sim.VTime
 }
 
 // linkState is the per-directed-link allocator state. flows is maintained
 // incrementally across Send/complete instead of being rebuilt on every
-// max-min solve; cap and active are scratch fields valid only inside one
-// computeRates call.
+// max-min solve; cap, active, heapKey and seenGen are scratch fields valid
+// only inside one computeRates call.
+//
+// Each linkState is also an element of two persistent structures: a
+// union-find over directed links (two links share a partition when some
+// flow's route has crossed both — the transitive link-sharing components
+// max-min provably decomposes over) and, while it carries flows, an
+// intrusive per-partition active-link list that lets a solve enumerate
+// exactly the links of the dirty components.
 type linkState struct {
 	cap    float64 // scratch: remaining capacity during a solve
 	active int     // scratch: unassigned crossing flows during a solve
 	flows  []*flow // in-flight flows crossing this link, ascending id
+
+	key DirLink
+	// idx is the dense union-find element index (creation order).
+	idx int
+	// sortKey reproduces the historical sorted-scan tie-break order
+	// (ascending link ID, forward before reverse) for the solve heap.
+	sortKey uint64
+	// heapKey is the fair share of this link's most recent live heap entry;
+	// entries popped with a mismatching key are superseded and discarded.
+	heapKey float64
+	// seenGen stamps the solve generation that initialized the scratch
+	// fields, so a solve touches each closure link's state exactly once.
+	seenGen int
+	// prevActive/nextActive chain the intrusive active-link list of this
+	// link's partition root (only valid while len(flows) > 0).
+	prevActive, nextActive *linkState
 }
 
 // FlowNetwork is the flow-based packet-switching model: shortest-path
@@ -118,14 +151,58 @@ type FlowNetwork struct {
 	// unchanged: no time passes between the individual changes.
 	recomputePending bool
 
-	// Incremental allocator state: the per-link crossing-flow sets and the
-	// sorted key slice persist across solves. links grows to the set of
-	// directed links ever crossed (bounded by 2× the topology's link count);
-	// linkKeys is rebuilt only when a new directed link first appears.
-	links     map[DirLink]*linkState
-	linkKeys  []DirLink
-	keysDirty bool
-	solveGen  int
+	// ApproxTol, when positive, enables the approximate-equilibrium mode
+	// for large networks: a flow whose newly solved rate differs from the
+	// rate its live delivery event was scheduled with by at most ApproxTol
+	// (relative) keeps that event and keeps draining at the old rate,
+	// cutting the O(flows) reschedule churn that dominates at cluster
+	// scale. Rates are still solved exactly; only event rescheduling and
+	// the per-flow byte integration (lazy, per-flow) are approximated, so
+	// makespan error is bounded by the tolerance (property-tested at ≤1%).
+	// Zero — the default — is the exact mode: every solve reschedules every
+	// flow and replay digests are byte-identical to the historical solver.
+	// Set before the first Send and never change it mid-run.
+	ApproxTol float64
+
+	// Incremental allocator state: the per-link crossing-flow sets persist
+	// across solves. links indexes them densely by 2·linkID+direction (the
+	// sortKey encoding) — a slice, not a map keyed by DirLink, because the
+	// solver pays one lookup per route hop per filling round and the hash
+	// alone dominated 10k-GPU solves. nil entries are directed links no route
+	// has crossed yet; states holds the same linkStates in creation order for
+	// the union-find arrays below.
+	links    []*linkState
+	states   []*linkState
+	solveGen int
+
+	// Partition (dirty-set) state. ufParent/ufSize are a weighted
+	// union-find over states: attachLinks unions every link of a route, so
+	// a partition root identifies one transitive link-sharing component.
+	// Components only ever merge (a detach never splits them — stale
+	// merges are conservative, never wrong). heads/tails hold each root's
+	// intrusive list of links that currently carry flows; dirtyFlag/
+	// dirtyList record which elements' components changed membership since
+	// the last solve, and rootGen dedups canonicalized roots per solve.
+	ufParent  []int
+	ufSize    []int
+	heads     []*linkState
+	tails     []*linkState
+	dirtyFlag []bool
+	dirtyList []int
+	rootGen   []int
+	// allDirty forces a full re-solve: set when the topology's capacity
+	// generation moved (SetLinkBandwidth without an explicit refresh mark),
+	// preserving the historical "capacities are re-read every solve"
+	// semantics.
+	allDirty   bool
+	lastCapGen int
+
+	// Per-solve scratch, reused across solves: the dirty closure's flows
+	// (sorted ascending id after collection) and links, and the bottleneck
+	// min-heap keyed by (fair share, sortKey).
+	scratchFlows []*flow
+	solveLinks   []*linkState
+	heap         []solveEntry
 
 	// freeFlows recycles completed flow objects (see flow.gen for why the
 	// generation survives recycling).
@@ -150,6 +227,20 @@ type FlowNetwork struct {
 	SolveWall time.Duration
 	// Solves counts max-min recomputations.
 	Solves int
+	// SolvedFlows/SolvedLinks count the flows and directed links actually
+	// re-solved across all solves — the dirty-set win shows up as these
+	// staying far below Solves × InFlight on partitioned topologies.
+	SolvedFlows int
+	SolvedLinks int
+}
+
+// solveEntry is one bottleneck-heap entry: a candidate most-constrained
+// link at the fair share it had when pushed. Entries are superseded (not
+// removed) when a charge changes the link's fair share; heapKey arbitrates.
+type solveEntry struct {
+	fair    float64
+	sortKey uint64
+	st      *linkState
 }
 
 // NewFlowNetwork builds a flow network over topo driven by eng.
@@ -158,7 +249,7 @@ func NewFlowNetwork(eng sim.Engine, topo *Topology) *FlowNetwork {
 		eng:   eng,
 		topo:  topo,
 		flows: map[int]*flow{},
-		links: map[DirLink]*linkState{},
+		links: make([]*linkState, 2*len(topo.Links)),
 	}
 }
 
@@ -205,6 +296,8 @@ func (n *FlowNetwork) Send(src, dst NodeID, bytes float64,
 	f.latency = n.topo.RouteLatency(route)
 	f.start = now
 	f.onDone = onDone
+	f.schedRate = 0
+	f.lastAdv = now
 	n.advance(now)
 	n.flows[f.id] = f
 	n.ordered = append(n.ordered, f)
@@ -236,26 +329,163 @@ func (n *FlowNetwork) releaseFlow(f *flow) {
 // admitted in ascending id order and removal preserves relative order, so
 // each linkState.flows slice stays sorted by id — the invariant the solve's
 // freeze loop relies on for deterministic (and bit-identical) allocation.
+// The route's links are unioned into one partition and that partition is
+// marked dirty for the next solve.
 func (n *FlowNetwork) attachLinks(f *flow) {
+	first := -1
 	for _, dl := range f.route {
-		st := n.links[dl]
+		st := n.linkFor(dl)
 		if st == nil {
-			st = &linkState{}
-			n.links[dl] = st
-			n.keysDirty = true
+			st = n.newLinkState(dl)
+		}
+		if len(st.flows) == 0 {
+			n.activateLink(st)
 		}
 		st.flows = append(st.flows, f)
+		if first < 0 {
+			first = st.idx
+		} else {
+			n.union(first, st.idx)
+		}
 	}
+	n.markDirty(first)
 }
 
 // detachLinks removes f from its route's link sets and from the ordered
-// slice, preserving order.
+// slice, preserving order, and marks the flow's partition dirty.
 func (n *FlowNetwork) detachLinks(f *flow) {
+	first := -1
 	for _, dl := range f.route {
-		st := n.links[dl]
+		st := n.linkFor(dl)
+		if first < 0 {
+			first = st.idx
+		}
 		st.flows = removeFlow(st.flows, f)
+		if len(st.flows) == 0 {
+			n.deactivateLink(st)
+		}
 	}
+	n.markDirty(first)
 	n.ordered = removeFlow(n.ordered, f)
+}
+
+// denseIndex maps a directed link to its slot in FlowNetwork.links: the
+// sortKey encoding (ascending link ID, forward before reverse) as an int.
+func denseIndex(dl DirLink) int {
+	i := dl.Link << 1
+	if !dl.Forward {
+		i |= 1
+	}
+	return i
+}
+
+// linkFor returns the allocator state of dl, or nil if no route has crossed
+// it yet.
+func (n *FlowNetwork) linkFor(dl DirLink) *linkState {
+	if i := denseIndex(dl); i < len(n.links) {
+		return n.links[i]
+	}
+	return nil
+}
+
+// newLinkState creates the allocator state for a directed link the first
+// time a route crosses it, registering it with the union-find arrays.
+func (n *FlowNetwork) newLinkState(dl DirLink) *linkState {
+	st := &linkState{key: dl, idx: len(n.states)}
+	st.sortKey = uint64(dl.Link) << 1
+	if !dl.Forward {
+		st.sortKey |= 1
+	}
+	// Links added to the topology after construction (AddLink mid-setup)
+	// land past the initial sizing; grow to cover them.
+	di := denseIndex(dl)
+	for di >= len(n.links) {
+		n.links = append(n.links, nil)
+	}
+	n.links[di] = st
+	n.states = append(n.states, st)
+	n.ufParent = append(n.ufParent, st.idx)
+	n.ufSize = append(n.ufSize, 1)
+	n.heads = append(n.heads, nil)
+	n.tails = append(n.tails, nil)
+	n.dirtyFlag = append(n.dirtyFlag, false)
+	n.rootGen = append(n.rootGen, 0)
+	return st
+}
+
+// find returns the partition root of link element x (path-halving).
+func (n *FlowNetwork) find(x int) int {
+	for n.ufParent[x] != x {
+		n.ufParent[x] = n.ufParent[n.ufParent[x]]
+		x = n.ufParent[x]
+	}
+	return x
+}
+
+// union merges the partitions of link elements a and b (union by size),
+// concatenating the loser's active-link list onto the winner's.
+func (n *FlowNetwork) union(a, b int) {
+	ra, rb := n.find(a), n.find(b)
+	if ra == rb {
+		return
+	}
+	if n.ufSize[ra] < n.ufSize[rb] {
+		ra, rb = rb, ra
+	}
+	n.ufParent[rb] = ra
+	n.ufSize[ra] += n.ufSize[rb]
+	if n.heads[rb] != nil {
+		if n.tails[ra] != nil {
+			n.tails[ra].nextActive = n.heads[rb]
+			n.heads[rb].prevActive = n.tails[ra]
+		} else {
+			n.heads[ra] = n.heads[rb]
+		}
+		n.tails[ra] = n.tails[rb]
+		n.heads[rb], n.tails[rb] = nil, nil
+	}
+}
+
+// activateLink inserts st into its partition root's active-link list (the
+// link is about to carry its first flow).
+func (n *FlowNetwork) activateLink(st *linkState) {
+	r := n.find(st.idx)
+	st.prevActive = n.tails[r]
+	st.nextActive = nil
+	if n.tails[r] != nil {
+		n.tails[r].nextActive = st
+	} else {
+		n.heads[r] = st
+	}
+	n.tails[r] = st
+}
+
+// deactivateLink unlinks st from its partition root's active-link list (its
+// last flow just detached).
+func (n *FlowNetwork) deactivateLink(st *linkState) {
+	r := n.find(st.idx)
+	if st.prevActive != nil {
+		st.prevActive.nextActive = st.nextActive
+	} else {
+		n.heads[r] = st.nextActive
+	}
+	if st.nextActive != nil {
+		st.nextActive.prevActive = st.prevActive
+	} else {
+		n.tails[r] = st.prevActive
+	}
+	st.prevActive, st.nextActive = nil, nil
+}
+
+// markDirty queues link element idx's partition for re-solving. Roots are
+// canonicalized (and deduped) at solve time, so marking a non-root element
+// that later merges into a bigger component still dirties the right root.
+func (n *FlowNetwork) markDirty(idx int) {
+	if idx < 0 || n.dirtyFlag[idx] {
+		return
+	}
+	n.dirtyFlag[idx] = true
+	n.dirtyList = append(n.dirtyList, idx)
 }
 
 // removeFlow deletes f from s, keeping the remaining order.
@@ -298,8 +528,15 @@ func (n *FlowNetwork) RefreshRates() {
 }
 
 // advance applies the elapsed time since the last reallocation to every
-// in-flight flow's remaining byte count.
+// in-flight flow's remaining byte count. The approximate mode skips the
+// global sweep and instead integrates each flow lazily from flow.lastAdv
+// when its rate actually changes (the sums differ in rounding, which is why
+// the exact path keeps the eager sweep bit-identical to the historical one).
 func (n *FlowNetwork) advance(now sim.VTime) {
+	if n.ApproxTol > 0 {
+		n.lastUpdate = now
+		return
+	}
 	dt := float64(now - n.lastUpdate)
 	if dt > 0 {
 		for _, f := range n.ordered {
@@ -312,8 +549,9 @@ func (n *FlowNetwork) advance(now sim.VTime) {
 	n.lastUpdate = now
 }
 
-// reallocate recomputes max-min fair rates and reschedules every flow's
-// delivery event.
+// reallocate recomputes max-min fair rates and reschedules delivery events:
+// every flow's on the exact path (byte-identical replay), only the flows
+// whose rate moved beyond ApproxTol on the approximate path.
 func (n *FlowNetwork) reallocate(now sim.VTime) {
 	n.Solves++
 	if n.SolveClock != nil {
@@ -324,9 +562,15 @@ func (n *FlowNetwork) reallocate(now sim.VTime) {
 		n.computeRates()
 	}
 	// Size-dependent achieved fraction: the unachieved share of a flow's
-	// allocation is protocol dead time, not reusable by other flows.
-	for _, f := range n.ordered {
+	// allocation is protocol dead time, not reusable by other flows. Only
+	// the re-solved closure got fresh raw rates; everything else already
+	// carries its achieved rate from an earlier solve.
+	for _, f := range n.scratchFlows {
 		f.rate *= f.eff
+	}
+	if n.ApproxTol > 0 {
+		n.rescheduleApprox(now)
+		return
 	}
 	for _, f := range n.ordered {
 		f.gen++
@@ -334,6 +578,47 @@ func (n *FlowNetwork) reallocate(now sim.VTime) {
 			continue // starved flow: rescheduled when capacity frees up
 		}
 		doneAt := now + sim.VTime(f.remaining/f.rate)
+		fl, gen := f, f.gen
+		sim.ScheduleFunc(n.eng, doneAt, func(t sim.VTime) error {
+			n.completeFlow(fl, gen, t)
+			return nil
+		})
+	}
+}
+
+// rescheduleApprox is the approximate mode's selective rescheduling: only
+// the re-solved closure is examined, and a flow keeps its live delivery
+// event (and its current drain rate) when the new rate is within ApproxTol
+// of the rate that event was scheduled with. Starvation transitions always
+// reschedule. Flows outside the closure are untouched by construction.
+func (n *FlowNetwork) rescheduleApprox(now sim.VTime) {
+	// Deterministic reschedule order regardless of closure-collection
+	// order: ascending flow id, like the exact path's ordered slice.
+	sort.Slice(n.scratchFlows, func(i, j int) bool {
+		return n.scratchFlows[i].id < n.scratchFlows[j].id
+	})
+	tol := n.ApproxTol
+	for _, f := range n.scratchFlows {
+		old, next := f.schedRate, f.rate
+		if old > 0 && next > 0 && math.Abs(next-old) <= tol*old {
+			f.rate = old // keep the event; keep draining at its rate
+			continue
+		}
+		// Materialize the lazily integrated remaining bytes at the old
+		// rate, then reschedule at the new one.
+		if dt := float64(now - f.lastAdv); dt > 0 && old > 0 {
+			f.remaining -= old * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.lastAdv = now
+		f.gen++
+		f.schedRate = next
+		if next <= 0 {
+			continue
+		}
+		doneAt := now + sim.VTime(f.remaining/next)
 		fl, gen := f, f.gen
 		sim.ScheduleFunc(n.eng, doneAt, func(t sim.VTime) error {
 			n.completeFlow(fl, gen, t)
@@ -371,66 +656,74 @@ func (n *FlowNetwork) completeFlow(f *flow, gen int, now sim.VTime) {
 // constrained directed link (lowest capacity per crossing flow), freeze its
 // flows at that fair share, remove them, and continue (progressive filling).
 //
-// The solve reuses the incrementally maintained link→flows sets and sorted
-// key slice instead of rebuilding them per call, and tracks per-link
-// unassigned counts instead of re-scanning flow lists per filling round. The
-// arithmetic — capacity reset, fair-share division, freeze order, capacity
-// charging order — is exactly the from-scratch solve's, so the resulting
-// rates are bit-identical (TestMaxMinMatchesReferenceSolve pins this).
+// Two structural fast paths make this scale to 10k-GPU fabrics while
+// producing bit-identical rates (TestMaxMinMatchesReferenceSolve and
+// TestPartitionedSolveMatchesReference pin this):
+//
+//  1. Dirty partitions. Max-min decomposes exactly over the connected
+//     components of the link-sharing graph (flows in disjoint components
+//     never exchange capacity, and the global freeze order restricted to a
+//     component equals the component's own freeze order). Only components
+//     whose membership changed since the last solve — or all of them, when
+//     a capacity changed — are re-solved; every other flow keeps the rate
+//     an earlier solve froze, which is exactly what the global solve would
+//     recompute for it.
+//
+//  2. Bottleneck heap. Within a component, the most constrained link is
+//     popped from a min-heap keyed by (fair share, historical scan order)
+//     instead of an O(links) scan per filling round. Heap entries are
+//     superseded eagerly whenever a charge moves a link's fair share
+//     (heapKey arbitrates), so the pop order — including float-equal
+//     ties — replays the sorted scan's selection order exactly.
+//
+// The arithmetic — capacity reset, fair-share division, freeze order,
+// capacity charging order — is exactly the from-scratch solve's, so the
+// resulting rates are bit-identical.
 //
 //triosim:hotpath
 func (n *FlowNetwork) computeRates() {
-	if n.keysDirty {
-		n.linkKeys = n.linkKeys[:0]
-		for k := range n.links {
-			n.linkKeys = append(n.linkKeys, k) //triosim:nolint hotpath-alloc -- runs only when a new directed link first appears (keysDirty), bounded by 2x the link count
-		}
-		//triosim:nolint hotpath-alloc -- same keysDirty-gated rebuild: sorting the fresh key slice is not steady-state work
-		sort.Slice(n.linkKeys, func(i, j int) bool {
-			if n.linkKeys[i].Link != n.linkKeys[j].Link {
-				return n.linkKeys[i].Link < n.linkKeys[j].Link
-			}
-			return n.linkKeys[i].Forward && !n.linkKeys[j].Forward
-		})
-		n.keysDirty = false
-	}
 	n.solveGen++
 	gen := n.solveGen
-	for _, k := range n.linkKeys {
-		st := n.links[k]
-		// Capacity is re-read from the topology each solve so mid-run
-		// bandwidth changes (degradation experiments) keep taking effect.
-		st.cap = n.topo.Links[k.Link].Bandwidth
-		st.active = len(st.flows)
+	if cg := n.topo.CapacityGen(); cg != n.lastCapGen {
+		n.lastCapGen = cg
+		n.allDirty = true
 	}
-	for _, f := range n.ordered {
+	n.scratchFlows = n.scratchFlows[:0]
+	n.solveLinks = n.solveLinks[:0]
+	if n.allDirty {
+		n.allDirty = false
+		n.gatherAll(gen)
+	} else {
+		n.gatherDirty(gen)
+	}
+	n.SolvedFlows += len(n.scratchFlows)
+	n.SolvedLinks += len(n.solveLinks)
+
+	n.heap = n.heap[:0]
+	for _, st := range n.solveLinks {
+		if st.active == 0 {
+			continue
+		}
+		fair := st.cap / float64(st.active)
+		st.heapKey = fair
+		n.heapPush(solveEntry{fair: fair, sortKey: st.sortKey, st: st})
+	}
+	for _, f := range n.scratchFlows {
 		f.rate = 0
 	}
 
 	assigned := 0
-	total := len(n.ordered)
-	for assigned < total {
-		// Find the bottleneck: min cap/activeCount over links with
-		// unassigned flows, scanning keys in sorted order so ties resolve
-		// deterministically.
-		var bn *linkState
-		best := math.Inf(1)
-		for _, k := range n.linkKeys {
-			st := n.links[k]
-			if st.active == 0 {
-				continue
-			}
-			fair := st.cap / float64(st.active)
-			if fair < best {
-				best = fair
-				bn = st
-			}
+	total := len(n.scratchFlows)
+	for assigned < total && len(n.heap) > 0 {
+		e := n.heapPop()
+		bn := e.st
+		if bn.active == 0 || e.fair != bn.heapKey {
+			continue // superseded entry (link frozen or fair share moved)
 		}
-		if bn == nil {
-			break
-		}
+		best := e.fair
 		// Freeze the bottleneck's unassigned flows at the fair share and
-		// charge their rate against every link they cross.
+		// charge their rate against every link they cross, refreshing the
+		// heap entry of every link whose fair share moves.
 		for _, f := range bn.flows {
 			if f.mark == gen {
 				continue
@@ -439,24 +732,161 @@ func (n *FlowNetwork) computeRates() {
 			f.mark = gen
 			assigned++
 			for _, dl := range f.route {
-				st := n.links[dl]
+				st := n.links[denseIndex(dl)]
 				st.cap -= best
 				if st.cap < 0 {
 					st.cap = 0
 				}
 				st.active--
+				if st.active > 0 {
+					fair := st.cap / float64(st.active)
+					if fair != st.heapKey {
+						st.heapKey = fair
+						n.heapPush(solveEntry{
+							fair: fair, sortKey: st.sortKey, st: st,
+						})
+					}
+				}
 			}
 		}
 	}
 }
 
-// Rates returns the current flow rates keyed by flow ID (test hook).
+// gatherAll collects every in-flight flow and every link they cross into
+// the solve scratch (the full re-solve the historical allocator always did).
+func (n *FlowNetwork) gatherAll(gen int) {
+	// Consume any pending dirty marks; this solve covers them.
+	for _, idx := range n.dirtyList {
+		n.dirtyFlag[idx] = false
+	}
+	n.dirtyList = n.dirtyList[:0]
+	for _, f := range n.ordered {
+		f.seen = gen
+		n.scratchFlows = append(n.scratchFlows, f) //triosim:nolint hotpath-alloc -- reused scratch buffer, grows to steady-state size once
+		for _, dl := range f.route {
+			st := n.links[denseIndex(dl)]
+			if st.seenGen == gen {
+				continue
+			}
+			st.seenGen = gen
+			st.cap = n.topo.Links[dl.Link].Bandwidth
+			st.active = len(st.flows)
+			n.solveLinks = append(n.solveLinks, st) //triosim:nolint hotpath-alloc -- reused scratch buffer, grows to steady-state size once
+		}
+	}
+}
+
+// gatherDirty collects the flows and links of every dirty partition into
+// the solve scratch, leaving untouched components alone.
+func (n *FlowNetwork) gatherDirty(gen int) {
+	for _, idx := range n.dirtyList {
+		n.dirtyFlag[idx] = false
+		root := n.find(idx)
+		if n.rootGen[root] == gen {
+			continue // several dirty marks canonicalized to one component
+		}
+		n.rootGen[root] = gen
+		for st := n.heads[root]; st != nil; st = st.nextActive {
+			st.seenGen = gen
+			// Capacity is re-read from the topology each solve so mid-run
+			// bandwidth changes keep taking effect.
+			st.cap = n.topo.Links[st.key.Link].Bandwidth
+			st.active = len(st.flows)
+			n.solveLinks = append(n.solveLinks, st) //triosim:nolint hotpath-alloc -- reused scratch buffer, grows to steady-state size once
+			for _, f := range st.flows {
+				if f.seen == gen {
+					continue
+				}
+				f.seen = gen
+				n.scratchFlows = append(n.scratchFlows, f) //triosim:nolint hotpath-alloc -- reused scratch buffer, grows to steady-state size once
+			}
+		}
+	}
+	n.dirtyList = n.dirtyList[:0]
+}
+
+// heapPush adds e to the bottleneck min-heap ordered by (fair, sortKey).
+// The heap is 4-ary, like the engine's event queue: supersession pushes far
+// outnumber pops in big solves, and a 4-ary sift-up is half the depth of a
+// binary one. (fair, sortKey) is a strict total order over live entries, so
+// the pop sequence is identical at any arity.
+func (n *FlowNetwork) heapPush(e solveEntry) {
+	n.heap = append(n.heap, e)
+	i := len(n.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !solveEntryLess(n.heap[i], n.heap[p]) {
+			break
+		}
+		n.heap[i], n.heap[p] = n.heap[p], n.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes and returns the minimum entry.
+func (n *FlowNetwork) heapPop() solveEntry {
+	h := n.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = solveEntry{}
+	n.heap = h[:last]
+	h = n.heap
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		small := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if solveEntryLess(h[c], h[small]) {
+				small = c
+			}
+		}
+		if !solveEntryLess(h[small], h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// solveEntryLess orders heap entries by fair share, then by the historical
+// sorted-scan position so float-equal ties freeze in the same order the
+// O(links) scan froze them.
+func solveEntryLess(a, b solveEntry) bool {
+	if a.fair != b.fair {
+		return a.fair < b.fair
+	}
+	return a.sortKey < b.sortKey
+}
+
+// Rates returns the current flow rates keyed by flow ID in a fresh map
+// (convenience/test hook; steady-state callers use RatesInto).
 func (n *FlowNetwork) Rates() map[int]float64 {
 	out := map[int]float64{}
-	for id, f := range n.flows {
-		out[id] = f.rate
-	}
+	n.RatesInto(out)
 	return out
+}
+
+// RatesInto fills dst — cleared first — with the current flow rates keyed
+// by flow ID, reusing the caller's map so periodic monitors don't allocate
+// a fresh one per sample.
+//
+//triosim:hotpath
+func (n *FlowNetwork) RatesInto(dst map[int]float64) {
+	for id := range dst {
+		delete(dst, id)
+	}
+	for id, f := range n.flows {
+		dst[id] = f.rate
+	}
 }
 
 // IdealNetwork gives every transfer the full configured bandwidth with a

@@ -1,0 +1,322 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"triosim/internal/sim"
+)
+
+func clusterCfg(machines, gpusPer int) ClusterConfig {
+	return ClusterConfig{
+		Machines: machines, GPUsPerMachine: gpusPer,
+		NVLinkBandwidth: 300e9, NVLinkLatency: 1 * sim.USec,
+		NICBandwidth: 50e9, NICLatency: 2 * sim.USec,
+		FabricBandwidth: 100e9, FabricLatency: 3 * sim.USec,
+		HostBandwidth: 10e9, HostLatency: 5 * sim.USec,
+	}
+}
+
+// checkRoutePath asserts route is a contiguous directed src→dst path.
+func checkRoutePath(t *testing.T, topo *Topology, src, dst NodeID,
+	route []DirLink) {
+	t.Helper()
+	cur := src
+	for i, dl := range route {
+		lk := topo.Links[dl.Link]
+		from, to := lk.A, lk.B
+		if !dl.Forward {
+			from, to = to, from
+		}
+		if from != cur {
+			t.Fatalf("route %d→%d hop %d starts at %d, want %d",
+				src, dst, i, from, cur)
+		}
+		cur = to
+	}
+	if cur != dst {
+		t.Fatalf("route %d→%d ends at %d", src, dst, cur)
+	}
+}
+
+// tierOf names the tier sequence of a route, e.g. "nvlink,nvlink".
+func tierOf(topo *Topology, route []DirLink) []string {
+	out := make([]string, len(route))
+	for i, dl := range route {
+		out[i] = topo.Links[dl.Link].Tier
+	}
+	return out
+}
+
+func TestRailFatTreeStructure(t *testing.T) {
+	topo := RailFatTree(clusterCfg(8, 4), 4, 2)
+	gpus := topo.GPUs()
+	if len(gpus) != 32 {
+		t.Fatalf("got %d GPUs, want 32", len(gpus))
+	}
+	if !topo.Tiered() {
+		t.Fatal("rail fat-tree not tiered")
+	}
+	if topo.Machines() != 8 {
+		t.Fatalf("Machines() = %d, want 8", topo.Machines())
+	}
+	for _, lk := range topo.Links {
+		if lk.Tier == "" {
+			t.Fatalf("link %d (%d↔%d) has no tier", lk.ID, lk.A, lk.B)
+		}
+	}
+	// Machine-major rank order.
+	for i, g := range gpus {
+		if m := topo.MachineOf(g); m != i/4 {
+			t.Fatalf("gpu %d on machine %d, want %d", i, m, i/4)
+		}
+	}
+
+	// Intra-machine: two NVLink hops through the machine's NVSwitch.
+	r, err := topo.Route(gpus[0], gpus[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutePath(t, topo, gpus[0], gpus[3], r)
+	if got := tierOf(topo, r); len(got) != 2 ||
+		got[0] != TierNVLink || got[1] != TierNVLink {
+		t.Fatalf("intra-machine tiers %v", got)
+	}
+
+	// Same local rank, different machines under one leaf: the rail keeps
+	// it to two NIC hops.
+	r, err = topo.Route(gpus[1], gpus[4+1]) // rank 1 of machines 0 and 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutePath(t, topo, gpus[1], gpus[5], r)
+	if got := tierOf(topo, r); len(got) != 2 ||
+		got[0] != TierNIC || got[1] != TierNIC {
+		t.Fatalf("same-leaf rail tiers %v", got)
+	}
+
+	// Same local rank across leaf groups: NIC, two fabric hops over a
+	// spine, NIC — never an NVLink.
+	r, err = topo.Route(gpus[2], gpus[7*4+2]) // rank 2, machines 0 and 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutePath(t, topo, gpus[2], gpus[30], r)
+	got := tierOf(topo, r)
+	if len(got) != 4 || got[0] != TierNIC || got[1] != TierFabric ||
+		got[2] != TierFabric || got[3] != TierNIC {
+		t.Fatalf("cross-leaf rail tiers %v", got)
+	}
+
+	// Cross-rank, cross-machine also crosses the spine layer.
+	r, err = topo.Route(gpus[0], gpus[4+3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutePath(t, topo, gpus[0], gpus[7], r)
+}
+
+func TestDragonflyRoutes(t *testing.T) {
+	topo := Dragonfly(clusterCfg(9, 2), 3) // 3 groups of 3 machines
+	gpus := topo.GPUs()
+	if !topo.Tiered() || topo.Machines() != 9 {
+		t.Fatalf("tiered=%v machines=%d", topo.Tiered(), topo.Machines())
+	}
+	for _, lk := range topo.Links {
+		if lk.Tier == "" {
+			t.Fatalf("link %d has no tier", lk.ID)
+		}
+	}
+	cases := [][2]int{
+		{0, 3},  // same machine
+		{0, 2},  // same group, different machine
+		{0, 17}, // different groups
+		{5, 12}, // different groups, holder hops needed
+	}
+	for _, c := range cases {
+		r, err := topo.Route(gpus[c[0]], gpus[c[1]])
+		if err != nil {
+			t.Fatalf("route %v: %v", c, err)
+		}
+		checkRoutePath(t, topo, gpus[c[0]], gpus[c[1]], r)
+	}
+	// Minimal routing: inter-group paths take at most 3 fabric hops
+	// (local, global, local) plus the two NICs.
+	r, _ := topo.Route(gpus[5], gpus[12])
+	if len(r) > 5 {
+		t.Fatalf("dragonfly inter-group path %d hops, want ≤5", len(r))
+	}
+}
+
+func TestTorus3DRoutes(t *testing.T) {
+	topo := Torus3D(clusterCfg(0, 2), 3, 3, 2) // 18 machines
+	gpus := topo.GPUs()
+	if len(gpus) != 36 || topo.Machines() != 18 {
+		t.Fatalf("gpus=%d machines=%d", len(gpus), topo.Machines())
+	}
+	for _, lk := range topo.Links {
+		if lk.Tier == "" {
+			t.Fatalf("link %d has no tier", lk.ID)
+		}
+	}
+	// Dimension-ordered minimal routing: machine (0,0,0) → (2,1,1) wraps
+	// -x once (3-torus), +y once, +z once: 3 fabric hops + 2 NICs.
+	src, dst := gpus[0], gpus[(2*3*2+1*2+1)*2]
+	r, err := topo.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRoutePath(t, topo, src, dst, r)
+	if len(r) != 5 {
+		t.Fatalf("torus path %d hops, want 5", len(r))
+	}
+	// Wrap-around shortcut: (0,0,0) → (2,0,0) is one -x hop.
+	r, _ = topo.Route(gpus[0], gpus[(2*3*2)*2])
+	if len(r) != 3 {
+		t.Fatalf("torus wrap path %d hops, want 3", len(r))
+	}
+}
+
+// Hierarchical routes must agree with BFS shortest paths in hop count —
+// the structural routers are a fast path, not a different metric.
+func TestStructuralRoutersMatchBFSLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	builds := []func() *Topology{
+		func() *Topology { return RailFatTree(clusterCfg(6, 3), 2, 2) },
+		func() *Topology { return Dragonfly(clusterCfg(8, 2), 4) },
+		func() *Topology { return Torus3D(clusterCfg(0, 2), 2, 3, 2) },
+	}
+	for bi, build := range builds {
+		fast := build()
+		slow := build()
+		slow.SetRouter(nil) // BFS only
+		gpus := fast.GPUs()
+		for trial := 0; trial < 40; trial++ {
+			a := gpus[rng.Intn(len(gpus))]
+			b := gpus[rng.Intn(len(gpus))]
+			if a == b {
+				continue
+			}
+			rf, err := fast.Route(a, b)
+			if err != nil {
+				t.Fatalf("build %d: fast route %d→%d: %v", bi, a, b, err)
+			}
+			checkRoutePath(t, fast, a, b, rf)
+			rs, err := slow.Route(a, b)
+			if err != nil {
+				t.Fatalf("build %d: bfs route %d→%d: %v", bi, a, b, err)
+			}
+			if len(rf) != len(rs) {
+				t.Fatalf("build %d: route %d→%d structural %d hops, BFS %d",
+					bi, a, b, len(rf), len(rs))
+			}
+		}
+	}
+}
+
+// FuzzTopologyBuild checks generator invariants over fuzz-chosen cluster
+// shapes: every link carries a tier label, adjacency is symmetric, GPUs
+// carry dense machine labels, and the installed structural router produces
+// valid GPU↔GPU paths with BFS-shortest hop counts.
+func FuzzTopologyBuild(f *testing.F) {
+	// kind 0 = rail fat-tree, 1 = dragonfly, 2 = 3D torus.
+	f.Add(uint8(0), uint8(8), uint8(4), uint8(4), uint8(2))
+	f.Add(uint8(1), uint8(9), uint8(2), uint8(3), uint8(0))
+	f.Add(uint8(2), uint8(0), uint8(2), uint8(3), uint8(3))
+	f.Add(uint8(0), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(2), uint8(0), uint8(1), uint8(1), uint8(1))
+
+	f.Fuzz(func(t *testing.T, kind, machines, gpusPer, p1, p2 uint8) {
+		m := int(machines)%12 + 1
+		g := int(gpusPer)%4 + 1
+		cfg := clusterCfg(m, g)
+		var topo *Topology
+		switch kind % 3 {
+		case 0:
+			topo = RailFatTree(cfg, int(p1)%4+1, int(p2)%3+1)
+		case 1:
+			topo = Dragonfly(cfg, int(p1)%5+1)
+		default:
+			x, y := int(p1)%3+1, int(p2)%3+1
+			z := (m + x*y - 1) / (x * y)
+			topo = Torus3D(cfg, x, y, z)
+		}
+
+		if !topo.Tiered() {
+			t.Fatal("generator produced an untiered topology")
+		}
+		for _, lk := range topo.Links {
+			if lk.Tier == "" {
+				t.Fatalf("link %d (%d↔%d) has no tier", lk.ID, lk.A, lk.B)
+			}
+			// Symmetric adjacency: both endpoints list the link.
+			for _, end := range []NodeID{lk.A, lk.B} {
+				found := false
+				for _, l := range topo.LinksOf(end) {
+					if l == lk.ID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("link %d missing from node %d's adjacency",
+						lk.ID, end)
+				}
+			}
+		}
+		gpus := topo.GPUs()
+		for i, gp := range gpus {
+			if topo.MachineOf(gp) != i/g && kind%3 != 2 {
+				t.Fatalf("gpu %d machine %d, want %d",
+					i, topo.MachineOf(gp), i/g)
+			}
+		}
+
+		// Connectivity + router validity + shortest-length agreement on a
+		// bounded random sample of pairs.
+		slow := NewTopology()
+		*slow = *topo
+		slow.SetRouter(nil)
+		slow.routeCache = map[[2]NodeID][]DirLink{}
+		rng := rand.New(rand.NewSource(int64(kind)<<16 |
+			int64(machines)<<8 | int64(gpusPer)))
+		pairs := len(gpus)
+		if pairs > 12 {
+			pairs = 12
+		}
+		for i := 0; i < pairs; i++ {
+			a := gpus[rng.Intn(len(gpus))]
+			b := gpus[rng.Intn(len(gpus))]
+			if a == b {
+				continue
+			}
+			route, err := topo.Route(a, b)
+			if err != nil {
+				t.Fatalf("no route %d→%d: %v", a, b, err)
+			}
+			checkRoutePath(t, topo, a, b, route)
+			bfs, err := slow.Route(a, b)
+			if err != nil {
+				t.Fatalf("BFS disagrees: no route %d→%d: %v", a, b, err)
+			}
+			// Dragonfly minimal routing (local→global→local) may take one
+			// hop more than a BFS shortcut that chains two global links
+			// through an intermediate group; the other generators must
+			// match BFS exactly.
+			slack := 0
+			if kind%3 == 1 {
+				slack = 1
+			}
+			if len(route) > len(bfs)+slack || len(route) < len(bfs) {
+				t.Fatalf("route %d→%d: structural %d hops, BFS %d",
+					a, b, len(route), len(bfs))
+			}
+		}
+		// The host must reach every GPU for input staging.
+		if h := topo.Host(); h >= 0 && len(gpus) > 0 {
+			if _, err := topo.Route(h, gpus[len(gpus)-1]); err != nil {
+				t.Fatalf("host cannot stage to gpu: %v", err)
+			}
+		}
+	})
+}

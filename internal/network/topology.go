@@ -37,7 +37,22 @@ type Node struct {
 	ID   NodeID
 	Name string
 	Kind NodeKind
+	// Machine is the physical machine (node enclosure) this vertex belongs
+	// to, or -1 for fabric elements that belong to no machine (spine/leaf
+	// switches, the host). Hierarchical collectives use it to split ranks
+	// into intra-machine groups.
+	Machine int
 }
+
+// Link tiers. A tier classifies a link by its position in the datacenter
+// hierarchy; hierarchical collectives and per-tier telemetry key off it.
+// Single-node topologies leave Tier empty ("untiered").
+const (
+	TierNVLink = "nvlink" // intra-machine GPU interconnect
+	TierNIC    = "nic"    // GPU/machine to first-hop fabric switch
+	TierFabric = "fabric" // switch-to-switch fabric
+	TierHost   = "host"   // host staging links
+)
 
 // Link is a full-duplex edge: each direction has independent Bandwidth.
 type Link struct {
@@ -45,6 +60,9 @@ type Link struct {
 	A, B      NodeID
 	Bandwidth float64 // bytes/s per direction
 	Latency   sim.VTime
+	// Tier labels the link's hierarchy level (TierNVLink, TierNIC,
+	// TierFabric, TierHost); empty on untiered (single-node) topologies.
+	Tier string
 }
 
 // DirLink is one direction of a link, the unit of bandwidth accounting.
@@ -61,6 +79,20 @@ type Topology struct {
 
 	adj        map[NodeID][]int // node -> incident link IDs
 	routeCache map[[2]NodeID][]DirLink
+
+	// router, when set by a hierarchical generator, computes shortest
+	// paths structurally (rail lookup, dimension-ordered routing) instead
+	// of BFS — O(path) instead of O(V+E) per new pair, which matters at
+	// 10k nodes. Results are cached like BFS routes.
+	router func(src, dst NodeID) []DirLink
+
+	tiered   bool // any link carries a non-empty Tier
+	machines int  // max assigned Machine + 1
+	// capGen increments on every SetLinkBandwidth so the flow solver can
+	// detect capacity changes that arrive without an explicit dirty mark
+	// and fall back to a full re-solve (preserving the historical
+	// "capacities are re-read every solve" semantics).
+	capGen int
 }
 
 // NewTopology returns an empty topology.
@@ -71,12 +103,34 @@ func NewTopology() *Topology {
 	}
 }
 
-// AddNode appends a node and returns its ID.
+// AddNode appends a node and returns its ID. The node starts unassigned to
+// any machine (Machine == -1); see SetMachine.
 func (t *Topology) AddNode(name string, kind NodeKind) NodeID {
 	id := NodeID(len(t.Nodes))
-	t.Nodes = append(t.Nodes, Node{ID: id, Name: name, Kind: kind})
+	t.Nodes = append(t.Nodes, Node{ID: id, Name: name, Kind: kind,
+		Machine: -1})
 	return id
 }
+
+// SetMachine assigns node n to machine m (0-based). Machine indices are
+// expected to be dense; Machines() reports max+1.
+func (t *Topology) SetMachine(n NodeID, m int) {
+	t.Nodes[n].Machine = m
+	if m+1 > t.machines {
+		t.machines = m + 1
+	}
+}
+
+// MachineOf returns the machine index of n, or -1 for fabric elements.
+func (t *Topology) MachineOf(n NodeID) int { return t.Nodes[n].Machine }
+
+// Machines returns the number of machines declared via SetMachine (0 for
+// single-node topologies that never assign machines).
+func (t *Topology) Machines() int { return t.machines }
+
+// Tiered reports whether any link carries a tier label — the signal that
+// this topology has an intra/inter-machine hierarchy worth exploiting.
+func (t *Topology) Tiered() bool { return t.tiered }
 
 // AddLink connects a and b full-duplex and returns the link ID.
 func (t *Topology) AddLink(a, b NodeID, bandwidth float64,
@@ -91,11 +145,36 @@ func (t *Topology) AddLink(a, b NodeID, bandwidth float64,
 	return id
 }
 
+// AddLinkTiered is AddLink plus a hierarchy tier label on the new link.
+func (t *Topology) AddLinkTiered(a, b NodeID, bandwidth float64,
+	latency sim.VTime, tier string) int {
+	id := t.AddLink(a, b, bandwidth, latency)
+	t.Links[id].Tier = tier
+	if tier != "" {
+		t.tiered = true
+	}
+	return id
+}
+
+// SetRouter installs a structural routing function consulted by Route
+// before falling back to BFS. The function must return a valid directed
+// src→dst path (contiguous, correct endpoints) or nil to decline the pair;
+// hierarchical generators install per-topology closed-form routers so a
+// 10k-node cluster never pays O(V+E) BFS per pair.
+func (t *Topology) SetRouter(r func(src, dst NodeID) []DirLink) {
+	t.router = r
+	t.routeCache = map[[2]NodeID][]DirLink{}
+}
+
 // SetLinkBandwidth changes a link's per-direction bandwidth (used by the Hop
 // case study to inject heterogeneous slowdowns).
 func (t *Topology) SetLinkBandwidth(linkID int, bandwidth float64) {
 	t.Links[linkID].Bandwidth = bandwidth
+	t.capGen++
 }
+
+// CapacityGen returns the bandwidth-change generation counter (see capGen).
+func (t *Topology) CapacityGen() int { return t.capGen }
 
 // LinksOf returns the IDs of links incident to n.
 func (t *Topology) LinksOf(n NodeID) []int { return t.adj[n] }
@@ -119,6 +198,12 @@ func (t *Topology) Route(src, dst NodeID) ([]DirLink, error) {
 	key := [2]NodeID{src, dst}
 	if r, ok := t.routeCache[key]; ok {
 		return r, nil
+	}
+	if t.router != nil {
+		if r := t.router(src, dst); r != nil {
+			t.routeCache[key] = r
+			return r, nil
+		}
 	}
 
 	// BFS with deterministic neighbor ordering.

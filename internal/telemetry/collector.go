@@ -158,6 +158,9 @@ type Collector struct {
 	linkFlows map[string]int
 	linkBw    map[string]float64
 
+	tierBytes map[string]float64
+	tierFlows map[string]int
+
 	coll map[string]*collAgg
 
 	kinds      map[string]uint64
@@ -182,6 +185,8 @@ func NewCollector(reg *Registry, topo *network.Topology,
 		linkBytes:    map[string]float64{},
 		linkFlows:    map[string]int{},
 		linkBw:       map[string]float64{},
+		tierBytes:    map[string]float64{},
+		tierFlows:    map[string]int{},
 		coll:         map[string]*collAgg{},
 		kinds:        map[string]uint64{},
 	}
@@ -282,8 +287,13 @@ func (c *Collector) FlowFinished(route []network.DirLink, bytes float64,
 		name := c.linkName(dl)
 		c.linkBytes[name] += bytes
 		c.linkFlows[name]++
-		bw := c.topo.Links[dl.Link].Bandwidth
+		lk := &c.topo.Links[dl.Link]
+		bw := lk.Bandwidth
 		c.linkBw[name] = bw
+		if lk.Tier != "" {
+			c.tierBytes[lk.Tier] += bytes
+			c.tierFlows[lk.Tier]++
+		}
 		c.reg.Counter("triosim_link_bytes_total", "link", name,
 			"Bytes carried per directed link.").Add(bytes)
 		if bw > 0 && e > 0 {
@@ -436,6 +446,42 @@ func (c *Collector) Finalize(info RunInfo) *RunReport {
 			"Fraction of link capacity used over the run so far.").Set(util)
 		if util > rep.Network.MaxLinkUtilization {
 			rep.Network.MaxLinkUtilization = util
+		}
+	}
+	// Per-tier aggregation (tiered cluster topologies only): utilization is
+	// tier bytes over the tier's aggregate directed capacity × makespan, so a
+	// saturated NIC tier reads near 1.0 even when individual rails idle.
+	if len(c.tierBytes) > 0 {
+		tierBw := map[string]float64{}
+		tierLinks := map[string]int{}
+		for i := range c.topo.Links {
+			lk := &c.topo.Links[i]
+			if lk.Tier == "" {
+				continue
+			}
+			tierBw[lk.Tier] += 2 * lk.Bandwidth // both directions
+			tierLinks[lk.Tier] += 2
+		}
+		tiers := make([]string, 0, len(c.tierBytes))
+		for tier := range c.tierBytes {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		for _, tier := range tiers {
+			util := 0.0
+			if bw := tierBw[tier]; bw > 0 && total > 0 {
+				util = c.tierBytes[tier] / (bw * total)
+			}
+			rep.Tiers = append(rep.Tiers, TierStat{
+				Tier:        tier,
+				Bytes:       c.tierBytes[tier],
+				Utilization: util,
+				Flows:       c.tierFlows[tier],
+				Links:       tierLinks[tier],
+			})
+			c.reg.Gauge("triosim_tier_utilization_ratio", "tier", tier,
+				"Fraction of the tier's aggregate capacity the run moved.").
+				Set(util)
 		}
 	}
 	rep.Network.TotalBytes = info.NetTotalBytes

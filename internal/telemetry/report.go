@@ -37,6 +37,7 @@ type RunReport struct {
 
 	GPUs        []GPUStat        `json:"gpus"`
 	Links       []LinkStat       `json:"links,omitempty"`
+	Tiers       []TierStat       `json:"tiers,omitempty"`
 	Network     NetStat          `json:"network"`
 	Collectives []CollectiveStat `json:"collectives,omitempty"`
 	Parallel    ParallelStat     `json:"parallel"`
@@ -86,6 +87,21 @@ type LinkStat struct {
 	Flows       int     `json:"flows"`
 }
 
+// TierStat aggregates traffic for one hierarchy tier (nvlink, nic, fabric,
+// host) on tiered cluster topologies — empty on single-node topologies. It
+// answers the scaling question per-link stats cannot: which level of the
+// hierarchy the workload saturates.
+type TierStat struct {
+	Tier  string  `json:"tier"`
+	Bytes float64 `json:"bytes"`
+	// Utilization is bytes / (aggregate tier bandwidth × makespan), where
+	// aggregate bandwidth counts both directions of every link in the tier.
+	Utilization float64 `json:"utilization"`
+	Flows       int     `json:"flows"`
+	// Links is the tier's directed-link count (2× its physical links).
+	Links int `json:"links"`
+}
+
 // NetStat aggregates the flow network.
 type NetStat struct {
 	TotalBytes     float64 `json:"total_bytes"`
@@ -124,6 +140,8 @@ type ParallelStat struct {
 	Strategy string `json:"strategy,omitempty"`
 	Replicas int    `json:"replicas,omitempty"`
 	Stages   int    `json:"stages,omitempty"`
+	// TPRanks is the tensor-parallel group size (3D parallelism only).
+	TPRanks int `json:"tp_ranks,omitempty"`
 	// Buckets is the DDP gradient-bucket count per iteration.
 	Buckets int `json:"buckets,omitempty"`
 	// StageOfLayer maps layer index → pipeline stage (PP only).
@@ -280,6 +298,15 @@ func (r *RunReport) Validate() error {
 		}
 		if l.Bytes < 0 {
 			return fmt.Errorf("telemetry: link %s negative bytes", l.Link)
+		}
+	}
+	for _, t := range r.Tiers {
+		if t.Utilization < 0 || t.Utilization > 1+sumTolerance {
+			return fmt.Errorf("telemetry: tier %s utilization %g out of [0,1]",
+				t.Tier, t.Utilization)
+		}
+		if t.Bytes < 0 {
+			return fmt.Errorf("telemetry: tier %s negative bytes", t.Tier)
 		}
 	}
 	for _, c := range r.Collectives {

@@ -93,6 +93,51 @@ echo "==> triosimd race smoke (race-built daemon under concurrent load)"
 go build -race -o "$tmpdir/triosimd-race" ./cmd/triosimd
 run_daemon_load "$tmpdir/triosimd-race" 200 200
 
+echo "==> scale smoke (1,024-GPU DP×TP×PP step: replay identity, approx error bound, wall-clock budget)"
+# A 128-machine rail fat-tree running llama32-1b under DP=16 × TP=8 × PP=8.
+# Exact solver twice: the event digests must be byte-identical (the replay
+# guarantee at cluster scale). Approximate solver (1% tolerance) once: the
+# simulated step time must stay within 1% of exact. The whole leg must fit a
+# wall-clock budget — the 10k-GPU "single-digit seconds" claim, scaled to CI.
+scale_start=$SECONDS
+scale_spec() { # $1 net_approx_tol
+  cat <<JSON
+{
+  "model": "llama32-1b", "platform": "P3", "parallelism": "dp+tp+pp",
+  "trace_batch": 16, "global_batch": 1024, "num_gpus": 1024,
+  "tp_ranks": 8, "pp_stages": 8, "chunks": 4, "fuse_compute": true,
+  "net_approx_tol": $1,
+  "topology": {"kind": "rail-fat-tree", "machines": 128,
+    "gpus_per_machine": 8, "nvlink_gbps": 300, "link_bandwidth_gbps": 50,
+    "fabric_gbps": 100, "link_latency_us": 2, "host_bandwidth_gbps": 20,
+    "host_latency_us": 5}
+}
+JSON
+}
+scale_spec 0    >"$tmpdir/scale-exact.json"
+scale_spec 0.01 >"$tmpdir/scale-approx.json"
+run_scale() { # $1 spec, $2 report out; prints the event digest
+  go run ./cmd/triosim -config "$1" -deterministic -metrics-out "$2" |
+    awk '/event digest/ {print $3}'
+}
+d1="$(run_scale "$tmpdir/scale-exact.json" "$tmpdir/scale-exact-report.json")"
+d2="$(run_scale "$tmpdir/scale-exact.json" "$tmpdir/scale-exact2-report.json")"
+[[ -n "$d1" && "$d1" == "$d2" ]] ||
+  { echo "scale smoke: exact replay digests differ: $d1 vs $d2"; exit 1; }
+run_scale "$tmpdir/scale-approx.json" "$tmpdir/scale-approx-report.json" \
+  >/dev/null
+step_of() { # $1 report json -> per_iteration_sec
+  grep -o '"per_iteration_sec": *[0-9.eE+-]*' "$1" | head -1 | awk '{print $2}'
+}
+exact_step="$(step_of "$tmpdir/scale-exact-report.json")"
+approx_step="$(step_of "$tmpdir/scale-approx-report.json")"
+awk -v a="$exact_step" -v b="$approx_step" \
+  'BEGIN { d = (a - b) / a; if (d < 0) d = -d; exit !(d <= 0.01) }' ||
+  { echo "scale smoke: approx step $approx_step vs exact $exact_step exceeds 1%"; exit 1; }
+(( SECONDS - scale_start <= 120 )) ||
+  { echo "scale smoke: $((SECONDS - scale_start))s exceeds the 120s budget"; exit 1; }
+echo "    exact digest $d1, step ${exact_step}s, approx step ${approx_step}s, $((SECONDS - scale_start))s wall"
+
 echo "==> bench smoke + benchdiff gate (allocs/op vs committed BENCH_*.json)"
 go test -run '^$' -bench . -benchmem -benchtime 1x . >"$tmpdir/bench.txt"
 go run ./cmd/benchdiff -out "$tmpdir/bench.json" "$tmpdir/bench.txt"

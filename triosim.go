@@ -71,9 +71,10 @@ const (
 	DDP       = core.DDP
 	TP        = core.TP
 	PP        = core.PP
-	DPPP      = core.DPPP  // hybrid: data-parallel pipeline replicas
-	DPTP      = core.DPTP  // hybrid: data-parallel tensor-parallel replicas
-	ZeRO1     = core.ZeRO1 // ZeRO stage-1 optimizer-state sharding
+	DPPP      = core.DPPP   // hybrid: data-parallel pipeline replicas
+	DPTP      = core.DPTP   // hybrid: data-parallel tensor-parallel replicas
+	DPTPPP    = core.DPTPPP // 3D: data × tensor × pipeline parallel grid
+	ZeRO1     = core.ZeRO1  // ZeRO stage-1 optimizer-state sharding
 )
 
 // VTime is virtual time in seconds.
